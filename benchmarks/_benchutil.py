@@ -1,0 +1,12 @@
+"""Shared helpers for the benchmark modules."""
+
+from __future__ import annotations
+
+
+def print_table(title: str, header: str, rows) -> None:
+    print()
+    print(f"== {title} ==")
+    print(header)
+    print("-" * max(len(header), 8))
+    for row in rows:
+        print(row)

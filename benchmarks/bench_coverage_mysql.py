@@ -1,0 +1,81 @@
+"""§6.1 "Improving Coverage": LFI vs. the MySQL regression suite.
+
+Paper: MySQL 5.0's own suite reaches 73% basic-block coverage; running
+LFI "in fully automatic mode, generating a random fault injection
+scenario based on libc" lifted overall coverage to >=74% with no human
+effort, improved the InnoDB ibuf module by 12%, and crashed 12 test
+cases with SIGSEGV (whose coverage was not saved).
+
+Reproduced shape on minidb: baseline ~72%, a single automatic scenario
+adds several percentage points overall and lifts ibuf the most; a
+12-scenario campaign also tallies SIGSEGV crashes from the engine's
+unchecked allocations.
+"""
+
+from __future__ import annotations
+
+from repro.apps.minidb import run_suite
+from repro.core.controller import Controller
+from repro.core.scenario import random_plan
+from repro.platform import LINUX_X86
+
+from _benchutil import print_table
+
+#: the "fully automatic mode" run: a tester invokes LFI a handful of
+#: times with generated random scenarios (one command per §6.1)
+AUTO_SEEDS = (2009, 101, 202)
+AUTO_PROBABILITY = 0.02
+CAMPAIGN_SEEDS = 12
+
+
+def _experiment(profiles):
+    baseline = run_suite(LINUX_X86)
+    base_overall = baseline.overall_coverage()
+    base_ibuf = baseline.coverage.module_coverage("ibuf")
+
+    # the paper's fully-automatic runs (no human effort)
+    merged = baseline.coverage
+    auto = None
+    for seed in AUTO_SEEDS:
+        plan = random_plan(profiles, probability=AUTO_PROBABILITY,
+                           seed=seed)
+        lfi = Controller(LINUX_X86, profiles, plan)
+        auto = run_suite(LINUX_X86, controller=lfi)
+        merged.merge(auto.coverage)
+
+    # a wider campaign for the crash tally
+    crashes = 0
+    for seed in range(CAMPAIGN_SEEDS):
+        plan = random_plan(profiles, probability=0.04, seed=seed)
+        lfi_n = Controller(LINUX_X86, profiles, plan)
+        result = run_suite(LINUX_X86, controller=lfi_n)
+        crashes += result.sigsegv
+    return (base_overall, base_ibuf, merged.overall_coverage(),
+            merged.module_coverage("ibuf"), auto, crashes)
+
+
+def test_coverage_improvement(benchmark, libc_profiles_linux):
+    (base_overall, base_ibuf, with_overall, with_ibuf, auto,
+     crashes) = benchmark.pedantic(
+        lambda: _experiment(libc_profiles_linux), rounds=1, iterations=1)
+
+    rows = [
+        f"suite baseline coverage : {100 * base_overall:5.1f}%  "
+        "(paper: 73%)",
+        f"with LFI ({len(AUTO_SEEDS)} auto runs)  : "
+        f"{100 * with_overall:5.1f}%  (paper: >=74%)",
+        f"ibuf baseline           : {100 * base_ibuf:5.1f}%",
+        f"ibuf with LFI           : {100 * with_ibuf:5.1f}%  "
+        f"(+{100 * (with_ibuf - base_ibuf):.1f}pp; paper: +12pp)",
+        f"SIGSEGV crashes, {CAMPAIGN_SEEDS}-scenario campaign: {crashes}  "
+        "(paper: 12 test cases)",
+    ]
+    print_table("§6.1 — coverage improvement on the DB regression suite",
+                "metric", rows)
+
+    # shape assertions
+    assert 0.65 <= base_overall <= 0.80          # MySQL-like baseline
+    assert with_overall > base_overall           # no-human-effort gain
+    assert with_ibuf - base_ibuf >= 0.05         # ibuf gains the most
+    assert (with_ibuf - base_ibuf) > (0.5 * (with_overall - base_overall))
+    assert crashes >= 1                          # SIGSEGVs occur

@@ -1,0 +1,69 @@
+"""§6.1 "Ease of Use": the Pidgin DNS-resolver bug hunt.
+
+"We tested Pidgin ... by instructing the LFI controller to launch it and
+exercise a random fault injection scenario on I/O functions with 10%
+probability.  Shortly after we entered the IM login details in Pidgin,
+it crashed with a SIGABRT."  The crash chain: an injected write failure
+in the forked resolver, an unhandled partial response, a misread length
+field, and a huge ``g_malloc`` that aborts.
+
+The benchmark measures the time from campaign start to first crash, and
+verifies the §6.1 replay step: re-running the generated replay script
+crashes again.
+"""
+
+from __future__ import annotations
+
+from repro.apps import MiniPidgin
+from repro.core.controller import Controller
+from repro.core.scenario import io_faults, plan_from_xml
+from repro.kernel import Kernel
+from repro.platform import LINUX_X86
+
+from _benchutil import print_table
+
+HOSTS = [f"buddy{i}.example.org" for i in range(12)]
+
+
+def _session_factory(lfi):
+    def session():
+        app = MiniPidgin(Kernel(), LINUX_X86, controller=lfi)
+        app.login_and_chat(HOSTS)
+        return 0
+    return session
+
+
+def _hunt(libc_profile, max_seeds=16):
+    for seed in range(max_seeds):
+        plan = io_faults(libc_profile, probability=0.10, seed=seed)
+        lfi = Controller(LINUX_X86, {"libc.so.6": libc_profile}, plan)
+        outcome = lfi.run_test(_session_factory(lfi))
+        if outcome.crashed:
+            return seed, lfi, outcome
+    raise AssertionError("bug did not manifest")
+
+
+def test_pidgin_bug_hunt(benchmark, libc_profiles_linux):
+    libc_profile = libc_profiles_linux["libc.so.6"]
+
+    seed, lfi, outcome = benchmark.pedantic(
+        lambda: _hunt(libc_profile), rounds=1, iterations=1)
+
+    rows = [
+        f"crash found at scenario seed {seed}",
+        f"status: {outcome.status} (paper: SIGABRT)",
+        f"detail: {outcome.detail[:70]}",
+        f"injections before crash: {outcome.injections}",
+    ]
+
+    # §6.1's diagnosis loop: replay the generated script, crash again
+    replay = plan_from_xml(outcome.replay_xml)
+    lfi2 = Controller(LINUX_X86, {"libc.so.6": libc_profile}, replay)
+    outcome2 = lfi2.run_test(_session_factory(lfi2))
+    rows.append(f"replay outcome: {outcome2.status} "
+                "(paper: 'it crashed again')")
+    print_table("§6.1 — Pidgin bug (ticket 8672)", "result", rows)
+
+    assert outcome.status == "SIGABRT"
+    assert "g_malloc" in outcome.detail
+    assert outcome2.crashed

@@ -1,0 +1,81 @@
+"""Table 2: profiler accuracy vs. documentation, 18 libraries, 3 platforms.
+
+Plus the hand-audited libpcre ground-truth experiment (84%: 52 TP,
+10 FN, 0 FP over 20 exported functions).  The benchmark times the full
+18-library profiling sweep; the printed table shows measured accuracy
+and TP/FN/FP against the paper's row for each library.
+"""
+
+from __future__ import annotations
+
+from repro.core.accuracy import score_against_docs, score_against_truth
+from repro.core.docparse import parse_manual
+from repro.core.profiler import HeuristicConfig, Profiler
+from repro.corpus import (TABLE2_PAPER_ACCURACY, TABLE2_ROWS, build_libpcre,
+                          build_table2_library, manual_for_library)
+from repro.kernel import build_kernel_image
+from repro.platform import LINUX_X86
+
+from _benchutil import print_table
+
+_KERNELS = {}
+
+
+def _kernel_for(platform):
+    if platform.name not in _KERNELS:
+        _KERNELS[platform.name] = build_kernel_image(platform)
+    return _KERNELS[platform.name]
+
+
+def _score_row(row):
+    soname, platform = row[0], row[1]
+    generated = build_table2_library(soname, platform)
+    profiler = Profiler(platform,
+                        {generated.image.soname: generated.image},
+                        _kernel_for(platform),
+                        heuristics=HeuristicConfig.all_enabled())
+    profile = profiler.profile_library(generated.image.soname)
+    docs = parse_manual(manual_for_library(generated))
+    return score_against_docs(profile, docs, built=generated.built)
+
+
+def test_table2_profiler_accuracy(benchmark):
+    results = benchmark.pedantic(
+        lambda: [(row, _score_row(row)) for row in TABLE2_ROWS],
+        rounds=1, iterations=1)
+
+    rows = []
+    for (soname, platform, _n, tp, fn, fp, _f, _i), result in results:
+        paper_acc = TABLE2_PAPER_ACCURACY[(soname, platform.name)]
+        rows.append(
+            f"{soname:<16} {platform.os:<8} "
+            f"{100 * result.accuracy:5.1f}% (paper {paper_acc:3d}%)  "
+            f"TP={result.tp:<5} FN={result.fn:<4} FP={result.fp:<4} "
+            f"(paper {tp}/{fn}/{fp})")
+    print_table("Table 2 — profiler accuracy vs documentation",
+                "library          platform   accuracy            TP/FN/FP",
+                rows)
+
+    for (soname, platform, _n, tp, fn, fp, _f, _i), result in results:
+        assert (result.tp, result.fn, result.fp) == (tp, fn, fp), soname
+        paper_acc = TABLE2_PAPER_ACCURACY[(soname, platform.name)]
+        assert abs(100 * result.accuracy - paper_acc) <= 1.0, soname
+
+
+def test_table2_libpcre_hand_audit(benchmark):
+    """The manual-code-inspection calibration point (§6.3)."""
+    generated = build_libpcre()
+
+    def run():
+        profiler = Profiler(LINUX_X86,
+                            {generated.image.soname: generated.image},
+                            heuristics=HeuristicConfig.all_enabled())
+        profile = profiler.profile_library(generated.image.soname)
+        return score_against_truth(profile, generated.built)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("libpcre hand audit (ground truth = source)",
+                "accuracy / TP / FN / FP",
+                [f"{100 * result.accuracy:.0f}%   {result.tp} / "
+                 f"{result.fn} / {result.fp}   (paper: 84%  52/10/0)"])
+    assert (result.tp, result.fn, result.fp) == (52, 10, 0)

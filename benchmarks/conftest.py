@@ -1,0 +1,50 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure from the paper's
+evaluation (§6) and prints it in the paper's layout; run with
+
+    pytest benchmarks/ --benchmark-only -s
+
+to see the rows.  EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.apr import apr, aprutil
+from repro.corpus.libc import libc
+from repro.core.profiler import Profiler
+from repro.kernel import build_kernel_image
+from repro.platform import LINUX_X86
+
+
+@pytest.fixture(scope="session")
+def linux():
+    return LINUX_X86
+
+
+@pytest.fixture(scope="session")
+def libc_linux():
+    return libc(LINUX_X86)
+
+
+@pytest.fixture(scope="session")
+def kernel_image_linux():
+    return build_kernel_image(LINUX_X86)
+
+
+@pytest.fixture(scope="session")
+def libc_profiles_linux(libc_linux, kernel_image_linux):
+    profiler = Profiler(LINUX_X86,
+                        {libc_linux.image.soname: libc_linux.image},
+                        kernel_image_linux)
+    return {"libc.so.6": profiler.profile_library("libc.so.6")}
+
+
+@pytest.fixture(scope="session")
+def web_stack(libc_linux, kernel_image_linux):
+    images = {b.image.soname: b.image
+              for b in (libc_linux, apr(LINUX_X86), aprutil(LINUX_X86))}
+    profiler = Profiler(LINUX_X86, images, kernel_image_linux)
+    return images, profiler.profile_all()

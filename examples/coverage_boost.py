@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""§6.1 "Improving Coverage": LFI vs. a mature regression suite.
+
+Runs minidb's shipped test suite (all green, ~72% block coverage, like
+MySQL 5.0's 73%), then re-runs it under a fully automatic random libc
+faultload.  Error-handling blocks light up — the InnoDB-style insert
+buffer most of all — and a few tests die of SIGSEGV on the engine's
+unchecked allocations, just as 12 MySQL test cases did.
+
+Run:  python examples/coverage_boost.py
+"""
+
+from repro import (Controller, LINUX_X86, Profiler, build_kernel_image,
+                   libc, random_plan)
+from repro.apps.minidb import run_suite
+
+
+def main() -> None:
+    print("running the shipped regression suite (no faults)...")
+    baseline = run_suite(LINUX_X86)
+    print(f"  {baseline.passed}/{baseline.total} tests passed")
+    print(f"  overall coverage: "
+          f"{100 * baseline.overall_coverage():.1f}%  (MySQL 5.0: 73%)")
+    print(f"  ibuf module:      "
+          f"{100 * baseline.coverage.module_coverage('ibuf'):.1f}%")
+
+    built = libc(LINUX_X86)
+    profiler = Profiler(LINUX_X86, {built.image.soname: built.image},
+                        build_kernel_image(LINUX_X86))
+    profiles = profiler.profile_all()
+    plan = random_plan(profiles, probability=0.02, seed=2009)
+    lfi = Controller(LINUX_X86, profiles, plan)
+
+    print("\nre-running under a fully automatic random libc faultload...")
+    faulted = run_suite(LINUX_X86, controller=lfi)
+    print(f"  {faulted.passed} passed, {faulted.errors} query errors, "
+          f"{faulted.sigsegv} SIGSEGV, {faulted.sigabrt} SIGABRT")
+    if faulted.crashed_tests:
+        print(f"  crashed tests (coverage not saved, as in the paper): "
+              f"{', '.join(faulted.crashed_tests)}")
+
+    base_value = baseline.overall_coverage()
+    merged = baseline.coverage
+    merged.merge(faulted.coverage)
+    print("\ncombined coverage (suite + LFI):")
+    print(merged.report())
+    delta = merged.overall_coverage() - base_value
+    print(f"\noverall gain: +{100 * delta:.1f}pp with no human effort "
+          "(paper: 73% -> >=74%, ibuf +12pp)")
+
+
+if __name__ == "__main__":
+    main()

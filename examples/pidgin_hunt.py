@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The §6.1 Pidgin bug hunt, as a user would run it.
+
+A random 10% faultload on libc's I/O functions is injected into the
+minipidgin IM client.  When the forked DNS resolver's pipe writes fail
+and are ignored, the parent misreads a payload byte run as a length,
+calls g_malloc for ~2 GB, and dies of SIGABRT — Pidgin ticket 8672.
+The controller's replay script then reproduces the crash exactly.
+
+Run:  python examples/pidgin_hunt.py
+"""
+
+from repro import (Controller, Kernel, LINUX_X86, Profiler,
+                   build_kernel_image, libc)
+from repro.apps import MiniPidgin
+from repro.core.scenario import io_faults, plan_from_xml
+
+HOSTS = [f"buddy{i}.example.org" for i in range(12)]
+
+
+def make_session(lfi):
+    def session():
+        app = MiniPidgin(Kernel(), LINUX_X86, controller=lfi)
+        addresses = app.login_and_chat(HOSTS)
+        print(f"  ... session survived, {len(addresses)} hosts resolved")
+        return 0
+    return session
+
+
+def main() -> None:
+    built = libc(LINUX_X86)
+    profiler = Profiler(LINUX_X86, {built.image.soname: built.image},
+                        build_kernel_image(LINUX_X86))
+    profiles = profiler.profile_all()
+
+    for seed in range(16):
+        plan = io_faults(profiles["libc.so.6"], probability=0.10,
+                         seed=seed)
+        lfi = Controller(LINUX_X86, profiles, plan)
+        print(f"scenario seed {seed}: injecting I/O faults at 10%...")
+        outcome = lfi.run_test(make_session(lfi))
+        if not outcome.crashed:
+            continue
+
+        print(f"\n*** CRASH: {outcome.status} — {outcome.detail}")
+        print(f"    after {outcome.injections} injections\n")
+        print("injection log:")
+        for record in lfi.logbook.records:
+            print("  " + record.render())
+
+        print("\nreplay script (feed back to the controller, §5.2):")
+        print(outcome.replay_xml)
+
+        print("replaying...")
+        lfi2 = Controller(LINUX_X86, profiles,
+                          plan_from_xml(outcome.replay_xml))
+        outcome2 = lfi2.run_test(make_session(lfi2))
+        print(f"replay outcome: {outcome2.status} — {outcome2.detail}")
+        return
+
+    print("no crash in 16 scenarios (unexpected — file a bug!)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — a full reproduction of *LFI: A Practical and General
+Library-Level Fault Injector* (Marinescu & Candea, DSN 2009) on a
+synthetic binary ecosystem.
+
+Public API tour::
+
+    from repro import (
+        LINUX_X86, Kernel, Process,            # platform + runtime
+        libc, build_kernel_image,              # corpus
+        Profiler, Controller,                  # the paper's two halves
+        random_plan, exhaustive_plan,          # §4 scenario generation
+    )
+
+    built = libc(LINUX_X86)
+    profiler = Profiler(LINUX_X86, {built.image.soname: built.image},
+                        build_kernel_image(LINUX_X86))
+    profiles = profiler.profile_all()
+    plan = random_plan(profiles, probability=0.1, seed=42)
+    lfi = Controller(LINUX_X86, profiles, plan)
+    proc = lfi.make_process(Kernel(), [built.image])
+    proc.libcall("open", proc.cstr("/x"), 0, 0)   # may now fail, by design
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table and figure.
+"""
+
+from .core.controller import Controller, TestOutcome, TestReport
+from .core.profiler import HeuristicConfig, Profiler, profile_application
+from .core.profiles import LibraryProfile
+from .core.scenario import (Plan, exhaustive_plan, plan_from_xml,
+                            plan_to_xml, random_plan)
+from .corpus import build_libc, libc
+from .kernel import Kernel, build_kernel_image
+from .platform import (ALL_PLATFORMS, LINUX_X86, SOLARIS_SPARC, WINDOWS_X86,
+                       Platform, platform_by_name)
+from .runtime import Process
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Profiler", "profile_application", "HeuristicConfig", "LibraryProfile",
+    "Controller", "TestOutcome", "TestReport",
+    "Plan", "random_plan", "exhaustive_plan", "plan_to_xml", "plan_from_xml",
+    "Kernel", "Process", "build_kernel_image",
+    "libc", "build_libc",
+    "Platform", "LINUX_X86", "WINDOWS_X86", "SOLARIS_SPARC",
+    "ALL_PLATFORMS", "platform_by_name",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Guest applications: the paper's evaluation targets, rebuilt."""
+
+from .apr import apr, aprutil, build_apr, build_aprutil
+from .coverage import BlockCoverage
+from .minipidgin import MiniPidgin, ResolverChild
+from .miniweb import PHP_PAGE, STATIC_PAGE, MiniWeb
+from .workloads import (AbResult, ApacheBenchDriver, OltpResult,
+                        SysbenchOltpDriver, top_called_functions)
+
+__all__ = [
+    "BlockCoverage",
+    "MiniPidgin", "ResolverChild",
+    "MiniWeb", "STATIC_PAGE", "PHP_PAGE",
+    "apr", "aprutil", "build_apr", "build_aprutil",
+    "ApacheBenchDriver", "AbResult",
+    "SysbenchOltpDriver", "OltpResult",
+    "top_called_functions",
+]

@@ -1,0 +1,109 @@
+"""libapr / libaprutil — the Apache Portable Runtime stand-ins (§6.4).
+
+Table 3's overhead experiment shims three libraries simultaneously: GNU
+libc plus the two APR libraries ("medium-sized, totaling a little over
+1,000 functions").  These MinC libraries wrap libc through *imports*, so
+with a shim preloaded, APR's PLT entries resolve to the interceptor —
+demonstrating §5.1's claim that "interceptors for multiple libraries can
+coexist ... transparently".
+
+Function count is scaled down (~40 wrappers + generated padding) but the
+call topology (app → aprutil → apr → libc) matches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..platform import Platform
+from ..toolchain import GroundTruth, LibraryBuilder, minc
+from ..toolchain.builder import BuiltLibrary
+
+APR_SONAME = "libapr-1.so"
+APRUTIL_SONAME = "libaprutil-1.so"
+
+#: apr function -> (libc function, parameter count)
+_APR_WRAPPERS: Tuple[Tuple[str, str, int], ...] = (
+    ("apr_file_open", "open", 3),
+    ("apr_file_close", "close", 1),
+    ("apr_file_read", "read", 3),
+    ("apr_file_write", "write", 3),
+    ("apr_file_seek", "lseek", 3),
+    ("apr_file_sync", "fsync", 1),
+    ("apr_file_remove", "unlink", 1),
+    ("apr_dir_make", "mkdir", 2),
+    ("apr_dir_remove", "rmdir", 1),
+    ("apr_stat", "stat", 2),
+    ("apr_palloc", "malloc", 1),
+    ("apr_pfree", "free", 1),
+    ("apr_pcalloc", "calloc", 2),
+    ("apr_socket_create", "socket", 3),
+    ("apr_socket_bind", "bind", 3),
+    ("apr_socket_listen", "listen", 2),
+    ("apr_socket_accept", "accept", 3),
+    ("apr_socket_connect", "connect", 3),
+    ("apr_socket_send", "send", 4),
+    ("apr_socket_recv", "recv", 4),
+    ("apr_sleep", "sleep", 1),
+)
+
+_APRUTIL_WRAPPERS: Tuple[Tuple[str, str, int], ...] = (
+    ("apr_brigade_write", "apr_file_write", 3),
+    ("apr_brigade_read", "apr_file_read", 3),
+    ("apr_bucket_alloc", "apr_palloc", 1),
+    ("apr_bucket_free", "apr_pfree", 1),
+    ("apr_uri_stat", "apr_stat", 2),
+    ("apr_sendfile", "apr_socket_send", 4),
+)
+
+
+def _forwarder(target: str, nparams: int) -> Tuple[minc.Stmt, ...]:
+    args = tuple(minc.Param(i) for i in range(nparams))
+    return (minc.Return(minc.Call(target, args)),)
+
+
+def _pad_functions(builder: LibraryBuilder, prefix: str, count: int) -> None:
+    """Utility padding functions, like real APR's string/table helpers."""
+    for i in range(count):
+        builder.simple(
+            f"{prefix}_util{i}", 1,
+            minc.Assign("x", minc.BinOp("+", minc.Param(0),
+                                        minc.Const(i + 1))),
+            minc.Return(minc.Local("x")),
+            truth=GroundTruth())
+
+
+def build_apr(platform: Platform) -> BuiltLibrary:
+    builder = LibraryBuilder(APR_SONAME, needed=("libc.so.6",))
+    for name, target, nparams in _APR_WRAPPERS:
+        builder.simple(name, nparams, *_forwarder(target, nparams),
+                       truth=GroundTruth(error_returns=[-1]))
+    _pad_functions(builder, "apr", 14)
+    return builder.build(platform)
+
+
+def build_aprutil(platform: Platform) -> BuiltLibrary:
+    builder = LibraryBuilder(APRUTIL_SONAME,
+                             needed=(APR_SONAME, "libc.so.6"))
+    for name, target, nparams in _APRUTIL_WRAPPERS:
+        builder.simple(name, nparams, *_forwarder(target, nparams),
+                       truth=GroundTruth(error_returns=[-1]))
+    _pad_functions(builder, "aprutil", 10)
+    return builder.build(platform)
+
+
+_CACHE: Dict[Tuple[str, str], BuiltLibrary] = {}
+
+
+def apr(platform: Platform) -> BuiltLibrary:
+    key = ("apr", platform.name)
+    if key not in _CACHE:
+        _CACHE[key] = build_apr(platform)
+    return _CACHE[key]
+
+
+def aprutil(platform: Platform) -> BuiltLibrary:
+    key = ("aprutil", platform.name)
+    if key not in _CACHE:
+        _CACHE[key] = build_aprutil(platform)
+    return _CACHE[key]

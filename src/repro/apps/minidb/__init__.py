@@ -1,0 +1,11 @@
+"""minidb: the MySQL stand-in (engine, insert buffer, regression suite)."""
+
+from .engine import DbError, MiniDB, register_blocks
+from .ibuf import InsertBuffer
+from .testsuite import SuiteResult, run_suite, test_names
+
+__all__ = [
+    "MiniDB", "DbError", "register_blocks",
+    "InsertBuffer",
+    "run_suite", "SuiteResult", "test_names",
+]

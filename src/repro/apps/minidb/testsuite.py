@@ -1,0 +1,359 @@
+"""minidb's shipped regression suite (the "MySQL test suite" of §6.1).
+
+Each test drives a fresh database instance through its public SQL-ish
+API.  Under no faultload every test passes and the suite reaches its
+baseline basic-block coverage (~73%, like MySQL 5.0's); under LFI's
+random libc faultload the recovery blocks light up and some tests die —
+the paper saw 12 SIGSEGVs, whose counterparts here come from the three
+unchecked allocations in the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ...errors import GuestAbort, MemoryFault, RuntimeFault
+from ...kernel import Kernel, ProcessExit
+from ...platform import LINUX_X86, Platform
+from ..coverage import BlockCoverage
+from .engine import DbError, MiniDB, register_blocks
+
+TestFn = Callable[[MiniDB], None]
+
+_TESTS: List[Tuple[str, TestFn]] = []
+
+
+def _test(name: str):
+    def wrap(fn: TestFn) -> TestFn:
+        _TESTS.append((name, fn))
+        return fn
+    return wrap
+
+
+def _seed(db: MiniDB, table: str = "t", rows: int = 6) -> None:
+    db.execute(f"create table {table} k v")
+    for i in range(rows):
+        db.execute(f"insert into {table} {i} value{i}")
+
+
+# -- DDL / basic DML ---------------------------------------------------------
+
+@_test("create_table")
+def _t_create(db: MiniDB) -> None:
+    assert db.execute("create table a k v") == 0
+
+
+@_test("create_duplicate_rejected")
+def _t_create_dup(db: MiniDB) -> None:
+    db.execute("create table a k v")
+    try:
+        db.execute("create table a k v")
+    except DbError:
+        return
+    raise AssertionError("duplicate create accepted")
+
+
+@_test("insert_single")
+def _t_insert(db: MiniDB) -> None:
+    db.execute("create table a k v")
+    assert db.execute("insert into a 1 hello") == 1
+
+
+@_test("insert_many")
+def _t_insert_many(db: MiniDB) -> None:
+    _seed(db, rows=20)
+    assert len(db.execute("select from t")) == 20
+
+
+@_test("select_scan")
+def _t_scan(db: MiniDB) -> None:
+    _seed(db)
+    rows = db.execute("select from t")
+    assert rows[0] == (0, "value0")
+
+
+@_test("select_point")
+def _t_point(db: MiniDB) -> None:
+    _seed(db)
+    assert db.execute("select from t where k 3") == [(3, "value3")]
+
+
+@_test("select_missing_key")
+def _t_missing(db: MiniDB) -> None:
+    _seed(db)
+    assert db.execute("select from t where k 99") == []
+
+
+@_test("update_row")
+def _t_update(db: MiniDB) -> None:
+    _seed(db)
+    assert db.execute("update t 2 newval") == 1
+    assert db.execute("select from t where k 2") == [(2, "newval")]
+
+
+@_test("update_missing")
+def _t_update_missing(db: MiniDB) -> None:
+    _seed(db)
+    assert db.execute("update t 42 nope") == 0
+
+
+@_test("delete_row")
+def _t_delete(db: MiniDB) -> None:
+    _seed(db)
+    assert db.execute("delete from t 1") == 1
+    assert len(db.execute("select from t")) == 5
+
+
+@_test("delete_missing")
+def _t_delete_missing(db: MiniDB) -> None:
+    _seed(db)
+    assert db.execute("delete from t 123") == 0
+
+
+@_test("unknown_verb_rejected")
+def _t_unknown(db: MiniDB) -> None:
+    try:
+        db.execute("explode everything")
+    except DbError:
+        return
+    raise AssertionError("bad verb accepted")
+
+
+@_test("unknown_table_rejected")
+def _t_unknown_table(db: MiniDB) -> None:
+    try:
+        db.execute("select from ghost")
+    except DbError:
+        return
+    raise AssertionError("ghost table accepted")
+
+
+# -- transactions ------------------------------------------------------------
+
+@_test("txn_commit")
+def _t_txn_commit(db: MiniDB) -> None:
+    _seed(db)
+    db.execute("begin txn")
+    db.execute("insert into t 100 inside")
+    db.execute("commit txn")
+    assert db.execute("select from t where k 100") == [(100, "inside")]
+
+
+@_test("txn_rollback")
+def _t_txn_rollback(db: MiniDB) -> None:
+    _seed(db)
+    db.execute("begin txn")
+    db.execute("insert into t 100 inside")
+    assert db.execute("rollback txn") == 1
+    assert db.execute("select from t where k 100") == []
+
+
+@_test("txn_nested_rejected")
+def _t_txn_nested(db: MiniDB) -> None:
+    db.execute("begin txn")
+    try:
+        db.execute("begin txn")
+    except DbError:
+        return
+    raise AssertionError("nested txn accepted")
+
+
+@_test("txn_batched_ops")
+def _t_txn_batch(db: MiniDB) -> None:
+    _seed(db)
+    db.execute("begin txn")
+    db.execute("update t 0 changed")
+    db.execute("delete from t 5")
+    assert db.execute("commit txn") == 2
+    assert db.execute("select from t where k 0") == [(0, "changed")]
+
+
+# -- ibuf / checkpoint -------------------------------------------------------
+
+@_test("ibuf_merge_on_threshold")
+def _t_ibuf_threshold(db: MiniDB) -> None:
+    _seed(db, rows=20)        # crosses the merge threshold
+    assert db.ibuf.merges >= 1
+
+
+@_test("ibuf_lookup_pending")
+def _t_ibuf_lookup(db: MiniDB) -> None:
+    _seed(db, rows=4)
+    db.execute("insert into t 50 buffered")
+    assert db.execute("select from t where k 50") == [(50, "buffered")]
+
+
+@_test("checkpoint_flushes")
+def _t_checkpoint(db: MiniDB) -> None:
+    _seed(db, rows=4)
+    db.checkpoint()
+    assert not db.ibuf.pending
+
+
+@_test("checkpoint_empty_ibuf")
+def _t_checkpoint_empty(db: MiniDB) -> None:
+    db.execute("create table a k v")
+    db.checkpoint()
+    db.checkpoint()
+
+
+# -- persistence / storage ----------------------------------------------------
+
+@_test("rows_survive_scan_twice")
+def _t_scan_twice(db: MiniDB) -> None:
+    _seed(db)
+    assert db.execute("select from t") == db.execute("select from t")
+
+
+@_test("wide_values_truncated")
+def _t_wide(db: MiniDB) -> None:
+    db.execute("create table a k v")
+    db.execute("insert into a 1 " + "x" * 100)
+    rows = db.execute("select from a")
+    assert rows[0][0] == 1 and len(rows[0][1]) < 100
+
+
+@_test("many_tables")
+def _t_many_tables(db: MiniDB) -> None:
+    for i in range(8):
+        db.execute(f"create table m{i} k v")
+        db.execute(f"insert into m{i} {i} val")
+    for i in range(8):
+        assert db.execute(f"select from m{i}") == [(i, "val")]
+
+
+@_test("close_reopens")
+def _t_close(db: MiniDB) -> None:
+    _seed(db, rows=3)
+    db.close()
+    assert len(db.execute("select from t")) == 3
+
+
+@_test("mixed_workload")
+def _t_mixed(db: MiniDB) -> None:
+    _seed(db, rows=10)
+    for i in range(5):
+        db.execute(f"update t {i} u{i}")
+    for i in range(3):
+        db.execute(f"delete from t {i + 7}")
+    rows = db.execute("select from t")
+    assert len(rows) == 7
+
+
+@_test("interleaved_tables")
+def _t_interleaved(db: MiniDB) -> None:
+    db.execute("create table a k v")
+    db.execute("create table b k v")
+    for i in range(6):
+        db.execute(f"insert into a {i} av{i}")
+        db.execute(f"insert into b {i} bv{i}")
+    assert db.execute("select from a where k 5") == [(5, "av5")]
+    assert db.execute("select from b where k 5") == [(5, "bv5")]
+
+
+@_test("reinsert_after_delete")
+def _t_reinsert(db: MiniDB) -> None:
+    _seed(db, rows=4)
+    db.execute("delete from t 2")
+    db.execute("insert into t 2 reborn")
+    assert (2, "reborn") in db.execute("select from t")
+
+
+@_test("empty_table_scan")
+def _t_empty_scan(db: MiniDB) -> None:
+    db.execute("create table a k v")
+    assert db.execute("select from a") == []
+
+
+@_test("big_batch_insert")
+def _t_big_batch(db: MiniDB) -> None:
+    db.execute("create table big k v")
+    for i in range(40):
+        db.execute(f"insert into big {i} row{i}")
+    assert len(db.execute("select from big")) == 40
+
+
+@_test("update_all_then_scan")
+def _t_update_all(db: MiniDB) -> None:
+    _seed(db, rows=5)
+    for i in range(5):
+        db.execute(f"update t {i} same")
+    assert all(v == "same" for _k, v in db.execute("select from t"))
+
+
+@_test("wal_replay_on_restart")
+def _t_wal_replay(db: MiniDB) -> None:
+    _seed(db, rows=3)
+    # a second engine instance over the same kernel/datadir must replay
+    # the write-ahead log left behind by the first
+    db2 = MiniDB(db.kernel, db.platform, controller=db.controller,
+                 cov=db.cov, datadir=db.datadir)
+    assert "wal_replay_entries" in db.cov.hits["wal"]
+    db2.close()
+
+
+# -- the runner ---------------------------------------------------------------
+
+@dataclass
+class SuiteResult:
+    """Aggregate of one suite run (≈ mysql-test-run output)."""
+
+    passed: int = 0
+    failed: int = 0
+    sigsegv: int = 0
+    sigabrt: int = 0
+    errors: int = 0
+    coverage: Optional[BlockCoverage] = None
+    crashed_tests: List[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.passed + self.failed + self.sigsegv \
+            + self.sigabrt + self.errors
+
+    def overall_coverage(self) -> float:
+        return self.coverage.overall_coverage() if self.coverage else 0.0
+
+
+def test_names() -> List[str]:
+    return [name for name, _fn in _TESTS]
+
+
+def run_suite(platform: Platform = LINUX_X86,
+              *, controller=None,
+              cov: Optional[BlockCoverage] = None,
+              save_coverage_on_crash: bool = False) -> SuiteResult:
+    """Run every test on a fresh kernel+database, collecting coverage.
+
+    ``save_coverage_on_crash=False`` models the paper's caveat: "in 12
+    cases MySQL crashed with SIGSEGV and the coverage information for
+    those test cases was not saved".
+    """
+    result = SuiteResult(coverage=cov or BlockCoverage())
+    register_blocks(result.coverage)
+    for name, fn in _TESTS:
+        test_cov = BlockCoverage()
+        register_blocks(test_cov)
+        db = None
+        try:
+            db = MiniDB(Kernel(os_name=platform.os), platform,
+                        controller=controller, cov=test_cov)
+            fn(db)
+            result.passed += 1
+        except AssertionError:
+            result.failed += 1
+        except DbError:
+            result.errors += 1
+        except MemoryFault:
+            result.sigsegv += 1
+            result.crashed_tests.append(name)
+            if not save_coverage_on_crash:
+                continue
+        except (GuestAbort, ProcessExit, RuntimeFault):
+            result.sigabrt += 1
+            result.crashed_tests.append(name)
+            if not save_coverage_on_crash:
+                continue
+        result.coverage.merge(test_cov)
+    return result

@@ -1,0 +1,250 @@
+"""minipidgin — the instant-messenger client of §6.1, bug included.
+
+Real Pidgin forks a DNS-resolver child that reports results back over a
+pipe; the child "does not handle the case when writes fail or are
+incomplete".  LFI's random I/O faultload made a response write fail,
+the child carried on, and the parent — reading a now-misaligned byte
+stream — took leftover payload bytes as the *size* of the resolved
+address, called ``malloc`` for that huge amount, and died of SIGABRT.
+LFI ticket: http://developer.pidgin.im/ticket/8672.
+
+This module reproduces the whole arrangement faithfully:
+
+* parent and resolver are two guest processes sharing a kernel; the
+  resolver's pipe ends are inherited file descriptors,
+* the resolver writes each response as header (status, length) then
+  payload — and ignores write errors and short writes (the bug),
+* the parent trusts the header and ``malloc``s the advertised length
+  (aborting on allocation failure, like ``g_malloc``),
+* all I/O flows through libc in the VM, so an attached LFI controller
+  intercepts it exactly as the paper's did.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..corpus.libc import libc
+from ..errors import GuestAbort
+from ..kernel import Kernel
+from ..platform import Platform
+from ..runtime import Process
+
+_HEADER = struct.Struct("<ii")        # status, payload length
+_PAYLOAD_LEN = 32                     # fixed-size resolved-address record
+_REQUEST_LIMIT = 64
+
+
+def _share_fd(parent: Process, child: Process, fd: int) -> int:
+    """Simulate fork-style fd inheritance for one descriptor."""
+    entry = parent.kstate.fds[fd]
+    new_fd = child.kstate.next_fd
+    child.kstate.next_fd += 1
+    child.kstate.fds[new_fd] = entry
+    return new_fd
+
+
+@dataclass
+class ResolverChild:
+    """The forked DNS helper process.
+
+    ``hardened`` applies the fix from the upstream ticket: response
+    writes are checked and retried until the full frame is on the pipe,
+    so the parent never observes a torn response.
+    """
+
+    proc: Process
+    req_fd: int
+    resp_fd: int
+    served: int = 0
+    hardened: bool = False
+
+    def pump(self) -> None:
+        """Serve every request currently sitting in the request pipe."""
+        proc = self.proc
+        while True:
+            buf = proc.scratch_alloc(_REQUEST_LIMIT)
+            with proc.frame("dns_thread_read"):
+                n = proc.libcall("read", self.req_fd, buf, _REQUEST_LIMIT)
+            if n <= 0:
+                return
+            hostname = proc.mem_read(buf, n).rstrip(b"\x00").decode(
+                "utf-8", errors="replace")
+            self._respond(hostname)
+            self.served += 1
+
+    def _respond(self, hostname: str) -> None:
+        """Write one response; THE BUG: results of write() are ignored."""
+        proc = self.proc
+        address = _fake_resolve(hostname)
+        header = _HEADER.pack(0, len(address))
+        hbuf = proc.scratch_alloc(len(header))
+        proc.mem_write(hbuf, header)
+        pbuf = proc.scratch_alloc(len(address))
+        proc.mem_write(pbuf, address)
+        with proc.frame("send_dns_response"):
+            if self.hardened:
+                self._write_all(hbuf, len(header))
+                self._write_all(pbuf, len(address))
+            else:
+                # no retry, no short-write handling, no error check —
+                # as in the shipped Pidgin resolver
+                proc.libcall("write", self.resp_fd, hbuf, len(header))
+                proc.libcall("write", self.resp_fd, pbuf, len(address))
+
+    def _write_all(self, buf: int, count: int, retries: int = 64) -> None:
+        """The fixed write loop: handle errors AND short writes."""
+        proc = self.proc
+        written = 0
+        attempts = 0
+        while written < count and attempts < retries:
+            n = proc.libcall("write", self.resp_fd, buf + written,
+                             count - written)
+            if n <= 0:
+                attempts += 1
+                continue
+            written += n
+
+
+def _fake_resolve(hostname: str) -> bytes:
+    """A fixed-size resolved-address record (ASCII, like a sockaddr dump).
+
+    ASCII payload matters: when the parent misinterprets payload bytes as
+    a length, the value is ~0x78787878 — the 'very large value' of §6.1.
+    """
+    text = f"93.184.216.{(sum(hostname.encode()) % 250) + 1}"
+    return text.encode().ljust(_PAYLOAD_LEN, b"x")[:_PAYLOAD_LEN]
+
+
+@dataclass
+class MiniPidgin:
+    """The parent IM client."""
+
+    kernel: Kernel
+    platform: Platform
+    controller: Optional[object] = None        # Controller, if testing
+    #: apply the ticket-8672 fix: checked resolver writes + header
+    #: validation before trusting the advertised length
+    hardened: bool = False
+    proc: Process = field(init=False)
+    resolver: ResolverChild = field(init=False)
+    resolved: List[str] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        built = libc(self.platform)
+        self.proc = self._make_process(built.image)
+        self._spawn_resolver(built.image)
+
+    def _make_process(self, libc_image) -> Process:
+        if self.controller is not None:
+            return self.controller.make_process(self.kernel, [libc_image])
+        proc = Process(self.kernel, self.platform)
+        proc.load_program([libc_image])
+        return proc
+
+    def _spawn_resolver(self, libc_image) -> None:
+        parent = self.proc
+        fds = parent.scratch_alloc(8)
+        if parent.libcall("pipe", fds) != 0:
+            parent.abort("pidgin: cannot create request pipe")
+        req_r = parent.memory.read_u32(fds)
+        self.req_w = parent.memory.read_u32(fds + 4)
+        if parent.libcall("pipe", fds) != 0:
+            parent.abort("pidgin: cannot create response pipe")
+        self.resp_r = parent.memory.read_u32(fds)
+        resp_w = parent.memory.read_u32(fds + 4)
+
+        child = self._make_process(libc_image)   # "fork" the resolver
+        child_req = _share_fd(parent, child, req_r)
+        child_resp = _share_fd(parent, child, resp_w)
+        self.resolver = ResolverChild(child, child_req, child_resp,
+                                      hardened=self.hardened)
+
+    # -- the client-visible operations ---------------------------------------
+
+    def _send_request(self, hostname: str) -> None:
+        proc = self.proc
+        data = hostname.encode("utf-8")[:_REQUEST_LIMIT]
+        data = data.ljust(_REQUEST_LIMIT, b"\x00")   # fixed-size framing
+        buf = proc.scratch_alloc(len(data))
+        proc.mem_write(buf, data)
+        with proc.frame("purple_dnsquery_a"):
+            if self.hardened:
+                written = 0
+                attempts = 0
+                while written < len(data) and attempts < 64:
+                    n = proc.libcall("write", self.req_w, buf + written,
+                                     len(data) - written)
+                    if n <= 0:
+                        attempts += 1
+                        continue
+                    written += n
+            else:
+                # request writes are fire-and-forget in the shipped build
+                proc.libcall("write", self.req_w, buf, len(data))
+
+    def resolve(self, hostname: str) -> str:
+        """Ask the resolver child for an address (synchronous)."""
+        self._send_request(hostname)
+        self.resolver.pump()
+        return self._read_response()
+
+    def resolve_burst(self, hostnames: Sequence[str]) -> List[str]:
+        """Queue many lookups, then collect responses — the buddy-list
+        resolution burst where §6.1's misalignment becomes fatal."""
+        for hostname in hostnames:
+            self._send_request(hostname)
+        self.resolver.pump()
+        return [self._read_response() for _ in hostnames]
+
+    def _read_response(self) -> str:
+        proc = self.proc
+        header = self._read_exact(_HEADER.size)
+        status, length = _HEADER.unpack(header)
+        if self.hardened and (status != 0 or length != _PAYLOAD_LEN):
+            # fixed parent: a malformed header is a resolution failure,
+            # never an allocation size
+            self.resolved.append("")
+            return ""
+        # BUG (parent side): status is logged, not validated, and the
+        # advertised length is trusted unconditionally.
+        with proc.frame("purple_dnsquery_resolved"):
+            addr_buf = proc.libcall("malloc", length & 0xFFFFFFFF)
+        if addr_buf == 0:
+            # g_malloc() semantics: allocation failure is fatal
+            proc.abort(
+                f"g_malloc: failed to allocate {length & 0xFFFFFFFF} "
+                "bytes (SIGABRT)")
+        payload = self._read_exact(min(length, _PAYLOAD_LEN))
+        proc.libcall("free", addr_buf)
+        address = payload.split(b"x")[0].decode("utf-8", errors="replace")
+        self.resolved.append(address)
+        return address
+
+    def _read_exact(self, count: int) -> bytes:
+        """Blocking read: pump the child while the pipe is empty."""
+        proc = self.proc
+        out = bytearray()
+        stalls = 0
+        while len(out) < count:
+            buf = proc.scratch_alloc(count)
+            with proc.frame("dns_response_read"):
+                n = proc.libcall("read", self.resp_r, buf,
+                                 count - len(out))
+            if n > 0:
+                out += proc.mem_read(buf, n)
+                stalls = 0
+                continue
+            stalls += 1
+            if stalls > 8:
+                # resolver died / stream desynchronized beyond repair
+                proc.abort("pidgin: resolver pipe stalled (SIGABRT)")
+            self.resolver.pump()
+        return bytes(out)
+
+    def login_and_chat(self, hostnames: Sequence[str]) -> List[str]:
+        """The §6.1 session: entering IM login details kicks off a burst
+        of buddy-list host resolutions."""
+        return self.resolve_burst(hostnames)

@@ -1,0 +1,169 @@
+"""miniweb — the Apache httpd stand-in for the Table 3 experiment.
+
+An HTTP-ish server over the simulated socket layer, serving two kinds of
+content through libc + libapr + libaprutil (the three libraries §6.4
+shims simultaneously):
+
+* **static HTML** — open/read/send of a document file,
+* **"PHP"** — template expansion with extra reads, allocations and
+  chunked sends; "more dynamic and performs many more library calls",
+  so trigger evaluation happens considerably more often.
+
+The AB-style client lives in :mod:`repro.apps.workloads`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..corpus.libc import libc
+from ..kernel import Kernel, O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY
+from ..platform import Platform
+from ..runtime import Process
+from .apr import apr, aprutil
+
+HTTP_PORT = 80
+_CHUNK = 128
+
+STATIC_PAGE = "/www/index.html"
+PHP_PAGE = "/www/app.php"
+
+_STATIC_BODY = (b"<html><head><title>It works!</title></head>"
+                b"<body>" + b"<p>apache bench fixture</p>" * 12
+                + b"</body></html>")
+_PHP_TEMPLATE = (b"<html><body>{{header}}"
+                 + b"{{row}}" * 16 + b"{{footer}}</body></html>")
+
+
+@dataclass
+class MiniWeb:
+    """The server process."""
+
+    kernel: Kernel
+    platform: Platform
+    controller: Optional[object] = None
+    port: int = HTTP_PORT
+    proc: Process = field(init=False)
+    listen_fd: int = field(init=False, default=-1)
+    requests_served: int = 0
+
+    def __post_init__(self) -> None:
+        libs = [libc(self.platform).image, apr(self.platform).image,
+                aprutil(self.platform).image]
+        if self.controller is not None:
+            self.proc = self.controller.make_process(self.kernel, libs)
+        else:
+            self.proc = Process(self.kernel, self.platform)
+            self.proc.load_program(libs)
+        self._install_docroot()
+        self._listen()
+
+    # -- setup --------------------------------------------------------------
+
+    def _install_docroot(self) -> None:
+        vfs = self.kernel.vfs
+        if not vfs.exists("/www"):
+            vfs.mkdir("/www")
+            vfs.write_file(STATIC_PAGE, _STATIC_BODY)
+            vfs.write_file(PHP_PAGE, _PHP_TEMPLATE)
+
+    def _listen(self) -> None:
+        proc = self.proc
+        fd = proc.libcall("apr_socket_create", 2, 1, 0)
+        if fd < 0:
+            proc.abort("miniweb: socket failed")
+        if proc.libcall("apr_socket_bind", fd, self.port, 0) < 0:
+            proc.abort("miniweb: bind failed")
+        if proc.libcall("apr_socket_listen", fd, 16) < 0:
+            proc.abort("miniweb: listen failed")
+        self.listen_fd = fd
+
+    # -- request handling ------------------------------------------------
+
+    def serve_one(self) -> bool:
+        """Accept and fully handle one queued connection."""
+        proc = self.proc
+        conn = proc.libcall("apr_socket_accept", self.listen_fd, 0, 0)
+        if conn < 0:
+            return False
+        try:
+            request = self._recv_request(conn)
+            path = self._parse_path(request)
+            if path.endswith(".php"):
+                self._serve_php(conn, path)
+            else:
+                self._serve_static(conn, path)
+            self.requests_served += 1
+        finally:
+            proc.libcall("close", conn)
+        return True
+
+    def _recv_request(self, conn: int) -> str:
+        proc = self.proc
+        buf = proc.scratch_alloc(_CHUNK)
+        n = proc.libcall("apr_socket_recv", conn, buf, _CHUNK, 0)
+        if n <= 0:
+            return ""
+        return proc.mem_read(buf, n).decode("utf-8", errors="replace")
+
+    @staticmethod
+    def _parse_path(request: str) -> str:
+        parts = request.split()
+        if len(parts) >= 2 and parts[0] == "GET":
+            return parts[1]
+        return STATIC_PAGE
+
+    def _send(self, conn: int, payload: bytes) -> None:
+        proc = self.proc
+        buf = proc.scratch_alloc(len(payload))
+        proc.mem_write(buf, payload)
+        sent = 0
+        while sent < len(payload):
+            n = proc.libcall("apr_brigade_write", conn, buf + sent,
+                             len(payload) - sent)
+            if n <= 0:
+                return        # client gone or injected failure: drop
+            sent += n
+
+    def _serve_static(self, conn: int, path: str) -> None:
+        proc = self.proc
+        fd = proc.libcall("apr_file_open", proc.cstr(path), O_RDONLY, 0)
+        if fd < 0:
+            self._send(conn, b"HTTP/1.0 404 Not Found\r\n\r\n")
+            return
+        self._send(conn, b"HTTP/1.0 200 OK\r\n\r\n")
+        buf = proc.scratch_alloc(_CHUNK)
+        while True:
+            n = proc.libcall("apr_file_read", fd, buf, _CHUNK)
+            if n <= 0:
+                break
+            self._send(conn, proc.mem_read(buf, n))
+        proc.libcall("apr_file_close", fd)
+
+    def _serve_php(self, conn: int, path: str) -> None:
+        """Template expansion: many more library calls per request."""
+        proc = self.proc
+        fd = proc.libcall("apr_file_open", proc.cstr(path), O_RDONLY, 0)
+        if fd < 0:
+            self._send(conn, b"HTTP/1.0 404 Not Found\r\n\r\n")
+            return
+        self._send(conn, b"HTTP/1.0 200 OK\r\n\r\n")
+        buf = proc.scratch_alloc(_CHUNK)
+        chunks: List[bytes] = []
+        while True:
+            n = proc.libcall("apr_file_read", fd, buf, 64)
+            if n <= 0:
+                break
+            chunks.append(proc.mem_read(buf, n))
+        proc.libcall("apr_file_close", fd)
+        template = b"".join(chunks)
+        # "interpret" the template: per-directive allocations + sends
+        for piece in template.split(b"{{"):
+            directive, _, literal = piece.partition(b"}}")
+            work = proc.libcall("apr_bucket_alloc", 64)
+            if work != 0:
+                proc.libcall("memset", work, 0x20, 8)
+                proc.libcall("apr_bucket_free", work)
+            body = b"<div>" + directive + b"</div>" + literal
+            self._send(conn, body)

@@ -1,0 +1,100 @@
+"""Binary-inspection utilities in the spirit of objdump / nm / ldd.
+
+§3.1: "LFI uses platform-specific tools, such as ldd and objdump on Linux
+and Solaris, and dumpbin on Windows."  These functions are those tools for
+SELF images.  The profiler calls them instead of shelling out; examples
+print their output to show users what the profiler consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from ..errors import LoaderError
+from ..isa import abi_for, disassemble, format_listing
+from .image import SharedObject, Symbol
+
+
+def nm(image: SharedObject) -> str:
+    """List symbols, like ``nm -D`` plus locals when not stripped."""
+    lines = [f"{s.offset:08x} T {s.name}" for s in image.exports]
+    lines += [f"{s.offset:08x} t {s.name}" for s in image.local_symbols]
+    lines += [f"{s.offset:08x} D {s.name}" for s in image.data_symbols]
+    lines += [f"{s.offset:08x} B {s.name}@tls" for s in image.tls_symbols]
+    return "\n".join(sorted(lines, key=lambda l: l.split()[0]))
+
+
+def objdump(image: SharedObject) -> str:
+    """Full-text disassembly listing, like ``objdump -d``."""
+    abi = abi_for(image.machine)
+    decoded = disassemble(image.text, abi)
+    return format_listing(decoded,
+                          symbols=image.symbol_names_by_offset(),
+                          imports=list(image.imports))
+
+
+def objdump_function(image: SharedObject, name: str) -> str:
+    """Disassembly of a single exported function."""
+    abi = abi_for(image.machine)
+    sym = image.find_export(name)
+    decoded = disassemble(image.text, abi, start=sym.offset, end=sym.end)
+    return format_listing(decoded,
+                          symbols=image.symbol_names_by_offset(),
+                          imports=list(image.imports))
+
+
+def ldd(image: SharedObject,
+        available: Mapping[str, SharedObject]) -> List[SharedObject]:
+    """Transitive dependency closure in load order, like ``ldd``.
+
+    ``available`` maps sonames to images (our "library search path").
+    The result starts with ``image`` itself, followed by dependencies in
+    breadth-first order, each appearing once — the same order the dynamic
+    linker would search for symbols.
+    """
+    order: List[SharedObject] = [image]
+    seen = {image.soname}
+    queue = list(image.needed)
+    while queue:
+        soname = queue.pop(0)
+        if soname in seen:
+            continue
+        seen.add(soname)
+        try:
+            dep = available[soname]
+        except KeyError:
+            raise LoaderError(
+                f"{image.soname} needs {soname!r}, not found") from None
+        order.append(dep)
+        queue.extend(dep.needed)
+    return order
+
+
+def exported_function_count(image: SharedObject) -> int:
+    """Number of functions a library exports (used in §6.2 reporting)."""
+    return len(image.exports)
+
+
+def strip(image: SharedObject) -> SharedObject:
+    """Remove local symbols, like the ``strip`` utility."""
+    return image.stripped()
+
+
+def export_index(images: Iterable[SharedObject]) -> Dict[str, SharedObject]:
+    """Map every exported symbol to the first image providing it.
+
+    First-wins matches dynamic-linker symbol resolution order, which is
+    exactly what makes LD_PRELOAD interposition work (§5.1).
+    """
+    index: Dict[str, SharedObject] = {}
+    for image in images:
+        for sym in image.exports:
+            index.setdefault(sym.name, image)
+    return index
+
+
+def find_symbol_definitions(
+        symbol: str,
+        images: Sequence[SharedObject]) -> List[SharedObject]:
+    """All images in ``images`` that export ``symbol``, in order."""
+    return [img for img in images if img.exports_symbol(symbol)]

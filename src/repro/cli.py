@@ -1,0 +1,354 @@
+"""Command-line interface — the paper's "two commands" experience (§6.1).
+
+"The human effort involved in the basic use of LFI is small: it requires
+issuing two commands, one for profiling and one for running the tests."
+
+::
+
+    python -m repro build-corpus --out ./sysroot
+    python -m repro profile ./sysroot/libc.so.6.self \
+        --kernel ./sysroot/kernel.self -o libc.profile.xml
+    python -m repro generate-plan libc.profile.xml --mode random \
+        --probability 0.1 -o plan.xml
+    python -m repro run-demo pidgin --plan plan.xml --report report.txt
+
+Plus binutils-style inspection (``objdump``, ``nm``, ``ldd``) and stub
+source generation.  All artifacts are ordinary files: ``.self`` binaries,
+XML profiles, XML plans, text logs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from . import binfmt
+from .binfmt import SharedObject
+from .core.controller import Controller, generate_c_source
+from .core.profiler import HeuristicConfig, Profiler
+from .core.profiles import LibraryProfile
+from .core.scenario import (exhaustive_plan, io_faults, plan_from_xml,
+                            plan_to_xml, random_plan)
+from .errors import ReproError
+from .kernel import Kernel, build_kernel_image
+from .platform import LINUX_X86, platform_by_name
+
+
+def _load_image(path: str) -> SharedObject:
+    return SharedObject.from_bytes(Path(path).read_bytes())
+
+
+def _load_profiles(paths: Sequence[str]) -> Dict[str, LibraryProfile]:
+    profiles = {}
+    for path in paths:
+        profile = LibraryProfile.from_xml(Path(path).read_text())
+        profiles[profile.soname] = profile
+    return profiles
+
+
+# -- subcommands ------------------------------------------------------------
+
+def cmd_build_corpus(args: argparse.Namespace) -> int:
+    """Compile libc/libapr/libaprutil + the kernel image to disk."""
+    from .apps.apr import apr, aprutil
+    from .corpus.libc import libc
+
+    platform = platform_by_name(args.platform)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    images = [libc(platform).image, apr(platform).image,
+              aprutil(platform).image, build_kernel_image(platform)]
+    for image in images:
+        name = (f"{image.soname}.self" if image.kind != "kernel"
+                else "kernel.self")
+        (out / name).write_bytes(image.to_bytes())
+        print(f"wrote {out / name}  ({len(image.exports)} exports, "
+              f"{image.code_size()} bytes of code)")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Command 1: statically profile a library binary."""
+    image = _load_image(args.library)
+    platform = platform_by_name(args.platform)
+    libraries = {image.soname: image}
+    for extra in args.with_library or []:
+        dep = _load_image(extra)
+        libraries[dep.soname] = dep
+    kernel_image = _load_image(args.kernel) if args.kernel else None
+    heuristics = (HeuristicConfig.all_enabled() if args.heuristics
+                  else HeuristicConfig.default())
+    if args.store:
+        from .core.store import ProfileStore
+        store = ProfileStore(args.store)
+        profiles = store.profile_or_load(platform, libraries,
+                                         kernel_image, heuristics)
+        profile = profiles[image.soname]
+        origin = "cache" if store.hits else "analysis"
+    else:
+        profiler = Profiler(platform, libraries, kernel_image, heuristics)
+        profile = profiler.profile_library(image.soname)
+        origin = "analysis"
+    xml = profile.to_xml()
+    if args.output:
+        Path(args.output).write_text(xml)
+        print(f"profiled {image.soname}: "
+              f"{len(profile.functions)} functions via {origin} "
+              f"-> {args.output}")
+    else:
+        print(xml)
+    return 0
+
+
+def cmd_generate_plan(args: argparse.Namespace) -> int:
+    profiles = _load_profiles(args.profiles)
+    if args.mode == "exhaustive":
+        plan = exhaustive_plan(profiles, functions=args.function or None)
+    elif args.mode == "random":
+        plan = random_plan(profiles, probability=args.probability,
+                           seed=args.seed,
+                           functions=args.function or None)
+    else:   # io preset
+        libc_profile = profiles.get("libc.so.6")
+        if libc_profile is None:
+            print("error: the io preset needs a libc profile",
+                  file=sys.stderr)
+            return 2
+        plan = io_faults(libc_profile, probability=args.probability,
+                         seed=args.seed)
+    xml = plan_to_xml(plan)
+    if args.output:
+        Path(args.output).write_text(xml)
+        print(f"{plan.trigger_count()} triggers over "
+              f"{len(plan.functions())} functions -> {args.output}")
+    else:
+        print(xml)
+    return 0
+
+
+def cmd_stub_source(args: argparse.Namespace) -> int:
+    plan = plan_from_xml(Path(args.plan).read_text())
+    platform = platform_by_name(args.platform)
+    source = generate_c_source(plan.functions(), platform)
+    if args.output:
+        Path(args.output).write_text(source)
+        print(f"stub source for {len(plan.functions())} functions -> "
+              f"{args.output}")
+    else:
+        print(source)
+    return 0
+
+
+def cmd_profile_diff(args: argparse.Namespace) -> int:
+    """Compare two versions' fault profiles (the §1 library-drift story)."""
+    from .core.diff import diff_profiles, focus_functions
+
+    old = LibraryProfile.from_xml(Path(args.old).read_text())
+    new = LibraryProfile.from_xml(Path(args.new).read_text())
+    diff = diff_profiles(old, new)
+    print(diff.render())
+    focus = focus_functions(diff)
+    if focus:
+        print("\nsuggested post-upgrade faultload targets: "
+              + ", ".join(focus))
+    return 0 if diff.is_compatible else 1
+
+
+def cmd_objdump(args: argparse.Namespace) -> int:
+    image = _load_image(args.library)
+    if args.function:
+        print(binfmt.objdump_function(image, args.function))
+    else:
+        print(binfmt.objdump(image))
+    return 0
+
+
+def cmd_nm(args: argparse.Namespace) -> int:
+    print(binfmt.nm(_load_image(args.library)))
+    return 0
+
+
+def cmd_ldd(args: argparse.Namespace) -> int:
+    image = _load_image(args.library)
+    available = {}
+    for path in Path(args.path).glob("*.self"):
+        dep = SharedObject.from_bytes(path.read_bytes())
+        available[dep.soname] = dep
+    for module in binfmt.ldd(image, available):
+        print(f"    {module.soname}")
+    return 0
+
+
+def cmd_run_demo(args: argparse.Namespace) -> int:
+    """Command 2: run a canned program under test with a faultload."""
+    platform = platform_by_name(args.platform)
+    plan = plan_from_xml(Path(args.plan).read_text())
+    from .corpus.libc import libc
+    profiles: Dict[str, LibraryProfile] = {}
+    if args.profiles:
+        profiles = _load_profiles(args.profiles)
+    lfi = Controller(platform, profiles, plan, seed=args.seed)
+
+    if args.app == "pidgin":
+        outcome = _demo_pidgin(lfi, platform)
+    elif args.app == "minidb":
+        outcome = _demo_minidb(lfi, platform)
+    else:
+        outcome = _demo_miniweb(lfi, platform)
+
+    print(f"outcome: {outcome.status}"
+          + (f" ({outcome.detail})" if outcome.detail else ""))
+    print(f"injections: {outcome.injections}; trigger evaluations: "
+          f"{lfi.evaluations}")
+    if args.report:
+        Path(args.report).write_text(lfi.logbook.render() + "\n")
+        print(f"log -> {args.report}")
+    if args.replay_out:
+        Path(args.replay_out).write_text(outcome.replay_xml)
+        print(f"replay script -> {args.replay_out}")
+    return 1 if outcome.crashed else 0
+
+
+def _demo_pidgin(lfi: Controller, platform):
+    from .apps.minipidgin import MiniPidgin
+
+    def session():
+        app = MiniPidgin(Kernel(os_name=platform.os), platform,
+                         controller=lfi)
+        app.login_and_chat([f"buddy{i}.example.org" for i in range(12)])
+        return 0
+
+    return lfi.run_test(session, test_id="pidgin")
+
+
+def _demo_minidb(lfi: Controller, platform):
+    from .apps.minidb import MiniDB
+    from .apps.workloads import SysbenchOltpDriver
+
+    def session():
+        db = MiniDB(Kernel(os_name=platform.os), platform, controller=lfi)
+        driver = SysbenchOltpDriver(db)
+        result = driver.run(20, read_only=False)
+        return 1 if result.errors else 0
+
+    return lfi.run_test(session, test_id="minidb")
+
+
+def _demo_miniweb(lfi: Controller, platform):
+    from .apps.miniweb import MiniWeb
+    from .apps.workloads import ApacheBenchDriver
+
+    def session():
+        server = MiniWeb(Kernel(os_name=platform.os), platform,
+                         controller=lfi)
+        result = ApacheBenchDriver(server).run_static(20)
+        return 1 if result.failures else 0
+
+    return lfi.run_test(session, test_id="miniweb")
+
+
+# -- parser -------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LFI library-level fault injector (DSN'09 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--platform", default=LINUX_X86.name,
+                       help="linux-x86 | windows-x86 | solaris-sparc")
+
+    p = sub.add_parser("build-corpus",
+                       help="compile libc/libapr/kernel images to disk")
+    common(p)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=cmd_build_corpus)
+
+    p = sub.add_parser("profile", help="statically profile a library")
+    common(p)
+    p.add_argument("library", help="path to a .self image")
+    p.add_argument("--kernel", help="kernel image for syscall analysis")
+    p.add_argument("--with-library", action="append",
+                   help="additional dependency images")
+    p.add_argument("--heuristics", action="store_true",
+                   help="enable the unsound §3.1 profile filters")
+    p.add_argument("--store",
+                   help="profile-cache directory (reuse across programs, "
+                        "re-analyze only on library updates)")
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("generate-plan", help="build a fault scenario")
+    p.add_argument("profiles", nargs="+", help="profile XML files")
+    p.add_argument("--mode", choices=("exhaustive", "random", "io"),
+                   default="random")
+    p.add_argument("--probability", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--function", action="append",
+                   help="restrict to these functions")
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=cmd_generate_plan)
+
+    p = sub.add_parser("stub-source",
+                       help="emit the C interceptor stubs for a plan")
+    common(p)
+    p.add_argument("plan")
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=cmd_stub_source)
+
+    p = sub.add_parser("profile-diff",
+                       help="fault-surface drift between two profiles")
+    p.add_argument("old", help="old version's profile XML")
+    p.add_argument("new", help="new version's profile XML")
+    p.set_defaults(fn=cmd_profile_diff)
+
+    p = sub.add_parser("objdump", help="disassemble a .self image")
+    p.add_argument("library")
+    p.add_argument("--function")
+    p.set_defaults(fn=cmd_objdump)
+
+    p = sub.add_parser("nm", help="list symbols of a .self image")
+    p.add_argument("library")
+    p.set_defaults(fn=cmd_nm)
+
+    p = sub.add_parser("ldd", help="resolve a library's dependencies")
+    p.add_argument("library")
+    p.add_argument("--path", default=".",
+                   help="directory of .self images")
+    p.set_defaults(fn=cmd_ldd)
+
+    p = sub.add_parser("run-demo",
+                       help="run a demo app under fault injection")
+    common(p)
+    p.add_argument("app", choices=("pidgin", "minidb", "miniweb"))
+    p.add_argument("--plan", required=True)
+    p.add_argument("--profiles", nargs="*", default=[])
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--report", help="write the injection log here")
+    p.add_argument("--replay-out", help="write the replay script here")
+    p.set_defaults(fn=cmd_run_demo)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        return 0      # e.g. `repro objdump ... | head`
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

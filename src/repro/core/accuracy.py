@@ -1,0 +1,135 @@
+"""Profiler accuracy scoring (§6.3).
+
+"Accuracy of the profiler can be expressed as TP/(TP+FN+FP)": a true
+positive is an error return code correctly found; a false negative a
+returnable error not found; a false positive a reported code that cannot
+actually be returned.  The unit of counting is a distinct
+(function, error constant) pair, where a function's error constants are
+its error return values plus the errno constants it can expose
+(kernel-signed negatives, matching both the profiles and the docs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..toolchain.builder import BuiltLibrary
+from .docparse import ParsedDoc
+from .profiles import SE_ARG, FunctionProfile, LibraryProfile
+
+
+@dataclass
+class AccuracyResult:
+    """TP/FN/FP tallies, per library."""
+
+    library: str
+    platform: str
+    tp: int = 0
+    fn: int = 0
+    fp: int = 0
+    per_function: Dict[str, Tuple[int, int, int]] = field(
+        default_factory=dict)
+
+    @property
+    def accuracy(self) -> float:
+        total = self.tp + self.fn + self.fp
+        return self.tp / total if total else 1.0
+
+    def row(self) -> str:
+        return (f"{self.library:<16} {self.platform:<14} "
+                f"{self.accuracy * 100:5.0f}%  TP={self.tp:<5} "
+                f"FN={self.fn:<4} FP={self.fp}")
+
+
+def reported_constants(fp: FunctionProfile) -> Set[int]:
+    """Error constants the profiler reported for one function.
+
+    errno-channel side-effect values are normalized to the kernel-signed
+    form (``-abs(v)``) so a libc-style pair (retval -1, errno 9) and a
+    library-style direct ``return -9`` compare identically against
+    documentation.  Output-argument payloads are error *details*, not
+    error codes, and are excluded from the count.
+    """
+    consts: Set[int] = set()
+    for er in fp.error_returns:
+        consts.add(er.retval)
+        for se in er.side_effects:
+            if se.kind == SE_ARG:
+                continue
+            consts.update(-abs(v) for v in se.values)
+    return consts
+
+
+def truth_constants(built: BuiltLibrary, function: str) -> Set[int]:
+    """Real error constants per authoring ground truth."""
+    truth = built.truth_for(function)
+    consts: Set[int] = set(truth.all_real_error_returns())
+    consts.update(truth.errno_values)
+    consts.update(truth.state_dependent_returns)
+    return consts
+
+
+def success_constants(built: BuiltLibrary, function: str) -> Set[int]:
+    return set(built.truth_for(function).success_returns)
+
+
+def score_against_truth(profile: LibraryProfile,
+                        built: BuiltLibrary,
+                        *, ignore_success: bool = True) -> AccuracyResult:
+    """The libpcre-style manual-inspection scoring: truth from source."""
+    result = AccuracyResult(profile.soname, profile.platform)
+    for record in built.exported_records():
+        name = record.definition.name
+        fp_profile = profile.functions.get(
+            name, FunctionProfile(name=name))
+        reported = reported_constants(fp_profile)
+        truth = truth_constants(built, name)
+        if ignore_success:
+            reported -= success_constants(built, name)
+        tp = len(reported & truth)
+        fn = len(truth - reported)
+        fpos = len(reported - truth)
+        result.tp += tp
+        result.fn += fn
+        result.fp += fpos
+        result.per_function[name] = (tp, fn, fpos)
+    return result
+
+
+def score_against_docs(profile: LibraryProfile,
+                       docs: Mapping[str, ParsedDoc],
+                       *, built: Optional[BuiltLibrary] = None,
+                       ignore_success: bool = True) -> AccuracyResult:
+    """Table 2 scoring: documentation as (imperfect) ground truth.
+
+    Constants the profiler finds that the docs omit count as FPs even
+    when they are real — reproducing the paper's caveat that "this
+    evaluation is inexact [but] the only practical method of comparison".
+    """
+    result = AccuracyResult(profile.soname, profile.platform)
+    for name, fp_profile in profile.functions.items():
+        doc = docs.get(name)
+        documented: Set[int] = set(doc.error_constants()) if doc else set()
+        reported = reported_constants(fp_profile)
+        if ignore_success and built is not None:
+            try:
+                reported -= success_constants(built, name)
+            except KeyError:
+                pass
+        tp = len(reported & documented)
+        fn = len(documented - reported)
+        fpos = len(reported - documented)
+        result.tp += tp
+        result.fn += fn
+        result.fp += fpos
+        result.per_function[name] = (tp, fn, fpos)
+    return result
+
+
+def format_accuracy_table(results: Iterable[AccuracyResult]) -> str:
+    """Render rows in the shape of the paper's Table 2."""
+    lines = [f"{'Library':<16} {'Platform':<14} {'Acc.':>5}  counts"]
+    for result in results:
+        lines.append(result.row())
+    return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""Systematic per-fault campaigns: one test case per (function, fault).
+
+§5's workflow: "the LFI controller invokes a developer-provided script
+that starts the program under test, exercises it with the desired
+workload, and monitors its behavior ... This information is collected in
+a log, along with an LFI-generated replay script for each fault
+injection test case."
+
+Where random scenarios sample the fault space, a *systematic campaign*
+enumerates it: for every profiled function and every one of its error
+codes, run the workload with exactly that one fault injected on the
+function's n-th call.  The result is a fault-tolerance matrix of the
+application ("how does it cope when the k-th close() returns EIO?") and
+a replay script per cell — precisely the artifacts §6.1 suggests folding
+into regression suites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..platform import Platform
+from .controller import Controller, TestOutcome
+from .profiles import LibraryProfile
+from .scenario.generate import error_codes_from_profile
+from .scenario.model import INJECT_NTH, ErrorCode, FunctionTrigger, Plan
+
+#: A session factory: receives the per-case controller, returns the
+#: workload callable to run under monitoring.
+SessionFactory = Callable[[Controller], Callable[[], Optional[int]]]
+
+
+@dataclass(frozen=True)
+class FaultCase:
+    """One cell of the campaign matrix."""
+
+    function: str
+    code: ErrorCode
+    call_ordinal: int = 1
+
+    def case_id(self) -> str:
+        errno = self.code.errno or "none"
+        return (f"{self.function}@{self.call_ordinal}"
+                f"={self.code.retval}/{errno}")
+
+    def plan(self) -> Plan:
+        plan = Plan(name=f"case-{self.case_id()}")
+        plan.add(FunctionTrigger(
+            function=self.function, mode=INJECT_NTH,
+            nth=self.call_ordinal, codes=(self.code,),
+            calloriginal=False))
+        return plan
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one fault case."""
+
+    case: FaultCase
+    outcome: TestOutcome
+    fired: bool          # the workload actually reached the injection
+
+    @property
+    def tolerated(self) -> bool:
+        return self.fired and not self.outcome.crashed \
+            and self.outcome.status != "hung"
+
+
+@dataclass
+class CampaignReport:
+    """The complete fault-tolerance matrix."""
+
+    app: str
+    results: List[CaseResult] = field(default_factory=list)
+
+    def fired(self) -> List[CaseResult]:
+        return [r for r in self.results if r.fired]
+
+    def crashes(self) -> List[CaseResult]:
+        return [r for r in self.results if r.fired and r.outcome.crashed]
+
+    def not_reached(self) -> List[CaseResult]:
+        return [r for r in self.results if not r.fired]
+
+    @property
+    def tolerance_rate(self) -> float:
+        fired = self.fired()
+        if not fired:
+            return 1.0
+        return sum(1 for r in fired if r.tolerated) / len(fired)
+
+    def by_function(self) -> Dict[str, List[CaseResult]]:
+        table: Dict[str, List[CaseResult]] = {}
+        for result in self.results:
+            table.setdefault(result.case.function, []).append(result)
+        return table
+
+    def render(self) -> str:
+        lines = [f"systematic campaign for {self.app}: "
+                 f"{len(self.results)} cases, {len(self.fired())} fired, "
+                 f"{len(self.crashes())} crashes, "
+                 f"tolerance {100 * self.tolerance_rate:.1f}%"]
+        for function, rows in sorted(self.by_function().items()):
+            cells = []
+            for result in rows:
+                errno = result.case.code.errno or str(result.case.code.retval)
+                if not result.fired:
+                    mark = "·"          # workload never called it
+                elif result.outcome.crashed:
+                    mark = "✗"
+                elif result.outcome.status == "error-exit":
+                    mark = "e"
+                else:
+                    mark = "✓"
+                cells.append(f"{errno}:{mark}")
+            lines.append(f"  {function:<12} " + " ".join(cells))
+        lines.append("  legend: ✓ tolerated  e graceful error  "
+                     "✗ crash  · not reached")
+        return "\n".join(lines)
+
+
+def enumerate_cases(profiles: Mapping[str, LibraryProfile],
+                    *, functions: Optional[Sequence[str]] = None,
+                    call_ordinals: Sequence[int] = (1,),
+                    max_codes_per_function: Optional[int] = None,
+                    ) -> List[FaultCase]:
+    """Expand profiles into the systematic case list."""
+    wanted = set(functions) if functions is not None else None
+    cases: List[FaultCase] = []
+    for soname in sorted(profiles):
+        for name in profiles[soname].function_names():
+            if wanted is not None and name not in wanted:
+                continue
+            codes = error_codes_from_profile(
+                profiles[soname].functions[name])
+            if max_codes_per_function is not None:
+                codes = codes[:max_codes_per_function]
+            for code in codes:
+                for ordinal in call_ordinals:
+                    cases.append(FaultCase(name, code, ordinal))
+    return cases
+
+
+def run_campaign(app: str,
+                 factory: SessionFactory,
+                 platform: Platform,
+                 profiles: Mapping[str, LibraryProfile],
+                 cases: Iterable[FaultCase]) -> CampaignReport:
+    """Run every fault case as its own monitored test."""
+    report = CampaignReport(app=app)
+    for case in cases:
+        lfi = Controller(platform, dict(profiles), case.plan())
+        session = factory(lfi)
+        outcome = lfi.run_test(session, test_id=case.case_id())
+        report.results.append(CaseResult(
+            case=case, outcome=outcome,
+            fired=lfi.injections > 0))
+    return report

@@ -1,0 +1,203 @@
+"""The ``__lfi_eval`` support routine the synthesized stubs call (§5.1).
+
+Stack layout when the host routine gains control (the stub pushed its
+function id and called us)::
+
+    [sp]    return address into the stub (discarded)
+    [sp+4]  function id
+    [sp+8]  the application's return address (the caller of the library)
+    [sp+12] stack arguments (x86 flavour; SPARC args live in o0..o5)
+
+On a firing trigger the routine applies argument modifications and side
+effects, then either places the injected return value in the ABI return
+register and resumes *directly at the caller*, or restores the stack and
+tail-jumps to the original function found via RTLD_NEXT — exactly the
+semantics of the paper's generated C stubs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...errors import ControllerError, LoaderError
+from ...kernel.errno import errno_number
+from ...platform import CHANNEL_GLOBAL, CHANNEL_TLS
+from ..profiles import LibraryProfile
+from .logbook import InjectionRecord, Logbook
+from .triggers import Decision, TriggerEngine
+
+
+class Injector:
+    """Binds a TriggerEngine to a process as the __lfi_eval host."""
+
+    def __init__(self, engine: TriggerEngine, logbook: Logbook,
+                 functions: Sequence[str]) -> None:
+        self.engine = engine
+        self.logbook = logbook
+        self.functions = list(functions)
+        self.shim_module_index: Optional[int] = None
+        self.test_id = "t0"
+        self.injection_count = 0
+        self.passthrough_count = 0
+        self._original_cache: Dict[int, Dict[str, int]] = {}
+
+    # -- host entry point ---------------------------------------------------
+
+    def eval_host(self, proc, cpu) -> None:
+        abi = cpu.abi
+        sp = cpu.regs[abi.stack_pointer]
+        fn_id = proc.memory.read_u32(sp + 4)
+        caller_ret = proc.memory.read_u32(sp + 8)
+        try:
+            function = self.functions[fn_id]
+        except IndexError:
+            raise ControllerError(f"stub passed bad function id {fn_id}")
+
+        frames = (self._caller_frames(proc, caller_ret)
+                  if self.engine.needs_frames else ())
+        args = (self._read_args(proc, cpu, sp)
+                if self.engine.needs_args else ())
+        call_number, decision = self.engine.on_call(function, frames, args)
+        if decision is not None and not frames:
+            frames = self._caller_frames(proc, caller_ret)   # for the log
+
+        if decision is not None:
+            self._apply_modifications(proc, cpu, sp, decision)
+
+        if decision is not None and decision.injects_return:
+            self._log(decision, function, call_number, frames)
+            self.injection_count += 1
+            self._apply_side_effects(proc, function, decision)
+            cpu.regs[abi.return_register] = decision.code.retval & 0xFFFFFFFF
+            self._pop_shadow(cpu, 2)
+            cpu.force_transfer(caller_ret, sp + 12)
+            return
+
+        if decision is not None:
+            self.passthrough_count += 1
+            self._log(decision, function, call_number, frames)
+        # pass through: restore the stack and jmp to the original
+        original = self._resolve_original(proc, function)
+        self._pop_shadow(cpu, 1)
+        if cpu.shadow:
+            cpu.shadow[-1].callee_addr = original
+        cpu.force_transfer(original, sp + 8)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _resolve_original(self, proc, function: str) -> int:
+        if self.shim_module_index is None:
+            raise ControllerError("injector not attached to a process")
+        cache = self._original_cache.setdefault(id(proc), {})
+        addr = cache.get(function)
+        if addr is not None:
+            return addr
+        try:
+            addr = proc.resolve_next(function, self.shim_module_index)
+        except LoaderError:
+            raise ControllerError(
+                f"no original definition of {function!r} behind the shim")
+        cache[function] = addr            # the stub's static original_fn_ptr
+        return addr
+
+    @staticmethod
+    def _pop_shadow(cpu, count: int) -> None:
+        for _ in range(count):
+            if cpu.shadow:
+                cpu.shadow.pop()
+
+    def _caller_frames(self, proc,
+                       caller_ret: int) -> List[Tuple[int, Optional[str]]]:
+        frames = proc.backtrace_frames()
+        # frames[0] is the __lfi_eval call, frames[1] the stub call whose
+        # return address is the application call site; rebuild from there.
+        trimmed = frames[2:] if len(frames) >= 2 else []
+        return [(caller_ret, proc.symbol_for_addr(caller_ret))] + trimmed
+
+    @staticmethod
+    def _read_args(proc, cpu, sp: int, count: int = 6):
+        """Live call arguments, for argcond triggers (signed 32-bit)."""
+        if cpu.abi.arg_registers:
+            return [_signed(cpu.regs[r])
+                    for r in cpu.abi.arg_registers[:count]]
+        return [proc.memory.read_i32(sp + 12 + 4 * i)
+                for i in range(count)]
+
+    def _apply_modifications(self, proc, cpu, sp: int,
+                             decision: Decision) -> None:
+        for mod in decision.modifications:
+            if cpu.abi.arg_registers:
+                reg = cpu.abi.arg_registers[mod.argument - 1]
+                cpu.regs[reg] = mod.apply(
+                    _signed(cpu.regs[reg])) & 0xFFFFFFFF
+            else:
+                addr = sp + 12 + 4 * (mod.argument - 1)
+                old = proc.memory.read_i32(addr)
+                proc.memory.write_i32(addr, mod.apply(old))
+
+    def _apply_side_effects(self, proc, function: str,
+                            decision: Decision) -> None:
+        errno_name = decision.code.errno if decision.code else None
+        if not errno_name:
+            return
+        value = errno_number(errno_name)
+        module = self._errno_module(proc, function)
+        if module is None:
+            return
+        image = module.image
+        if proc.platform.errno_channel == CHANNEL_TLS:
+            try:
+                offset = image.tls_symbol("errno").offset
+            except Exception:
+                return
+            proc.memory.write_u32(module.tls_base + offset, value)
+        else:
+            try:
+                offset = image.data_symbol("errno").offset
+            except Exception:
+                return
+            proc.memory.write_u32(module.data_base + offset, value)
+
+    def _errno_module(self, proc, function: str):
+        """The module whose errno the injected fault should set.
+
+        Prefer the module that would have served the call (behind the
+        shim); fall back to libc.
+        """
+        try:
+            addr = self._resolve_original(proc, function)
+            module = proc.module_for_addr(addr)
+            if module is not None and (module.image.tls_symbols
+                                       or module.image.data_symbols):
+                return module
+        except ControllerError:
+            pass
+        try:
+            return proc.module_by_soname("libc.so.6")
+        except LoaderError:
+            return None
+
+    def _log(self, decision: Decision, function: str, call_number: int,
+             frames: Sequence[Tuple[int, Optional[str]]]) -> None:
+        code = decision.code
+        stack = tuple(
+            name if name else format(addr, "#x")
+            for addr, name in frames[:4])
+        mods = tuple(f"arg{m.argument}{m.op}{m.value}"
+                     for m in decision.modifications)
+        self.logbook.log(InjectionRecord(
+            sequence=self.logbook.next_sequence(),
+            test_id=self.test_id,
+            function=function,
+            call_number=call_number,
+            retval=code.retval if code else None,
+            errno=code.errno if code else None,
+            calloriginal=decision.calloriginal,
+            modifications=mods,
+            stacktrace=stack,
+        ))
+
+
+def _signed(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value & 0x80000000 else value

@@ -1,0 +1,64 @@
+"""The LFI log (§5.2).
+
+"The LFI log is a text file that records each injection, the applied
+side effects, and the events that triggered that injection (e.g., call
+count, stack trace)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One injection (or pass-through firing) as it happened."""
+
+    sequence: int
+    test_id: str
+    function: str
+    call_number: int
+    retval: Optional[int]
+    errno: Optional[str]
+    calloriginal: bool
+    modifications: Tuple[str, ...] = ()
+    stacktrace: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        parts = [f"#{self.sequence}", f"test={self.test_id}",
+                 f"fn={self.function}", f"call={self.call_number}"]
+        if self.retval is not None:
+            parts.append(f"retval={self.retval}")
+        if self.errno:
+            parts.append(f"errno={self.errno}")
+        if self.calloriginal:
+            parts.append("passthrough")
+        for mod in self.modifications:
+            parts.append(f"modify[{mod}]")
+        if self.stacktrace:
+            parts.append("stack=" + "<-".join(self.stacktrace[:4]))
+        return " ".join(parts)
+
+
+@dataclass
+class Logbook:
+    """Accumulates injection records across a test campaign."""
+
+    records: List[InjectionRecord] = field(default_factory=list)
+
+    def log(self, record: InjectionRecord) -> None:
+        self.records.append(record)
+
+    def next_sequence(self) -> int:
+        return len(self.records) + 1
+
+    def for_test(self, test_id: str) -> List[InjectionRecord]:
+        return [r for r in self.records if r.test_id == test_id]
+
+    def injections(self) -> List[InjectionRecord]:
+        return [r for r in self.records if not r.calloriginal]
+
+    def render(self) -> str:
+        header = f"# LFI injection log — {len(self.records)} events"
+        return "\n".join([header] + [r.render() for r in self.records])

@@ -1,0 +1,43 @@
+"""Replay-script generation (§5.2).
+
+"The replay scripts are automatically-generated XML files that can be
+fed back to the LFI controller to reproduce the desired test case on a
+subsequent run."  Each observed injection becomes an exact nth-call
+trigger; re-running the plan re-injects the same faults at the same call
+ordinals (modulo the nondeterminism the paper also concedes: thread
+interleaving, timer inputs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..scenario.model import (INJECT_NTH, ErrorCode, FunctionTrigger, Plan)
+from ..scenario.xml_io import plan_to_xml
+from .logbook import InjectionRecord
+
+
+def build_replay_plan(records: Iterable[InjectionRecord],
+                      *, name: str = "replay") -> Plan:
+    """Turn a test case's injection records into a deterministic plan."""
+    plan = Plan(name=name)
+    for record in records:
+        if record.calloriginal and record.retval is None:
+            continue    # pure pass-through events need no replay trigger
+        codes = ()
+        if record.retval is not None:
+            codes = (ErrorCode(record.retval, record.errno),)
+        plan.add(FunctionTrigger(
+            function=record.function,
+            mode=INJECT_NTH,
+            nth=record.call_number,
+            codes=codes,
+            calloriginal=record.calloriginal,
+        ))
+    return plan
+
+
+def replay_script(records: Iterable[InjectionRecord],
+                  *, name: str = "replay") -> str:
+    """The XML replay artifact for one test case."""
+    return plan_to_xml(build_replay_plan(records, name=name))

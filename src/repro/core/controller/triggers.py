@@ -1,0 +1,113 @@
+"""Runtime trigger evaluation (§4/§5.1).
+
+Every intercepted call increments the function's call counter and
+evaluates its triggers in plan order; the first satisfied trigger
+decides the injection.  Stack-trace conditions compare against the
+caller's backtrace; exhaustive triggers rotate their error-code list
+across consecutive firings; random triggers roll the controller's RNG.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..scenario.model import (INJECT_ALWAYS, INJECT_EXHAUSTIVE, INJECT_NTH,
+                              INJECT_RANDOM, ArgModification, ErrorCode,
+                              FunctionTrigger, Plan)
+
+Frame = Tuple[int, Optional[str]]   # (return address, enclosing function)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of trigger evaluation for one intercepted call."""
+
+    trigger: FunctionTrigger
+    code: Optional[ErrorCode]
+    calloriginal: bool
+    modifications: Tuple[ArgModification, ...]
+
+    @property
+    def injects_return(self) -> bool:
+        return self.code is not None and not self.calloriginal
+
+
+class TriggerEngine:
+    """Evaluates a plan's triggers against live calls."""
+
+    def __init__(self, plan: Plan, rng: Optional[random.Random] = None) -> None:
+        self.plan = plan
+        self.rng = rng or random.Random(plan.seed)
+        self.call_counts: Dict[str, int] = {}
+        self._rotation: Dict[int, int] = {}
+        self._by_function: Dict[str, List[Tuple[int, FunctionTrigger]]] = {}
+        for index, trigger in enumerate(plan.triggers):
+            self._by_function.setdefault(trigger.function, []).append(
+                (index, trigger))
+        self.evaluations = 0
+        self.firings = 0
+        #: whether any trigger needs a backtrace; callers may skip
+        #: building one otherwise (stack walks are the expensive part)
+        self.needs_frames = any(t.stacktrace for t in plan.triggers)
+        #: whether any trigger inspects live call arguments
+        self.needs_args = any(t.argconds for t in plan.triggers)
+
+    def on_call(self, function: str, frames: Sequence[Frame],
+                args: Sequence[int] = ()) -> Tuple[int, Optional[Decision]]:
+        """Record one call; return (call ordinal, decision or None)."""
+        count = self.call_counts.get(function, 0) + 1
+        self.call_counts[function] = count
+        for index, trigger in self._by_function.get(function, ()):
+            self.evaluations += 1
+            if not self._fires(trigger, count, frames, args):
+                continue
+            self.firings += 1
+            return count, Decision(
+                trigger=trigger,
+                code=self._select_code(index, trigger),
+                calloriginal=trigger.calloriginal,
+                modifications=trigger.modifications)
+        return count, None
+
+    # -- internals --------------------------------------------------------
+
+    def _fires(self, trigger: FunctionTrigger, count: int,
+               frames: Sequence[Frame],
+               args: Sequence[int] = ()) -> bool:
+        if trigger.mode == INJECT_NTH and count != trigger.nth:
+            return False
+        if trigger.mode == INJECT_RANDOM \
+                and self.rng.random() >= trigger.probability:
+            return False
+        if trigger.stacktrace and not self._stack_matches(
+                trigger, frames):
+            return False
+        for cond in trigger.argconds:
+            if cond.arg_index >= len(args) \
+                    or not cond.holds(args[cond.arg_index]):
+                return False
+        return True
+
+    @staticmethod
+    def _stack_matches(trigger: FunctionTrigger,
+                       frames: Sequence[Frame]) -> bool:
+        if len(trigger.stacktrace) > len(frames):
+            return False
+        for spec, (addr, name) in zip(trigger.stacktrace, frames):
+            if not spec.matches(addr, name):
+                return False
+        return True
+
+    def _select_code(self, index: int,
+                     trigger: FunctionTrigger) -> Optional[ErrorCode]:
+        if not trigger.codes:
+            return None
+        if trigger.mode == INJECT_EXHAUSTIVE:
+            rotation = self._rotation.get(index, 0)
+            self._rotation[index] = rotation + 1
+            return trigger.codes[rotation % len(trigger.codes)]
+        if trigger.mode == INJECT_RANDOM and len(trigger.codes) > 1:
+            return trigger.codes[self.rng.randrange(len(trigger.codes))]
+        return trigger.codes[0]

@@ -1,0 +1,123 @@
+"""Fault-profile diffing across library versions.
+
+The paper's §1 motivation: "Libraries can change frequently ... By using
+shared libraries, applications accept that these libraries may change
+underneath them; yet, can they suitably cope?  Frequent changes can
+introduce unexpected new behavior, much of which may not even be
+documented."
+
+Given the fault profiles of two versions of a library, this module
+reports exactly that drift: functions added/removed, error return values
+that appeared or vanished, and errno side-effect values that changed —
+the new fault surface a test campaign should focus on after an upgrade
+(cf. the §3.3 BSD→Linux ``close``/EIO porting hazard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..kernel.errno import ERRNO_NAMES
+from .profiles import FunctionProfile, LibraryProfile
+
+
+def _constants(fp: FunctionProfile) -> Set[int]:
+    consts: Set[int] = set()
+    for er in fp.error_returns:
+        consts.add(er.retval)
+        for se in er.side_effects:
+            consts.update(-abs(v) for v in se.values)
+    return consts
+
+
+def _named(constants: Set[int]) -> List[str]:
+    out = []
+    for value in sorted(constants):
+        name = ERRNO_NAMES.get(abs(value))
+        out.append(f"{value} ({name})" if name else str(value))
+    return out
+
+
+@dataclass
+class FunctionDelta:
+    """Fault-surface change of one function between versions."""
+
+    name: str
+    added: Set[int] = field(default_factory=set)
+    removed: Set[int] = field(default_factory=set)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.added or self.removed)
+
+    def render(self) -> str:
+        parts = [self.name]
+        if self.added:
+            parts.append("new error codes: " + ", ".join(_named(self.added)))
+        if self.removed:
+            parts.append("dropped: " + ", ".join(_named(self.removed)))
+        return "  " + " — ".join(parts)
+
+
+@dataclass
+class ProfileDiff:
+    """Complete drift report between two library versions."""
+
+    soname: str
+    added_functions: List[str] = field(default_factory=list)
+    removed_functions: List[str] = field(default_factory=list)
+    deltas: List[FunctionDelta] = field(default_factory=list)
+
+    @property
+    def is_compatible(self) -> bool:
+        """No new fault behaviour callers could be unprepared for.
+
+        Removed functions break linking loudly; *new error codes* are the
+        silent hazard the paper highlights, so they (and new functions'
+        codes) decide compatibility.
+        """
+        return not any(d.added for d in self.deltas) \
+            and not self.added_functions
+
+    def changed_functions(self) -> List[FunctionDelta]:
+        return [d for d in self.deltas if d.changed]
+
+    def render(self) -> str:
+        lines = [f"profile diff for {self.soname}:"]
+        if self.added_functions:
+            lines.append("  functions added: "
+                         + ", ".join(self.added_functions))
+        if self.removed_functions:
+            lines.append("  functions removed: "
+                         + ", ".join(self.removed_functions))
+        changed = self.changed_functions()
+        for delta in changed:
+            lines.append(delta.render())
+        if len(lines) == 1:
+            lines.append("  no fault-surface changes")
+        return "\n".join(lines)
+
+
+def diff_profiles(old: LibraryProfile, new: LibraryProfile) -> ProfileDiff:
+    """Compare two versions' fault profiles."""
+    diff = ProfileDiff(soname=new.soname)
+    old_names = set(old.functions)
+    new_names = set(new.functions)
+    diff.added_functions = sorted(new_names - old_names)
+    diff.removed_functions = sorted(old_names - new_names)
+    for name in sorted(old_names & new_names):
+        old_consts = _constants(old.functions[name])
+        new_consts = _constants(new.functions[name])
+        diff.deltas.append(FunctionDelta(
+            name=name,
+            added=new_consts - old_consts,
+            removed=old_consts - new_consts))
+    return diff
+
+
+def focus_functions(diff: ProfileDiff) -> List[str]:
+    """Functions a post-upgrade fault-injection campaign should target:
+    everything whose fault surface *grew*."""
+    return sorted(set(
+        [d.name for d in diff.deltas if d.added] + diff.added_functions))

@@ -1,0 +1,123 @@
+"""Man-page parsing (§3.1 / §6.3).
+
+The paper contrasts binary analysis with "parsing documentation", noting
+the latter's hazards: natural-language cross references ("the same
+errors that occur for link(2) can also occur for linkat()"), vague
+phrasing ("returns 0 if successful, a positive error code otherwise"),
+and outright omissions (``modify_ldt``'s missing ENOMEM).  For the
+Table 2 evaluation they nevertheless "wrote documentation parsers for
+each of the measured libraries" and used docs as imperfect ground truth.
+
+This module is that documentation parser for the corpus's man pages.
+It extracts errno symbols from the ERRORS section, error return values
+from RETURN VALUE, follows one level of "same errors as" cross
+references, and reports vague pages as unparseable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from ..errors import DocParseError
+from ..kernel.errno import ERRNO_NUMBERS
+
+_ERRNO_LINE = re.compile(r"^\s{0,8}(E[A-Z0-9]+)\b")
+_RETVAL = re.compile(r"(?<![\w.])(-?\d+)\s+is\s+returned|returns?\s+(-?\d+|NULL)",
+                     re.IGNORECASE)
+_CROSS_REF = re.compile(
+    r"same errors (?:that occur for|as)\s+([A-Za-z_][A-Za-z0-9_]*)")
+_VAGUE = re.compile(
+    r"a (?:positive|negative) error code otherwise", re.IGNORECASE)
+
+
+@dataclass
+class ParsedDoc:
+    """What the parser extracted from one man page."""
+
+    function: str
+    errno_names: List[str] = field(default_factory=list)
+    error_retvals: List[int] = field(default_factory=list)
+    cross_references: List[str] = field(default_factory=list)
+    vague: bool = False
+
+    def error_constants(self) -> List[int]:
+        """Doc-declared error constants, kernel-signed (negative errno)."""
+        consts: List[int] = list(self.error_retvals)
+        for name in self.errno_names:
+            number = ERRNO_NUMBERS.get(name)
+            if number is not None and -number not in consts:
+                consts.append(-number)
+        return consts
+
+
+def parse_man_page(text: str, *, function: Optional[str] = None) -> ParsedDoc:
+    """Parse one page.  Raises :class:`DocParseError` on hopeless input."""
+    sections = _split_sections(text)
+    name = function or _function_from_name_section(sections.get("NAME", ""))
+    if not name:
+        raise DocParseError("page has no NAME section")
+    doc = ParsedDoc(function=name)
+
+    errors_text = sections.get("ERRORS", "")
+    for line in errors_text.splitlines():
+        match = _ERRNO_LINE.match(line)
+        if match and match.group(1) in ERRNO_NUMBERS:
+            if match.group(1) not in doc.errno_names:
+                doc.errno_names.append(match.group(1))
+    doc.cross_references = _CROSS_REF.findall(errors_text)
+
+    retval_text = sections.get("RETURN VALUE", "")
+    if _VAGUE.search(retval_text):
+        doc.vague = True
+    for match in _RETVAL.finditer(retval_text):
+        raw = match.group(1) or match.group(2)
+        if raw is None:
+            continue
+        value = 0 if raw.upper() == "NULL" else int(raw)
+        if value < 0 and value not in doc.error_retvals:
+            doc.error_retvals.append(value)
+        if raw.upper() == "NULL" and 0 not in doc.error_retvals \
+                and "error" in retval_text.lower():
+            doc.error_retvals.append(0)
+    return doc
+
+
+def parse_manual(pages: Mapping[str, str]) -> Dict[str, ParsedDoc]:
+    """Parse a whole manual and resolve one level of cross references."""
+    parsed: Dict[str, ParsedDoc] = {}
+    for fn, text in pages.items():
+        try:
+            parsed[fn] = parse_man_page(text, function=fn)
+        except DocParseError:
+            continue
+    for doc in parsed.values():
+        for ref in doc.cross_references:
+            target = parsed.get(ref)
+            if target is None:
+                continue
+            for name in target.errno_names:
+                if name not in doc.errno_names:
+                    doc.errno_names.append(name)
+    return parsed
+
+
+def _split_sections(text: str) -> Dict[str, str]:
+    sections: Dict[str, List[str]] = {}
+    current: Optional[str] = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped and stripped == stripped.upper() \
+                and not line.startswith((" ", "\t")) \
+                and re.fullmatch(r"[A-Z][A-Z ]+", stripped):
+            current = stripped
+            sections[current] = []
+        elif current is not None:
+            sections[current].append(line)
+    return {k: "\n".join(v) for k, v in sections.items()}
+
+
+def _function_from_name_section(name_section: str) -> Optional[str]:
+    match = re.search(r"([A-Za-z_][A-Za-z0-9_]*)\s*[-—]", name_section)
+    return match.group(1) if match else None

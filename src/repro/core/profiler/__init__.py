@@ -1,0 +1,15 @@
+"""The LFI profiler: CFGs, reverse constant propagation, side effects."""
+
+from .cfg import BasicBlock, Cfg, CfgStats, build_cfg
+from .heuristics import HeuristicConfig, apply_heuristics
+from .propagation import AnalysisContext, ConstEntry, FunctionAnalysis
+from .profiler import Profiler, ProfilerReport, profile_application
+from .sideeffects import SideEffectScanner
+
+__all__ = [
+    "Cfg", "BasicBlock", "CfgStats", "build_cfg",
+    "AnalysisContext", "FunctionAnalysis", "ConstEntry",
+    "SideEffectScanner",
+    "HeuristicConfig", "apply_heuristics",
+    "Profiler", "ProfilerReport", "profile_application",
+]

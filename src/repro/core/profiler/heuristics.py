@@ -1,0 +1,78 @@
+"""The two optional profile-cleaning heuristics of §3.1.
+
+Both are *unsound* and therefore disabled by default, exactly as in the
+paper: "we prefer to risk injecting some non-faults rather than miss
+valid faults."
+
+1. **Success-return filter** — remove 0 from any function for which more
+   than one constant return value was found (a lone 0 is likely a null
+   pointer return and is kept).
+2. **Predicate filter** — drop short functions that return only 0/1 and
+   call nothing (``isFile()``-style checks), whose returns reflect no
+   failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..profiles import FunctionProfile, LibraryProfile
+
+#: Upper bound on "short" for the predicate filter (instruction count).
+PREDICATE_MAX_INSTRUCTIONS = 24
+
+
+@dataclass(frozen=True)
+class HeuristicConfig:
+    drop_success_returns: bool = False
+    drop_predicates: bool = False
+
+    @classmethod
+    def default(cls) -> "HeuristicConfig":
+        return cls()
+
+    @classmethod
+    def all_enabled(cls) -> "HeuristicConfig":
+        return cls(drop_success_returns=True, drop_predicates=True)
+
+
+def apply_heuristics(profile: LibraryProfile, config: HeuristicConfig,
+                     *, function_sizes: Dict[str, int],
+                     function_calls: Dict[str, int]) -> LibraryProfile:
+    """Return a filtered copy of ``profile`` per the configuration.
+
+    ``function_sizes`` maps names to instruction counts and
+    ``function_calls`` to the number of call sites, both produced by the
+    profiler while it has the CFGs at hand.
+    """
+    if not (config.drop_success_returns or config.drop_predicates):
+        return profile
+    out = LibraryProfile(soname=profile.soname, platform=profile.platform,
+                         profiling_seconds=profile.profiling_seconds,
+                         code_bytes=profile.code_bytes)
+    for name, fp in profile.functions.items():
+        if config.drop_predicates and _is_predicate(
+                fp, function_sizes.get(name, 1 << 30),
+                function_calls.get(name, 1)):
+            out.functions[name] = FunctionProfile(name=name,
+                                                  error_returns=[],
+                                                  indirect_influence=fp.
+                                                  indirect_influence)
+            continue
+        filtered = fp
+        if config.drop_success_returns and len(fp.error_returns) > 1:
+            kept = [er for er in fp.error_returns if er.retval != 0]
+            if len(kept) != len(fp.error_returns):
+                filtered = FunctionProfile(
+                    name=name, error_returns=kept,
+                    indirect_influence=fp.indirect_influence,
+                    propagation_hops=fp.propagation_hops)
+        out.functions[name] = filtered
+    return out
+
+
+def _is_predicate(fp: FunctionProfile, size: int, calls: int) -> bool:
+    values = set(fp.retvals())
+    return bool(values) and values <= {0, 1} \
+        and size <= PREDICATE_MAX_INSTRUCTIONS and calls == 0

@@ -1,0 +1,137 @@
+"""The LFI profiler: orchestration (§3).
+
+``Profiler.profile_library`` analyzes one binary; ``profile_application``
+mimics the end-to-end flow: run ``ldd`` over the target's libraries,
+profile each library in the closure, and return the profiles keyed by
+soname — "testers point LFI at a target application and the profiler
+automatically finds which shared libraries the application links to".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ...binfmt import SharedObject, ldd
+from ...errors import ProfilerError
+from ...platform import Platform
+from ..profiles import ErrorReturn, FunctionProfile, LibraryProfile
+from .cfg import CfgStats
+from .heuristics import HeuristicConfig, apply_heuristics
+from .propagation import AnalysisContext, FunctionAnalysis
+
+
+@dataclass
+class ProfilerReport:
+    """Bookkeeping for §6.2/§3.1 measurements."""
+
+    seconds: float = 0.0
+    functions_analyzed: int = 0
+    instructions: int = 0
+    max_hops: int = 0
+    stats: CfgStats = field(default_factory=CfgStats)
+
+
+class Profiler:
+    """Static analyzer producing fault profiles from binaries."""
+
+    def __init__(self, platform: Platform,
+                 libraries: Mapping[str, SharedObject],
+                 kernel_image: Optional[SharedObject] = None,
+                 heuristics: Optional[HeuristicConfig] = None,
+                 *, use_edge_constraints: bool = True,
+                 infer_arg_conditions: bool = False) -> None:
+        self.platform = platform
+        self.libraries = dict(libraries)
+        self.kernel_image = kernel_image
+        self.heuristics = heuristics or HeuristicConfig.default()
+        self.context = AnalysisContext(
+            platform, self.libraries, kernel_image,
+            use_edge_constraints=use_edge_constraints,
+            infer_arg_conditions=infer_arg_conditions)
+        self.last_report = ProfilerReport()
+
+    # -- public API --------------------------------------------------------
+
+    def profile_library(self, soname: str) -> LibraryProfile:
+        """Profile every exported function of one library."""
+        image = self.libraries.get(soname)
+        if image is None:
+            raise ProfilerError(f"library {soname!r} not registered")
+        started = time.perf_counter()
+        report = ProfilerReport()
+        profile = LibraryProfile(soname=soname, platform=self.platform.name,
+                                 code_bytes=image.code_size())
+        sizes: Dict[str, int] = {}
+        calls: Dict[str, int] = {}
+        for sym in image.exports:
+            analysis = self.context.analyze_function(soname, sym.offset)
+            fp = _to_function_profile(sym.name, analysis)
+            profile.functions[sym.name] = fp
+            cfg = self.context.cfg(image, sym.offset)
+            sizes[sym.name] = cfg.instruction_count()
+            calls[sym.name] = _real_call_count(cfg)
+            report.functions_analyzed += 1
+            report.instructions += sizes[sym.name]
+            report.max_hops = max(report.max_hops, analysis.max_hops)
+        profile = apply_heuristics(profile, self.heuristics,
+                                   function_sizes=sizes,
+                                   function_calls=calls)
+        profile.profiling_seconds = time.perf_counter() - started
+        report.seconds = profile.profiling_seconds
+        report.stats = self.context.stats
+        self.last_report = report
+        return profile
+
+    def profile_all(self) -> Dict[str, LibraryProfile]:
+        """Profile every registered library."""
+        return {soname: self.profile_library(soname)
+                for soname in sorted(self.libraries)}
+
+
+def profile_application(platform: Platform,
+                        app_libraries: Sequence[SharedObject],
+                        available: Mapping[str, SharedObject],
+                        kernel_image: Optional[SharedObject] = None,
+                        heuristics: Optional[HeuristicConfig] = None,
+                        ) -> Dict[str, LibraryProfile]:
+    """End-to-end §2 flow: discover the closure with ``ldd``, profile all.
+
+    ``app_libraries`` are the libraries the application links directly;
+    ``available`` is the system library search path.
+    """
+    closure: Dict[str, SharedObject] = {}
+    for lib in app_libraries:
+        for dep in ldd(lib, available):
+            closure.setdefault(dep.soname, dep)
+    profiler = Profiler(platform, closure, kernel_image, heuristics)
+    return profiler.profile_all()
+
+
+def _real_call_count(cfg) -> int:
+    """Call sites in a CFG, excluding the call/pop PIC thunk."""
+    from ...isa import Rel
+
+    count = 0
+    for block in cfg.blocks.values():
+        for decoded in block.instructions:
+            if decoded.insn.mnemonic != "call":
+                continue
+            op = decoded.insn.operands[0]
+            if isinstance(op, Rel) and decoded.branch_target() == decoded.end:
+                continue
+            count += 1
+    return count
+
+
+def _to_function_profile(name: str,
+                         analysis: FunctionAnalysis) -> FunctionProfile:
+    fp = FunctionProfile(name=name,
+                         indirect_influence=analysis.indirect_influence,
+                         propagation_hops=analysis.max_hops)
+    for entry in analysis.entries:
+        fp.error_returns.append(
+            ErrorReturn(retval=entry.value, side_effects=entry.effects,
+                        conditions=entry.conditions))
+    return fp

@@ -1,0 +1,299 @@
+"""Side-effect discovery (§3.2).
+
+Given the chain of basic blocks along which a constant propagated to the
+return location, this module symbolically executes the chain *forward*
+and reports stores that expose error details through a side channel:
+
+* **TLS** — the store address derives from the PIC base, a GOT load and
+  the ``gs:`` TLS base (the paper's GNU libc errno listing),
+* **GLOBAL** — the store address is module-base + data offset (our
+  Solaris flavour's errno, and ordinary error globals),
+* **ARG** — the store goes through a pointer loaded from a parameter
+  home slot ("positive offsets from the base stack pointer ... or
+  stack/register combinations in general").
+
+Stored values: constants are reported as-is; values derived from a
+(negated) syscall or dependent-call result expand to the kernel/callee
+error constants — which is how ``close`` gets -9/-5/-4 attached to its
+-1 return.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...binfmt import SharedObject
+from ...errors import ImageError
+from ...isa import Abi, Imm, ImportSlot, Mem, Reg, Rel
+from ...layout import DATA_REGION_OFFSET
+from ..profiles import SE_ARG, SE_GLOBAL, SE_TLS, SideEffect, merge_side_effects
+from .cfg import BasicBlock, Cfg
+from .values import (K_ARGPTR, K_CALLRET, K_CONST, K_MODBASE, K_SYSRET,
+                     K_TLSBASE, SymValue)
+
+#: How many single-predecessor ancestor blocks seed the register state
+#: before the first block of the chain (the syscall that produced the
+#: value typically lives one block up).
+_SEED_DEPTH = 2
+
+
+class SideEffectScanner:
+    """Forward abstract interpreter for one function's block chains."""
+
+    def __init__(self, ctx, image: SharedObject, cfg: Cfg) -> None:
+        self.ctx = ctx               # AnalysisContext (for kernel consts)
+        self.image = image
+        self.cfg = cfg
+        self.abi: Abi = ctx.abi
+
+    # -- public -----------------------------------------------------------
+
+    def effects_for_path(self, path: Sequence[int]) -> Tuple[SideEffect, ...]:
+        """Side effects along a reverse path (exit-first block starts)."""
+        chain = [start for start in reversed(list(path))
+                 if start in self.cfg.blocks]
+        if not chain:
+            return ()
+        state: Dict[str, SymValue] = {}
+        for start in self._seed_blocks(chain[0]):
+            self._exec_block(self.cfg.blocks[start], state, None)
+        effects: List[SideEffect] = []
+        for start in chain:
+            self._exec_block(self.cfg.blocks[start], state, effects)
+        return merge_side_effects(effects)
+
+    # -- seeding ------------------------------------------------------------
+
+    def _seed_blocks(self, first: int) -> List[int]:
+        seeds: List[int] = []
+        cursor = first
+        for _ in range(_SEED_DEPTH):
+            preds = self.cfg.predecessors(cursor)
+            if len(preds) != 1:
+                break
+            cursor = preds[0]
+            seeds.insert(0, cursor)
+        return seeds
+
+    # -- abstract execution ---------------------------------------------------
+
+    def _exec_block(self, block: BasicBlock, state: Dict[str, SymValue],
+                    effects: Optional[List[SideEffect]]) -> None:
+        instructions = block.instructions
+        for idx, decoded in enumerate(instructions):
+            insn = decoded.insn
+            m = insn.mnemonic
+            if m == "mov":
+                self._exec_mov(decoded, state, effects)
+            elif m in ("add", "sub"):
+                dst = insn.operands[0]
+                if isinstance(dst, Reg):
+                    a = state.get(dst.name, SymValue.unknown())
+                    b = self._value_of(insn.operands[1], state)
+                    state[dst.name] = a.add(b) if m == "add" else a.sub(b)
+            elif m == "xor":
+                dst, src = insn.operands
+                if isinstance(dst, Reg):
+                    if src == dst:
+                        state[dst.name] = SymValue.const(0)
+                    else:
+                        state[dst.name] = SymValue.unknown()
+            elif m == "neg":
+                dst = insn.operands[0]
+                if isinstance(dst, Reg):
+                    state[dst.name] = state.get(
+                        dst.name, SymValue.unknown()).neg()
+            elif m == "or":
+                dst, src = insn.operands
+                if isinstance(dst, Reg):
+                    if isinstance(src, Imm) and src.value == -1:
+                        state[dst.name] = SymValue.const(-1)
+                    else:
+                        state[dst.name] = SymValue.unknown()
+            elif m == "pop":
+                dst = insn.operands[0]
+                if isinstance(dst, Reg):
+                    # the call/pop PIC idiom: the previous instruction is
+                    # a call to this very address
+                    if idx and self._is_pic_call(instructions[idx - 1],
+                                                 decoded.addr):
+                        state[dst.name] = SymValue.modbase(decoded.addr)
+                    else:
+                        state[dst.name] = SymValue.unknown()
+            elif m == "call":
+                op = insn.operands[0]
+                if isinstance(op, Rel) \
+                        and decoded.branch_target() == decoded.end:
+                    continue            # PIC thunk, no effect on state
+                state[self.abi.return_register] = \
+                    SymValue.callret(self._callee_of(decoded))
+                for scratch in self.abi.scratch:
+                    if scratch != self.abi.return_register:
+                        state.pop(scratch, None)
+            elif m == "int":
+                nr = self._syscall_number(instructions, idx)
+                state[self.abi.return_register] = (
+                    SymValue.sysret(nr) if nr is not None
+                    else SymValue.unknown())
+            elif m in ("imul", "shl", "shr", "and", "not", "inc", "dec",
+                       "lea"):
+                dst = insn.operands[0]
+                if isinstance(dst, Reg):
+                    state[dst.name] = SymValue.unknown()
+
+    def _is_pic_call(self, prev: "Decoded", pop_addr: int) -> bool:
+        insn = prev.insn
+        if insn.mnemonic != "call" or not insn.operands:
+            return False
+        op = insn.operands[0]
+        return isinstance(op, Rel) and prev.addr + prev.size == pop_addr \
+            and prev.branch_target() == pop_addr
+
+    def _callee_of(self, decoded) -> Optional[Tuple[str, str]]:
+        op = decoded.insn.operands[0]
+        if isinstance(op, Rel):
+            sym = self.image.function_at(decoded.branch_target())
+            return (self.image.soname, sym.name) if sym else None
+        if isinstance(op, ImportSlot):
+            try:
+                return (None, self.image.imports[op.slot])
+            except IndexError:
+                return None
+        return None
+
+    def _syscall_number(self, instructions, index: int) -> Optional[int]:
+        nr_reg = self.abi.syscall_number_register
+        for j in range(index - 1, -1, -1):
+            insn = instructions[j].insn
+            if insn.mnemonic == "mov" and insn.operands \
+                    and isinstance(insn.operands[0], Reg) \
+                    and insn.operands[0].name == nr_reg:
+                src = insn.operands[1]
+                return src.value if isinstance(src, Imm) else None
+        return None
+
+    # -- mov handling ----------------------------------------------------
+
+    def _exec_mov(self, decoded, state: Dict[str, SymValue],
+                  effects: Optional[List[SideEffect]]) -> None:
+        dst, src = decoded.insn.operands
+        if isinstance(dst, Reg):
+            state[dst.name] = self._value_of(src, state)
+            return
+        if not isinstance(dst, Mem):
+            return
+        # a store: classify the destination address
+        if effects is None:
+            return
+        addr = self._address_of(dst, state)
+        if addr is None:
+            return
+        stored = self._value_of(src, state)
+        values = self._stored_values(stored)
+        effect = self._classify_store(addr, values)
+        if effect is not None:
+            effects.append(effect)
+
+    def _address_of(self, mem: Mem,
+                    state: Dict[str, SymValue]) -> Optional[SymValue]:
+        if mem.segment == "gs":
+            base = SymValue.tlsbase(0)
+        elif mem.base is not None:
+            base = state.get(mem.base, SymValue.unknown())
+        else:
+            base = SymValue.const(0)
+        if mem.index is not None:
+            return None
+        return base.add(SymValue.const(mem.disp))
+
+    def _value_of(self, op, state: Dict[str, SymValue]) -> SymValue:
+        if isinstance(op, Imm):
+            return SymValue.const(op.value)
+        if isinstance(op, Reg):
+            return state.get(op.name, SymValue.unknown())
+        if isinstance(op, Mem):
+            return self._load(op, state)
+        return SymValue.unknown()
+
+    def _load(self, mem: Mem, state: Dict[str, SymValue]) -> SymValue:
+        # TLS base read: gs:[0] (the TCB self-pointer)
+        if mem.segment == "gs" and mem.base is None and mem.disp == 0:
+            return SymValue.tlsbase(0)
+        # parameter home slot -> the argument's value (a pointer, for
+        # output-argument side effects)
+        if mem.base == self.abi.frame_pointer and mem.index is None \
+                and mem.segment is None:
+            index = self._param_index(mem.disp)
+            if index is not None:
+                return SymValue.argptr(index)
+            return SymValue.unknown()
+        # GOT load through a register holding modbase+offset
+        if mem.base is not None:
+            base = state.get(mem.base, SymValue.unknown())
+            addr = base.add(SymValue.const(mem.disp))
+            if addr.kind == K_MODBASE \
+                    and addr.offset >= DATA_REGION_OFFSET:
+                data_off = addr.offset - DATA_REGION_OFFSET
+                try:
+                    return SymValue.const(self.image.got_value(data_off))
+                except ImageError:
+                    return SymValue.unknown()
+        return SymValue.unknown()
+
+    def _param_index(self, disp: int) -> Optional[int]:
+        """Map a frame displacement to a parameter index per the ABI."""
+        if self.abi.arg_registers:
+            # SPARC flavour: home slots at fp-4 .. fp-24
+            if -4 * len(self.abi.arg_registers) <= disp <= -4 \
+                    and disp % 4 == 0:
+                return (-disp // 4) - 1
+            return None
+        if disp >= 8 and disp % 4 == 0:
+            return (disp - 8) // 4
+        return None
+
+    def _stored_values(self, stored: SymValue) -> Tuple[int, ...]:
+        if stored.kind == K_CONST:
+            return (stored.value,)
+        if stored.kind == K_SYSRET:
+            consts = self.ctx.kernel_error_consts(stored.nr)
+            return tuple(c for c in consts if c < 0)
+        if stored.kind == K_CALLRET and stored.ident is not None:
+            soname, fname = stored.ident
+            resolved = self._resolve_callee(soname, fname)
+            if resolved is None:
+                return ()
+            analysis = self.ctx.analyze_function(resolved[0], resolved[1],
+                                                 hops=1)
+            return tuple(v for v in analysis.const_values() if v < 0)
+        return ()
+
+    def _resolve_callee(self, soname: Optional[str],
+                        fname: str) -> Optional[Tuple[str, int]]:
+        if soname is None:
+            return self.ctx._export_index.get(fname)
+        image = self.ctx.libraries.get(soname)
+        if image is None:
+            return None
+        sym = image.function_at_name(fname) \
+            if hasattr(image, "function_at_name") else None
+        if sym is None:
+            for candidate in image.all_functions():
+                if candidate.name == fname:
+                    sym = candidate
+                    break
+        return (soname, sym.offset) if sym else None
+
+    def _classify_store(self, addr: SymValue,
+                        values: Tuple[int, ...]) -> Optional[SideEffect]:
+        if addr.kind == K_TLSBASE:
+            return SideEffect(kind=SE_TLS, module=self.image.soname,
+                              offset=addr.offset, values=values)
+        if addr.kind == K_MODBASE and addr.offset >= DATA_REGION_OFFSET:
+            return SideEffect(kind=SE_GLOBAL, module=self.image.soname,
+                              offset=addr.offset - DATA_REGION_OFFSET,
+                              values=values)
+        if addr.kind == K_ARGPTR:
+            return SideEffect(kind=SE_ARG, module=self.image.soname,
+                              arg_index=addr.index, values=values)
+        return None

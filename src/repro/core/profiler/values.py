@@ -1,0 +1,114 @@
+"""Symbolic values for intra-block dataflow (§3.2's discovery machinery).
+
+The side-effect analyzer interprets a basic block abstractly.  Values it
+must recognize:
+
+* integer constants,
+* the PIC base (call/pop idiom) and the module load base derived from it,
+* GOT loads (statically resolved by reading the image's .data — the
+  loader fills GOT slots from the same bytes),
+* the TLS block base (``gs:[0]``),
+* pointers loaded from parameter home slots (output arguments),
+* results of system calls / dependent calls, possibly negated — the
+  errno-store pattern in the paper's GNU libc listing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+K_CONST = "const"
+K_MODBASE = "modbase"       # offset = displacement from module base
+K_TLSBASE = "tlsbase"       # offset = displacement from TLS block base
+K_ARGPTR = "argptr"         # index = parameter whose value this is
+K_SYSRET = "sysret"         # nr = syscall number; negated flag
+K_CALLRET = "callret"       # ident = (soname, function) or None; negated
+K_UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class SymValue:
+    kind: str
+    offset: int = 0
+    index: int = 0
+    nr: int = 0
+    ident: Optional[Tuple[str, str]] = None
+    negated: bool = False
+
+    # -- constructors --------------------------------------------------
+
+    @staticmethod
+    def const(value: int) -> "SymValue":
+        return SymValue(K_CONST, offset=value)
+
+    @staticmethod
+    def unknown() -> "SymValue":
+        return SymValue(K_UNKNOWN)
+
+    @staticmethod
+    def modbase(offset: int = 0) -> "SymValue":
+        return SymValue(K_MODBASE, offset=offset)
+
+    @staticmethod
+    def tlsbase(offset: int = 0) -> "SymValue":
+        return SymValue(K_TLSBASE, offset=offset)
+
+    @staticmethod
+    def argptr(index: int) -> "SymValue":
+        return SymValue(K_ARGPTR, index=index)
+
+    @staticmethod
+    def sysret(nr: int) -> "SymValue":
+        return SymValue(K_SYSRET, nr=nr)
+
+    @staticmethod
+    def callret(ident: Optional[Tuple[str, str]]) -> "SymValue":
+        return SymValue(K_CALLRET, ident=ident)
+
+    # -- predicates ------------------------------------------------------
+
+    @property
+    def is_const(self) -> bool:
+        return self.kind == K_CONST
+
+    @property
+    def value(self) -> int:
+        if not self.is_const:
+            raise ValueError(f"{self} is not a constant")
+        return self.offset
+
+    # -- arithmetic ------------------------------------------------------
+
+    def add(self, other: "SymValue") -> "SymValue":
+        if other.is_const and other.offset == 0:
+            return self                       # identity: keep provenance
+        if self.is_const and self.offset == 0:
+            return other
+        if self.is_const and other.is_const:
+            return SymValue.const(self.offset + other.offset)
+        if self.kind in (K_MODBASE, K_TLSBASE) and other.is_const:
+            return SymValue(self.kind, offset=self.offset + other.offset)
+        if other.kind in (K_MODBASE, K_TLSBASE) and self.is_const:
+            return SymValue(other.kind, offset=other.offset + self.offset)
+        return SymValue.unknown()
+
+    def sub(self, other: "SymValue") -> "SymValue":
+        if self.is_const and other.is_const:
+            return SymValue.const(self.offset - other.offset)
+        if self.kind in (K_MODBASE, K_TLSBASE) and other.is_const:
+            return SymValue(self.kind, offset=self.offset - other.offset)
+        if self.is_const and self.offset == 0 \
+                and other.kind in (K_SYSRET, K_CALLRET):
+            # 0 - x: the canonical errno negation (xor edx,edx; sub edx,eax)
+            return SymValue(other.kind, nr=other.nr, ident=other.ident,
+                            negated=not other.negated)
+        return SymValue.unknown()
+
+    def neg(self) -> "SymValue":
+        if self.is_const:
+            return SymValue.const(-self.offset)
+        if self.kind in (K_SYSRET, K_CALLRET):
+            return SymValue(self.kind, nr=self.nr, ident=self.ident,
+                            negated=not self.negated)
+        return SymValue.unknown()

@@ -1,0 +1,236 @@
+"""Fault profiles and their XML serialization (§3.3).
+
+One :class:`LibraryProfile` per analyzed library; for each exported
+function, the possible error return values, each with its associated side
+effects.  The XML format follows the paper's ``close`` example:
+
+.. code-block:: xml
+
+    <profile library="libc.so.6" platform="linux-x86">
+      <function name="close">
+        <error-codes retval="-1">
+          <side-effect type="TLS" module="libc.so.6" offset="12FFF4">
+            -9
+          </side-effect>
+        </error-codes>
+      </function>
+    </profile>
+
+Side-effect *values* are the constants found by propagation — for errno
+these are the kernel-side negatives (-9 for EBADF), exactly as the paper
+records them; the injector negates when materializing errno.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ProfilerError
+
+SE_TLS = "TLS"
+SE_GLOBAL = "GLOBAL"
+SE_ARG = "ARG"
+
+_RELOPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class ArgCondition:
+    """A parameter predicate guarding an error path (0-based index).
+
+    §3.1 lists argument-condition inference as future work; this
+    reproduction implements the common guard shape (parameter compared
+    against a constant) as an opt-in profiler extension, and the
+    scenario language can use the same predicates as trigger conditions.
+    """
+
+    arg_index: int
+    relop: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.relop not in _RELOPS:
+            raise ValueError(f"bad relational operator {self.relop!r}")
+        if self.arg_index < 0:
+            raise ValueError("argument indices are 0-based, >= 0")
+
+    def holds(self, actual: int) -> bool:
+        return {"==": actual == self.value, "!=": actual != self.value,
+                "<": actual < self.value, "<=": actual <= self.value,
+                ">": actual > self.value,
+                ">=": actual >= self.value}[self.relop]
+
+    def render(self) -> str:
+        return f"arg{self.arg_index} {self.relop} {self.value}"
+
+
+@dataclass(frozen=True)
+class SideEffect:
+    """One discovered error side channel (§3.2)."""
+
+    kind: str                       # TLS | GLOBAL | ARG
+    module: str                     # soname owning the location
+    offset: Optional[int] = None    # TLS offset or data offset
+    arg_index: Optional[int] = None  # for ARG effects
+    values: Tuple[int, ...] = ()    # constants that may be stored
+
+    def location_key(self) -> Tuple:
+        return (self.kind, self.module, self.offset, self.arg_index)
+
+
+@dataclass(frozen=True)
+class ErrorReturn:
+    """One possible error return value with its side effects."""
+
+    retval: int
+    side_effects: Tuple[SideEffect, ...] = ()
+    #: guards inferred by the arg-condition extension (empty by default)
+    conditions: Tuple[ArgCondition, ...] = ()
+
+
+@dataclass
+class FunctionProfile:
+    """Fault profile of one exported function."""
+
+    name: str
+    error_returns: List[ErrorReturn] = field(default_factory=list)
+    indirect_influence: bool = False   # §3.1 indirect-call caveat
+    propagation_hops: int = 0          # §6.2: always <= 3 in practice
+
+    def retvals(self) -> List[int]:
+        return [er.retval for er in self.error_returns]
+
+    def find(self, retval: int) -> Optional[ErrorReturn]:
+        for er in self.error_returns:
+            if er.retval == retval:
+                return er
+        return None
+
+
+@dataclass
+class LibraryProfile:
+    """Fault profile of one library (the profiler's output)."""
+
+    soname: str
+    platform: str
+    functions: Dict[str, FunctionProfile] = field(default_factory=dict)
+    profiling_seconds: float = 0.0
+    code_bytes: int = 0
+
+    def function(self, name: str) -> FunctionProfile:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise ProfilerError(
+                f"profile of {self.soname} has no function {name!r}"
+            ) from None
+
+    def function_names(self) -> List[str]:
+        return sorted(self.functions)
+
+    # -- XML ------------------------------------------------------------
+
+    def to_xml(self) -> str:
+        root = ET.Element("profile", library=self.soname,
+                          platform=self.platform)
+        for name in sorted(self.functions):
+            fp = self.functions[name]
+            fn_el = ET.SubElement(root, "function", name=name)
+            if fp.indirect_influence:
+                fn_el.set("indirect", "true")
+            for er in fp.error_returns:
+                ec = ET.SubElement(fn_el, "error-codes",
+                                   retval=str(er.retval))
+                for cond in er.conditions:
+                    ET.SubElement(ec, "when",
+                                  argument=str(cond.arg_index),
+                                  op=cond.relop, value=str(cond.value))
+                for se in er.side_effects:
+                    for value in se.values:
+                        se_el = ET.SubElement(ec, "side-effect",
+                                              type=se.kind, module=se.module)
+                        if se.offset is not None:
+                            se_el.set("offset", format(se.offset, "X"))
+                        if se.arg_index is not None:
+                            se_el.set("argument", str(se.arg_index))
+                        se_el.text = str(value)
+        _indent(root)
+        return ET.tostring(root, encoding="unicode")
+
+    @classmethod
+    def from_xml(cls, text: str) -> "LibraryProfile":
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise ProfilerError(f"bad profile XML: {exc}") from None
+        if root.tag != "profile":
+            raise ProfilerError(f"expected <profile>, got <{root.tag}>")
+        profile = cls(soname=root.get("library", "?"),
+                      platform=root.get("platform", "?"))
+        for fn_el in root.findall("function"):
+            fp = FunctionProfile(name=fn_el.get("name", "?"))
+            fp.indirect_influence = fn_el.get("indirect") == "true"
+            for ec in fn_el.findall("error-codes"):
+                retval = int(ec.get("retval", "0"))
+                conditions = tuple(
+                    ArgCondition(arg_index=int(w.get("argument", "0")),
+                                 relop=w.get("op", "=="),
+                                 value=int(w.get("value", "0")))
+                    for w in ec.findall("when"))
+                effects: Dict[Tuple, List[int]] = {}
+                meta: Dict[Tuple, ET.Element] = {}
+                for se_el in ec.findall("side-effect"):
+                    offset = se_el.get("offset")
+                    arg = se_el.get("argument")
+                    key = (se_el.get("type"), se_el.get("module"),
+                           int(offset, 16) if offset else None,
+                           int(arg) if arg else None)
+                    effects.setdefault(key, []).append(
+                        int((se_el.text or "0").strip()))
+                    meta[key] = se_el
+                side_effects = tuple(
+                    SideEffect(kind=k[0], module=k[1], offset=k[2],
+                               arg_index=k[3], values=tuple(v))
+                    for k, v in effects.items())
+                fp.error_returns.append(
+                    ErrorReturn(retval, side_effects, conditions))
+            profile.functions[fp.name] = fp
+        return profile
+
+
+def merge_side_effects(effects: Iterable[SideEffect]) -> Tuple[SideEffect, ...]:
+    """Union values of effects that target the same location."""
+    merged: Dict[Tuple, List[int]] = {}
+    order: List[Tuple] = []
+    protos: Dict[Tuple, SideEffect] = {}
+    for se in effects:
+        key = se.location_key()
+        if key not in merged:
+            merged[key] = []
+            order.append(key)
+            protos[key] = se
+        for value in se.values:
+            if value not in merged[key]:
+                merged[key].append(value)
+    return tuple(
+        SideEffect(kind=protos[k].kind, module=protos[k].module,
+                   offset=protos[k].offset, arg_index=protos[k].arg_index,
+                   values=tuple(merged[k]))
+        for k in order)
+
+
+def _indent(element: ET.Element, level: int = 0) -> None:
+    pad = "\n" + "  " * level
+    if len(element):
+        if not element.text or not element.text.strip():
+            element.text = pad + "  "
+        for child in element:
+            _indent(child, level + 1)
+            if not child.tail or not child.tail.strip():
+                child.tail = pad + "  "
+        if not element[-1].tail or not element[-1].tail.strip():
+            element[-1].tail = pad
+    elif level and (not element.tail or not element.tail.strip()):
+        element.tail = pad

@@ -1,0 +1,101 @@
+"""Systematic fault-tolerance comparison (§2).
+
+"We envision LFI being used ... in benchmarks that compare in a
+systematic way the fault-tolerance of different applications."  This
+module is that benchmark harness: it subjects each application variant
+to the *same* battery of fault scenarios and produces a scorecard —
+how many sessions survived, returned errors gracefully, crashed with
+SIGSEGV/SIGABRT, or hung.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..platform import Platform
+from .controller import (STATUS_ERROR_EXIT, STATUS_HUNG, STATUS_NORMAL,
+                         STATUS_SIGABRT, STATUS_SIGSEGV, Controller,
+                         TestOutcome)
+from .profiles import LibraryProfile
+from .scenario.model import Plan
+
+#: A factory receives the controller for one scenario and returns the
+#: session callable to run under monitoring.
+AppFactory = Callable[[Controller], Callable[[], Optional[int]]]
+
+#: A scenario source receives the battery index and yields a plan.
+ScenarioSource = Callable[[int], Plan]
+
+
+@dataclass
+class RobustnessReport:
+    """Scorecard of one application variant across the battery."""
+
+    app: str
+    outcomes: List[TestOutcome] = field(default_factory=list)
+
+    def count(self, status: str) -> int:
+        return sum(1 for o in self.outcomes if o.status == status)
+
+    @property
+    def sessions(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def crashes(self) -> int:
+        return self.count(STATUS_SIGSEGV) + self.count(STATUS_SIGABRT)
+
+    @property
+    def survival_rate(self) -> float:
+        """Fraction of faulty sessions that did not crash or hang.
+
+        Graceful error exits count as survival: reporting an error is
+        correct behaviour under injected faults.
+        """
+        if not self.outcomes:
+            return 1.0
+        ok = self.count(STATUS_NORMAL) + self.count(STATUS_ERROR_EXIT)
+        return ok / len(self.outcomes)
+
+    def row(self) -> str:
+        return (f"{self.app:<18} sessions={self.sessions:<3} "
+                f"normal={self.count(STATUS_NORMAL):<3} "
+                f"error-exit={self.count(STATUS_ERROR_EXIT):<3} "
+                f"SIGABRT={self.count(STATUS_SIGABRT):<3} "
+                f"SIGSEGV={self.count(STATUS_SIGSEGV):<3} "
+                f"hung={self.count(STATUS_HUNG):<3} "
+                f"survival={100 * self.survival_rate:5.1f}%")
+
+
+def run_battery(app: str,
+                factory: AppFactory,
+                platform: Platform,
+                profiles: Mapping[str, LibraryProfile],
+                scenarios: Sequence[Plan]) -> RobustnessReport:
+    """Run one application variant through every scenario."""
+    report = RobustnessReport(app=app)
+    for index, plan in enumerate(scenarios):
+        lfi = Controller(platform, dict(profiles), plan)
+        session = factory(lfi)
+        outcome = lfi.run_test(session, test_id=f"{app}-s{index}")
+        report.outcomes.append(outcome)
+    return report
+
+
+def compare_robustness(apps: Mapping[str, AppFactory],
+                       platform: Platform,
+                       profiles: Mapping[str, LibraryProfile],
+                       scenarios: Sequence[Plan],
+                       ) -> Dict[str, RobustnessReport]:
+    """The §2 comparison: identical faultloads, different applications."""
+    return {name: run_battery(name, factory, platform, profiles,
+                              scenarios)
+            for name, factory in apps.items()}
+
+
+def format_scoreboard(reports: Mapping[str, RobustnessReport]) -> str:
+    lines = ["application        results under identical faultloads"]
+    for name in sorted(reports):
+        lines.append(reports[name].row())
+    return "\n".join(lines)

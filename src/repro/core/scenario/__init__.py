@@ -1,0 +1,22 @@
+"""Fault scenarios: model, XML language, generators, libc presets."""
+
+from .generate import (error_codes_from_profile, exhaustive_plan,
+                       passthrough_plan, random_plan)
+from .model import (INJECT_ALWAYS, INJECT_EXHAUSTIVE, INJECT_NTH,
+                    INJECT_RANDOM, ArgModification, ErrorCode, FrameSpec,
+                    FunctionTrigger, Plan)
+from .presets import (FILE_IO_FUNCTIONS, IO_FUNCTIONS, MEMORY_FUNCTIONS,
+                      SOCKET_IO_FUNCTIONS, file_io_faults, io_faults,
+                      memory_faults, socket_io_faults)
+from .xml_io import plan_from_xml, plan_to_xml
+
+__all__ = [
+    "Plan", "FunctionTrigger", "ErrorCode", "ArgModification", "FrameSpec",
+    "INJECT_NTH", "INJECT_ALWAYS", "INJECT_RANDOM", "INJECT_EXHAUSTIVE",
+    "plan_to_xml", "plan_from_xml",
+    "exhaustive_plan", "random_plan", "passthrough_plan",
+    "error_codes_from_profile",
+    "file_io_faults", "memory_faults", "socket_io_faults", "io_faults",
+    "FILE_IO_FUNCTIONS", "MEMORY_FUNCTIONS", "SOCKET_IO_FUNCTIONS",
+    "IO_FUNCTIONS",
+]

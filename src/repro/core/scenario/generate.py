@@ -1,0 +1,103 @@
+"""Automatic scenario generation (§4).
+
+The profiler auto-generates two scenario families so LFI is useful "out
+of the box": **exhaustive** (every exported function of every linked
+library; consecutive calls iterate through its error codes) and
+**random** (a probability selects both which call fails and which code it
+returns).  Testers can then prune or extend the generated plans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ...kernel.errno import ERRNO_NAMES
+from ..profiles import FunctionProfile, LibraryProfile
+from .model import (INJECT_EXHAUSTIVE, INJECT_RANDOM, ErrorCode,
+                    FunctionTrigger, Plan)
+
+
+def error_codes_from_profile(fp: FunctionProfile) -> List[ErrorCode]:
+    """Flatten a function's profile into injectable (retval, errno) pairs.
+
+    Side-effect values are the propagated kernel constants (negative);
+    each maps to an errno symbol.  A return value without side effects
+    becomes a bare code with no errno.
+    """
+    codes: List[ErrorCode] = []
+    for er in fp.error_returns:
+        errno_values: List[int] = []
+        for se in er.side_effects:
+            errno_values.extend(se.values)
+        if errno_values:
+            for value in errno_values:
+                name = ERRNO_NAMES.get(abs(value))
+                code = ErrorCode(er.retval, name)
+                if code not in codes:
+                    codes.append(code)
+        else:
+            code = ErrorCode(er.retval, None)
+            if code not in codes:
+                codes.append(code)
+    return codes
+
+
+def exhaustive_plan(profiles: Dict[str, LibraryProfile],
+                    *, functions: Optional[Sequence[str]] = None,
+                    calloriginal: bool = False) -> Plan:
+    """Every function with known error codes gets a rotating trigger."""
+    plan = Plan(name="exhaustive")
+    wanted = set(functions) if functions is not None else None
+    for soname in sorted(profiles):
+        for name in profiles[soname].function_names():
+            if wanted is not None and name not in wanted:
+                continue
+            codes = error_codes_from_profile(
+                profiles[soname].functions[name])
+            if not codes:
+                continue
+            plan.add(FunctionTrigger(
+                function=name, mode=INJECT_EXHAUSTIVE,
+                codes=tuple(codes), calloriginal=calloriginal))
+    return plan
+
+
+def random_plan(profiles: Dict[str, LibraryProfile], probability: float,
+                *, seed: Optional[int] = None,
+                functions: Optional[Sequence[str]] = None,
+                calloriginal: bool = False) -> Plan:
+    """Probability-driven faultload over the profiled functions."""
+    plan = Plan(name=f"random-p{probability}", seed=seed)
+    wanted = set(functions) if functions is not None else None
+    for soname in sorted(profiles):
+        for name in profiles[soname].function_names():
+            if wanted is not None and name not in wanted:
+                continue
+            codes = error_codes_from_profile(
+                profiles[soname].functions[name])
+            if not codes:
+                continue
+            plan.add(FunctionTrigger(
+                function=name, mode=INJECT_RANDOM, probability=probability,
+                codes=tuple(codes), calloriginal=calloriginal))
+    return plan
+
+
+def passthrough_plan(functions_with_codes: Dict[str, List[ErrorCode]],
+                     *, per_function: int = 1) -> Plan:
+    """Triggers that evaluate but always pass through (calloriginal).
+
+    This is the §6.4 overhead-measurement shape: "LFI always passes the
+    call through to the original library after evaluating the trigger".
+    ``per_function`` > 1 adds multiple triggers per function
+    ("corresponding to different error returns").
+    """
+    plan = Plan(name="passthrough")
+    for name, codes in functions_with_codes.items():
+        usable = codes or [ErrorCode(-1, None)]
+        for i in range(per_function):
+            code = usable[i % len(usable)]
+            plan.add(FunctionTrigger(
+                function=name, mode=INJECT_RANDOM, probability=1e-9,
+                codes=(code,), calloriginal=True))
+    return plan

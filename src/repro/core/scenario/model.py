@@ -1,0 +1,126 @@
+"""Fault-scenario (faultload) model (§4).
+
+A scenario is a set of <trigger, fault> tuples.  Triggers fire on call
+counts, probabilities, or stack-trace matches; faults are an error return
+value plus errno, optional argument modifications, and whether the
+original function still runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ...errors import ScenarioError
+from ..profiles import ArgCondition
+
+INJECT_NTH = "nth"              # fire on the n-th call only
+INJECT_ALWAYS = "always"        # fire on every call
+INJECT_RANDOM = "random"        # fire with probability p per call
+INJECT_EXHAUSTIVE = "exhaustive"  # fire every call, rotating error codes
+
+
+@dataclass(frozen=True)
+class ErrorCode:
+    """One injectable fault: return value + errno symbol (or None)."""
+
+    retval: int
+    errno: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ArgModification:
+    """Modify an argument before passing the call on (§4's third example).
+
+    ``argument`` is 1-based, as in the paper's XML.
+    """
+
+    argument: int
+    op: str            # add | sub | set
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.op not in ("add", "sub", "set"):
+            raise ScenarioError(f"bad modify op {self.op!r}")
+        if self.argument < 1:
+            raise ScenarioError("modify arguments are 1-based")
+
+    def apply(self, old: int) -> int:
+        if self.op == "add":
+            return old + self.value
+        if self.op == "sub":
+            return old - self.value
+        return self.value
+
+
+@dataclass(frozen=True)
+class FrameSpec:
+    """One stack-trace frame condition: hex address or function name."""
+
+    value: str
+
+    def matches(self, return_addr: int, function: Optional[str]) -> bool:
+        text = self.value.strip()
+        if text.lower().startswith("0x"):
+            try:
+                return int(text, 16) == return_addr
+            except ValueError:
+                return False
+        return function == text
+
+
+@dataclass(frozen=True)
+class FunctionTrigger:
+    """One <function .../> element of a plan."""
+
+    function: str
+    mode: str = INJECT_ALWAYS
+    nth: int = 0                     # for INJECT_NTH
+    probability: float = 0.0         # for INJECT_RANDOM
+    codes: Tuple[ErrorCode, ...] = ()
+    calloriginal: bool = False
+    stacktrace: Tuple[FrameSpec, ...] = ()
+    modifications: Tuple[ArgModification, ...] = ()
+    #: fire only when the live call arguments satisfy these predicates
+    #: (the arg-condition extension; indices are 0-based here)
+    argconds: Tuple[ArgCondition, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mode not in (INJECT_NTH, INJECT_ALWAYS, INJECT_RANDOM,
+                             INJECT_EXHAUSTIVE):
+            raise ScenarioError(f"bad inject mode {self.mode!r}")
+        if self.mode == INJECT_NTH and self.nth < 1:
+            raise ScenarioError("nth-call triggers need a positive count")
+        if self.mode == INJECT_RANDOM \
+                and not (0.0 < self.probability <= 1.0):
+            raise ScenarioError("random triggers need 0 < probability <= 1")
+
+    def wants_injection(self) -> bool:
+        """Whether firing injects a fault (vs. only modifying arguments)."""
+        return bool(self.codes) or not self.calloriginal
+
+
+@dataclass
+class Plan:
+    """A fault-injection scenario: ordered triggers, optional RNG seed."""
+
+    triggers: List[FunctionTrigger] = field(default_factory=list)
+    seed: Optional[int] = None
+    name: str = "scenario"
+
+    def functions(self) -> List[str]:
+        seen: List[str] = []
+        for trigger in self.triggers:
+            if trigger.function not in seen:
+                seen.append(trigger.function)
+        return seen
+
+    def triggers_for(self, function: str) -> List[FunctionTrigger]:
+        return [t for t in self.triggers if t.function == function]
+
+    def trigger_count(self) -> int:
+        return len(self.triggers)
+
+    def add(self, trigger: FunctionTrigger) -> "Plan":
+        self.triggers.append(trigger)
+        return self

@@ -1,0 +1,81 @@
+"""Ready-made libc faultloads (§4).
+
+"To help bootstrap fault injection testing experiments, LFI also comes
+with several ready-made fault scenarios for libc, such as all faults
+related to file I/O, all memory allocation faults, or all socket I/O
+faults."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..profiles import LibraryProfile
+from .generate import error_codes_from_profile
+from .model import INJECT_EXHAUSTIVE, INJECT_RANDOM, FunctionTrigger, Plan
+
+FILE_IO_FUNCTIONS = ("open", "close", "read", "write", "lseek", "unlink",
+                     "mkdir", "rmdir", "stat", "dup", "fsync", "ftruncate",
+                     "opendir", "closedir", "readdir")
+
+MEMORY_FUNCTIONS = ("malloc", "calloc", "realloc")
+
+SOCKET_IO_FUNCTIONS = ("socket", "bind", "listen", "accept", "connect",
+                       "send", "recv")
+
+#: The "I/O functions" family used in the §6.1 Pidgin experiment: file
+#: descriptors and pipes plus socket traffic.
+IO_FUNCTIONS = FILE_IO_FUNCTIONS + SOCKET_IO_FUNCTIONS
+
+
+def _preset(libc_profile: LibraryProfile, functions: Sequence[str],
+            name: str, *, probability: Optional[float],
+            seed: Optional[int]) -> Plan:
+    plan = Plan(name=name, seed=seed)
+    for fn in functions:
+        fp = libc_profile.functions.get(fn)
+        if fp is None:
+            continue
+        codes = tuple(error_codes_from_profile(fp))
+        if not codes:
+            continue
+        if probability is None:
+            plan.add(FunctionTrigger(function=fn, mode=INJECT_EXHAUSTIVE,
+                                     codes=codes, calloriginal=False))
+        else:
+            plan.add(FunctionTrigger(function=fn, mode=INJECT_RANDOM,
+                                     probability=probability, codes=codes,
+                                     calloriginal=False))
+    return plan
+
+
+def file_io_faults(libc_profile: LibraryProfile, *,
+                   probability: Optional[float] = None,
+                   seed: Optional[int] = None) -> Plan:
+    """All file-I/O faults; exhaustive unless a probability is given."""
+    return _preset(libc_profile, FILE_IO_FUNCTIONS, "libc-file-io",
+                   probability=probability, seed=seed)
+
+
+def memory_faults(libc_profile: LibraryProfile, *,
+                  probability: Optional[float] = None,
+                  seed: Optional[int] = None) -> Plan:
+    """All memory-allocation faults (malloc & friends)."""
+    return _preset(libc_profile, MEMORY_FUNCTIONS, "libc-malloc",
+                   probability=probability, seed=seed)
+
+
+def socket_io_faults(libc_profile: LibraryProfile, *,
+                     probability: Optional[float] = None,
+                     seed: Optional[int] = None) -> Plan:
+    """All socket-I/O faults."""
+    return _preset(libc_profile, SOCKET_IO_FUNCTIONS, "libc-socket-io",
+                   probability=probability, seed=seed)
+
+
+def io_faults(libc_profile: LibraryProfile, *,
+              probability: float = 0.1,
+              seed: Optional[int] = None) -> Plan:
+    """Random I/O faultload, the §6.1 Pidgin configuration (10%)."""
+    return _preset(libc_profile, IO_FUNCTIONS, "libc-io-random",
+                   probability=probability, seed=seed)

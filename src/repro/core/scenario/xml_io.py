@@ -1,0 +1,173 @@
+"""The XML scenario language (§4).
+
+Grammar, following the paper's examples:
+
+.. code-block:: xml
+
+    <plan name="..." seed="7">
+      <function name="readdir" inject="5" retval="0" errno="EBADF"
+                calloriginal="false">
+        <stacktrace>
+          <frame>0xb824490</frame>
+          <frame>refresh_files</frame>
+        </stacktrace>
+      </function>
+      <function name="read" inject="20" calloriginal="true">
+        <modify argument="3" op="sub" value="10" />
+      </function>
+      <function name="write" inject="random" probability="0.1"
+                calloriginal="false">
+        <code retval="-1" errno="ENOSPC" />
+        <code retval="-1" errno="EIO" />
+      </function>
+      <function name="close" inject="exhaustive" calloriginal="false">
+        <code retval="-1" errno="EBADF" />
+      </function>
+    </plan>
+
+``inject`` is a call ordinal ("5"), "always", "random" (with
+``probability``) or "exhaustive" (consecutive calls rotate through the
+``<code>`` list).  A ``retval``/``errno`` attribute pair is shorthand for
+a single ``<code>`` child.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import List, Optional, Tuple
+
+from ...errors import ScenarioError
+from ..profiles import ArgCondition
+from .model import (INJECT_ALWAYS, INJECT_EXHAUSTIVE, INJECT_NTH,
+                    INJECT_RANDOM, ArgModification, ErrorCode, FrameSpec,
+                    FunctionTrigger, Plan)
+
+
+def plan_to_xml(plan: Plan) -> str:
+    root = ET.Element("plan", name=plan.name)
+    if plan.seed is not None:
+        root.set("seed", str(plan.seed))
+    for trigger in plan.triggers:
+        el = ET.SubElement(root, "function", name=trigger.function)
+        if trigger.mode == INJECT_NTH:
+            el.set("inject", str(trigger.nth))
+        else:
+            el.set("inject", trigger.mode)
+        if trigger.mode == INJECT_RANDOM:
+            el.set("probability", repr(trigger.probability))
+        el.set("calloriginal", "true" if trigger.calloriginal else "false")
+        if len(trigger.codes) == 1 and not trigger.codes[0].errno:
+            el.set("retval", str(trigger.codes[0].retval))
+        elif len(trigger.codes) == 1:
+            el.set("retval", str(trigger.codes[0].retval))
+            el.set("errno", trigger.codes[0].errno)
+        else:
+            for code in trigger.codes:
+                code_el = ET.SubElement(el, "code",
+                                        retval=str(code.retval))
+                if code.errno:
+                    code_el.set("errno", code.errno)
+        if trigger.stacktrace:
+            st = ET.SubElement(el, "stacktrace")
+            for frame in trigger.stacktrace:
+                frame_el = ET.SubElement(st, "frame")
+                frame_el.text = frame.value
+        for mod in trigger.modifications:
+            ET.SubElement(el, "modify", argument=str(mod.argument),
+                          op=mod.op, value=str(mod.value))
+        for cond in trigger.argconds:
+            ET.SubElement(el, "argcond",
+                          argument=str(cond.arg_index + 1),
+                          op=cond.relop, value=str(cond.value))
+    _indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def plan_from_xml(text: str) -> Plan:
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ScenarioError(f"bad plan XML: {exc}") from None
+    if root.tag != "plan":
+        raise ScenarioError(f"expected <plan>, got <{root.tag}>")
+    seed_text = root.get("seed")
+    plan = Plan(name=root.get("name", "scenario"),
+                seed=int(seed_text) if seed_text else None)
+    for el in root.findall("function"):
+        plan.add(_trigger_from_element(el))
+    return plan
+
+
+def _trigger_from_element(el: ET.Element) -> FunctionTrigger:
+    name = el.get("name")
+    if not name:
+        raise ScenarioError("<function> needs a name attribute")
+    inject = el.get("inject", "always")
+    mode, nth, probability = _parse_inject(el, inject)
+
+    codes: List[ErrorCode] = []
+    retval_attr = el.get("retval")
+    if retval_attr is not None:
+        codes.append(ErrorCode(int(retval_attr), el.get("errno")))
+    for code_el in el.findall("code"):
+        retval_text = code_el.get("retval")
+        if retval_text is None:
+            raise ScenarioError(f"<code> under {name!r} needs retval")
+        codes.append(ErrorCode(int(retval_text), code_el.get("errno")))
+
+    frames: List[FrameSpec] = []
+    st = el.find("stacktrace")
+    if st is not None:
+        frames = [FrameSpec((frame.text or "").strip())
+                  for frame in st.findall("frame")]
+
+    mods = [ArgModification(argument=int(m.get("argument", "0")),
+                            op=m.get("op", "set"),
+                            value=int(m.get("value", "0")))
+            for m in el.findall("modify")]
+
+    argconds = []
+    for c in el.findall("argcond"):
+        argument = int(c.get("argument", "0"))
+        if argument < 1:
+            raise ScenarioError("<argcond> arguments are 1-based")
+        argconds.append(ArgCondition(arg_index=argument - 1,
+                                     relop=c.get("op", "=="),
+                                     value=int(c.get("value", "0"))))
+
+    calloriginal = el.get("calloriginal", "false").lower() == "true"
+    return FunctionTrigger(
+        function=name, mode=mode, nth=nth, probability=probability,
+        codes=tuple(codes), calloriginal=calloriginal,
+        stacktrace=tuple(frames), modifications=tuple(mods),
+        argconds=tuple(argconds))
+
+
+def _parse_inject(el: ET.Element,
+                  inject: str) -> Tuple[str, int, float]:
+    if inject == INJECT_ALWAYS:
+        return INJECT_ALWAYS, 0, 0.0
+    if inject == INJECT_EXHAUSTIVE:
+        return INJECT_EXHAUSTIVE, 0, 0.0
+    if inject == INJECT_RANDOM:
+        probability = float(el.get("probability", "0"))
+        return INJECT_RANDOM, 0, probability
+    try:
+        return INJECT_NTH, int(inject), 0.0
+    except ValueError:
+        raise ScenarioError(f"bad inject value {inject!r}") from None
+
+
+def _indent(element: ET.Element, level: int = 0) -> None:
+    pad = "\n" + "  " * level
+    if len(element):
+        if not element.text or not element.text.strip():
+            element.text = pad + "  "
+        for child in element:
+            _indent(child, level + 1)
+            if not child.tail or not child.tail.strip():
+                child.tail = pad + "  "
+        if not element[-1].tail or not element[-1].tail.strip():
+            element[-1].tail = pad
+    elif level and (not element.tail or not element.tail.strip()):
+        element.tail = pad

@@ -1,0 +1,130 @@
+"""On-disk fault-profile store with staleness tracking.
+
+§3.1: "we wish to reuse profiles across multiple programs once they have
+been generated"; §6.2: "when updating a library on the system, which we
+expect will happen about once a month, it takes on the order of minutes
+to re-analyze the updated library and its dependencies".
+
+The store keys each profile by the library's soname and remembers the
+SHA-256 of the exact image bytes it was computed from (plus the kernel
+image's, since syscall error sets feed the profiles).  ``profile_or_load``
+re-analyzes only when the binary actually changed — the monthly-update
+workflow the paper describes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+from ..binfmt import SharedObject
+from ..platform import Platform
+from .profiler import HeuristicConfig, Profiler
+from .profiles import LibraryProfile
+
+_MANIFEST = "manifest.json"
+
+
+def image_digest(image: SharedObject) -> str:
+    """Content hash identifying one exact library build."""
+    return hashlib.sha256(image.to_bytes()).hexdigest()
+
+
+class ProfileStore:
+    """A directory of ``<soname>.profile.xml`` files plus a manifest."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._manifest: Dict[str, Dict[str, str]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._load_manifest()
+
+    # -- manifest ----------------------------------------------------------
+
+    def _manifest_path(self) -> Path:
+        return self.root / _MANIFEST
+
+    def _load_manifest(self) -> None:
+        path = self._manifest_path()
+        if path.exists():
+            try:
+                self._manifest = json.loads(path.read_text())
+            except (ValueError, OSError):
+                self._manifest = {}
+
+    def _save_manifest(self) -> None:
+        self._manifest_path().write_text(
+            json.dumps(self._manifest, indent=2, sort_keys=True))
+
+    def _profile_path(self, soname: str) -> Path:
+        return self.root / f"{soname}.profile.xml"
+
+    # -- queries ----------------------------------------------------------
+
+    def is_fresh(self, image: SharedObject,
+                 kernel_digest: str = "") -> bool:
+        """Whether the stored profile matches these exact binaries."""
+        entry = self._manifest.get(image.soname)
+        return (entry is not None
+                and entry.get("image") == image_digest(image)
+                and entry.get("kernel", "") == kernel_digest
+                and self._profile_path(image.soname).exists())
+
+    def load(self, soname: str) -> Optional[LibraryProfile]:
+        path = self._profile_path(soname)
+        if not path.exists():
+            return None
+        return LibraryProfile.from_xml(path.read_text())
+
+    def save(self, profile: LibraryProfile, image: SharedObject,
+             kernel_digest: str = "") -> None:
+        self._profile_path(profile.soname).write_text(profile.to_xml())
+        self._manifest[profile.soname] = {
+            "image": image_digest(image),
+            "kernel": kernel_digest,
+            "platform": profile.platform,
+        }
+        self._save_manifest()
+
+    def stored_sonames(self):
+        return sorted(self._manifest)
+
+    # -- the monthly-update workflow ----------------------------------------
+
+    def profile_or_load(self, platform: Platform,
+                        libraries: Mapping[str, SharedObject],
+                        kernel_image: Optional[SharedObject] = None,
+                        heuristics: Optional[HeuristicConfig] = None,
+                        ) -> Dict[str, LibraryProfile]:
+        """Profiles for a library closure, re-analyzing only stale ones.
+
+        Returns profiles for every library in ``libraries``; cached
+        entries are served from disk when neither the library nor the
+        kernel image changed since they were computed.
+        """
+        kernel_digest = image_digest(kernel_image) if kernel_image else ""
+        out: Dict[str, LibraryProfile] = {}
+        stale = {}
+        for soname, image in libraries.items():
+            if self.is_fresh(image, kernel_digest):
+                cached = self.load(soname)
+                if cached is not None:
+                    self.hits += 1
+                    out[soname] = cached
+                    continue
+            stale[soname] = image
+        if stale:
+            # dependencies of stale libraries must be loadable by the
+            # analyzer even when their own profiles are cached
+            profiler = Profiler(platform, dict(libraries), kernel_image,
+                                heuristics)
+            for soname in sorted(stale):
+                self.misses += 1
+                profile = profiler.profile_library(soname)
+                self.save(profile, stale[soname], kernel_digest)
+                out[soname] = profile
+        return out

@@ -1,0 +1,24 @@
+"""Synthetic library corpus: libc, the Table 2 set, docs, Table 1 pop."""
+
+from .docs import man_page_for, manual_for_library
+from .libc import LIBC_SONAME, build_libc, libc
+from .libraries import (EFFICIENCY_LADDER, TABLE2_PAPER_ACCURACY, TABLE2_ROWS,
+                        all_table2_libraries, build_libpcre,
+                        build_table2_library)
+from .spec import (GeneratedFunction, GeneratedLibrary, LibrarySpec,
+                   generate_library)
+from .ubuntu import (CHANNEL_ARGS, CHANNEL_GLOBAL, CHANNEL_NONE,
+                     TABLE1_PAPER, PopulationConfig, build_population,
+                     classify_profile, no_side_effect_fraction)
+
+__all__ = [
+    "libc", "build_libc", "LIBC_SONAME",
+    "LibrarySpec", "GeneratedLibrary", "GeneratedFunction",
+    "generate_library",
+    "TABLE2_ROWS", "TABLE2_PAPER_ACCURACY", "EFFICIENCY_LADDER",
+    "build_table2_library", "all_table2_libraries", "build_libpcre",
+    "man_page_for", "manual_for_library",
+    "PopulationConfig", "TABLE1_PAPER", "build_population",
+    "classify_profile", "no_side_effect_fraction",
+    "CHANNEL_NONE", "CHANNEL_GLOBAL", "CHANNEL_ARGS",
+]

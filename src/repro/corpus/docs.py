@@ -1,0 +1,92 @@
+"""Man-page generation for the corpus (§3.1 / §6.3).
+
+Pages are rendered in classic troff-output style (NAME / SYNOPSIS /
+RETURN VALUE / ERRORS) from each function's *documented* error set —
+which by construction omits phantom codes and includes hidden ones, so
+scoring the profiler against these pages reproduces Table 2's
+methodology.  A configurable fraction of pages exhibits the paper's
+documentation hazards: vague phrasing ("returns 0 if successful, a
+positive error code otherwise") and cross references ("The same errors
+that occur for X can also occur here").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..kernel.errno import ERRNO_NAMES, strerror
+from ..toolchain import minc
+from .spec import GeneratedFunction, GeneratedLibrary
+
+_RETURN_TYPE_C = {
+    minc.RET_VOID: "void",
+    minc.RET_SCALAR: "int",
+    minc.RET_POINTER: "void *",
+}
+
+
+def man_page_for(meta: GeneratedFunction, *,
+                 library: str = "lib") -> str:
+    """Render one function's manual page."""
+    params = ", ".join(f"int arg{i}" for i in range(meta.nparams)) or "void"
+    rtype = _RETURN_TYPE_C[meta.returns]
+    lines: List[str] = [
+        "NAME",
+        f"    {meta.name} - {library} operation",
+        "",
+        "SYNOPSIS",
+        f"    {rtype} {meta.name}({params});",
+        "",
+        "RETURN VALUE",
+    ]
+    documented = meta.visible + meta.hidden
+    if meta.vague_doc:
+        lines.append("    Returns 0 if successful, a positive error code "
+                     "otherwise.")
+    elif meta.returns == minc.RET_VOID:
+        lines.append(f"    {meta.name}() does not return a value.")
+    elif not documented:
+        lines.append(f"    {meta.name}() returns the computed value on "
+                     "success.")
+    else:
+        named = [c for c in documented if -c in ERRNO_NAMES]
+        plain = [c for c in documented if -c not in ERRNO_NAMES]
+        lines.append(f"    On success, {meta.name}() returns a non-negative "
+                     "value.")
+        for code in plain:
+            lines.append(f"    On failure, {code} is returned.")
+        if named:
+            lines.append("    On error, the corresponding negative errno "
+                         "value is returned.")
+    lines.append("")
+    lines.append("ERRORS")
+    if meta.crossref:
+        lines.append(f"    The same errors that occur for {meta.crossref} "
+                     "can also occur here.")
+    errno_codes = [c for c in documented if -c in ERRNO_NAMES]
+    if not errno_codes and not meta.crossref:
+        lines.append("    No errors are defined.")
+    for code in errno_codes:
+        name = ERRNO_NAMES[abs(code)]
+        lines.append(f"    {name}  {strerror(name)}.")
+    return "\n".join(lines)
+
+
+def manual_for_library(generated: GeneratedLibrary) -> Dict[str, str]:
+    """All pages of one generated library, keyed by function name."""
+    stem = generated.spec.soname.split(".")[0]
+    pages: Dict[str, str] = {}
+    previous: Optional[GeneratedFunction] = None
+    for meta in generated.functions:
+        # exercise the parser's cross-reference handling on pages that
+        # contribute no error constants of their own (so the references
+        # never change the Table 2 counts); deterministic selection
+        if previous is not None \
+                and not (meta.visible or meta.hidden or meta.phantom) \
+                and not (previous.visible or previous.hidden) \
+                and meta.crossref is None \
+                and sum(meta.name.encode()) % 17 == 0:
+            meta.crossref = previous.name
+        pages[meta.name] = man_page_for(meta, library=stem)
+        previous = meta
+    return pages

@@ -1,0 +1,212 @@
+"""The synthetic C library.
+
+Every function here compiles to real guest machine code.  Syscall
+wrappers use the canonical §3.2 pattern (kernel call, negate-into-errno,
+``or eax, -1``), so the profiler's kernel analysis and side-effect
+analysis are exercised exactly as on GNU libc.  Ground truth (what each
+function can really return, and which errno values accompany errors) is
+derived from the same syscall specs the runtime kernel enforces — the
+three artifacts can never drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..kernel import syscalls as sc
+from ..kernel.vfs import O_DIRECTORY
+from ..platform import Platform
+from ..toolchain import GroundTruth, LibraryBuilder, minc
+from ..toolchain.builder import BuiltLibrary
+
+LIBC_SONAME = "libc.so.6"
+
+#: (export name, syscall name, parameter count, error retval, return type)
+_WRAPPERS: Tuple[Tuple[str, str, int, int, str], ...] = (
+    ("open", "open", 3, -1, minc.RET_SCALAR),
+    ("close", "close", 1, -1, minc.RET_SCALAR),
+    ("read", "read", 3, -1, minc.RET_SCALAR),
+    ("write", "write", 3, -1, minc.RET_SCALAR),
+    ("lseek", "lseek", 3, -1, minc.RET_SCALAR),
+    ("unlink", "unlink", 1, -1, minc.RET_SCALAR),
+    ("link", "link", 2, -1, minc.RET_SCALAR),
+    ("rename", "rename", 2, -1, minc.RET_SCALAR),
+    ("access", "access", 2, -1, minc.RET_SCALAR),
+    ("mkdir", "mkdir", 2, -1, minc.RET_SCALAR),
+    ("rmdir", "rmdir", 1, -1, minc.RET_SCALAR),
+    ("stat", "stat", 2, -1, minc.RET_SCALAR),
+    ("dup", "dup", 1, -1, minc.RET_SCALAR),
+    ("pipe", "pipe", 1, -1, minc.RET_SCALAR),
+    ("fsync", "fsync", 1, -1, minc.RET_SCALAR),
+    ("ftruncate", "ftruncate", 2, -1, minc.RET_SCALAR),
+    ("kill", "kill", 2, -1, minc.RET_SCALAR),
+    ("fork", "fork", 0, -1, minc.RET_SCALAR),
+    ("modify_ldt", "modify_ldt", 3, -1, minc.RET_SCALAR),
+    ("readdir", "getdents", 3, -1, minc.RET_SCALAR),
+    ("socket", "socket", 3, -1, minc.RET_SCALAR),
+    ("bind", "bind", 3, -1, minc.RET_SCALAR),
+    ("listen", "listen", 2, -1, minc.RET_SCALAR),
+    ("accept", "accept", 3, -1, minc.RET_SCALAR),
+    ("connect", "connect", 3, -1, minc.RET_SCALAR),
+    ("send", "send", 4, -1, minc.RET_SCALAR),
+    ("recv", "recv", 4, -1, minc.RET_SCALAR),
+)
+
+
+def _wrapper_truth(syscall_name: str, error_retval: int,
+                   os_name: str) -> GroundTruth:
+    spec = sc.spec(syscall_name)
+    return GroundTruth(
+        error_returns=[error_retval],
+        errno_values=[-n for n in spec.error_numbers_for(os_name)],
+    )
+
+
+def _wrapper_docs(syscall_name: str, os_name: str) -> List[int]:
+    """Error constants the man page admits to (may be incomplete)."""
+    spec = sc.spec(syscall_name)
+    from ..kernel.errno import errno_number
+    return [-errno_number(e)
+            for e in spec.documented_errors_for(os_name)]
+
+
+def build_libc(platform: Platform) -> BuiltLibrary:
+    """Compile libc for a platform; returns image + ground truth."""
+    b = LibraryBuilder(LIBC_SONAME)
+    os_name = platform.os
+
+    for name, syscall_name, nparams, err_rv, rtype in _WRAPPERS:
+        spec = sc.spec(syscall_name)
+        b.simple(
+            name, nparams,
+            minc.SyscallWrapper(spec.nr, error_retval=err_rv),
+            returns=rtype,
+            truth=_wrapper_truth(syscall_name, err_rv, os_name),
+            documented_errors=_wrapper_docs(syscall_name, os_name),
+        )
+
+    # getpid never fails; plain syscall, no errno dance.
+    b.simple("getpid", 0,
+             minc.Return(minc.Syscall(sc.spec("getpid").nr)),
+             truth=GroundTruth())
+
+    # exit never returns.
+    b.simple("exit", 1,
+             minc.ExprStmt(minc.Syscall(sc.spec("exit").nr,
+                                        (minc.Param(0),))),
+             minc.Return(minc.Const(0)),
+             returns=minc.RET_VOID,
+             truth=GroundTruth(success_returns=[0]))
+
+    # sleep(ns) -> nanosleep(ns, NULL)
+    b.simple("sleep", 1,
+             minc.SyscallWrapper(sc.spec("nanosleep").nr,
+                                 args=(minc.Param(0), minc.Const(0))),
+             truth=_wrapper_truth("nanosleep", -1, os_name),
+             documented_errors=_wrapper_docs("nanosleep", os_name))
+
+    # malloc(size) -> mmap(0, size); NULL + errno on failure.
+    b.simple("malloc", 1,
+             minc.SyscallWrapper(sc.spec("mmap").nr, error_retval=0,
+                                 args=(minc.Const(0), minc.Param(0))),
+             returns=minc.RET_POINTER,
+             truth=GroundTruth(
+                 error_returns=[0],
+                 errno_values=[-n for n in
+                               sc.spec("mmap").error_numbers_for(os_name)]),
+             documented_errors=_wrapper_docs("mmap", os_name))
+
+    # free(ptr) -> munmap(ptr, 0); void, swallows errors like glibc.
+    b.simple("free", 1,
+             minc.ExprStmt(minc.Syscall(sc.spec("munmap").nr,
+                                        (minc.Param(0), minc.Const(0)))),
+             minc.Return(minc.Const(0)),
+             returns=minc.RET_VOID,
+             truth=GroundTruth(success_returns=[0]))
+
+    # calloc(nmemb, size) -> malloc(nmemb*size); memory is zero-filled
+    # by construction in the simulated kernel.
+    b.simple("calloc", 2,
+             minc.Return(minc.Call("malloc",
+                                   (minc.BinOp("*", minc.Param(0),
+                                               minc.Param(1)),))),
+             returns=minc.RET_POINTER,
+             truth=GroundTruth(
+                 error_returns=[0],
+                 errno_values=[-n for n in
+                               sc.spec("mmap").error_numbers_for(os_name)]),
+             documented_errors=_wrapper_docs("mmap", os_name))
+
+    # realloc(ptr, size): fresh allocation (contents are not preserved in
+    # this minimal libc; DESIGN.md records the simplification).
+    b.simple("realloc", 2,
+             minc.Return(minc.Call("malloc", (minc.Param(1),))),
+             returns=minc.RET_POINTER,
+             truth=GroundTruth(
+                 error_returns=[0],
+                 errno_values=[-n for n in
+                               sc.spec("mmap").error_numbers_for(os_name)]),
+             documented_errors=_wrapper_docs("mmap", os_name))
+
+    # opendir/closedir route through open/close: dependent-function
+    # propagation (§3.1) must recover open's profile for opendir.
+    b.simple("opendir", 1,
+             minc.Return(minc.Call("open", (minc.Param(0),
+                                            minc.Const(O_DIRECTORY),
+                                            minc.Const(0)))),
+             truth=_wrapper_truth("open", -1, os_name),
+             documented_errors=_wrapper_docs("open", os_name))
+    b.simple("closedir", 1,
+             minc.Return(minc.Call("close", (minc.Param(0),))),
+             truth=_wrapper_truth("close", -1, os_name),
+             documented_errors=_wrapper_docs("close", os_name))
+
+    # errno accessor for applications (cf. __errno_location).
+    b.simple("__errno", 0, minc.Return(minc.ErrnoRef()),
+             truth=GroundTruth())
+
+    # memset/memcpy: word-granular, no failure modes (Table 1's large
+    # "no side effects" population).
+    b.simple("memset", 3,
+             minc.Assign("i", minc.Const(0)),
+             minc.While(minc.Cond("<", minc.Local("i"), minc.Param(2)),
+                        minc.body(
+                 minc.StoreMem(minc.BinOp("+", minc.Param(0),
+                                          minc.BinOp("*", minc.Local("i"),
+                                                     minc.Const(4))),
+                               minc.Param(1)),
+                 minc.Assign("i", minc.BinOp("+", minc.Local("i"),
+                                             minc.Const(1))))),
+             minc.Return(minc.Param(0)),
+             returns=minc.RET_POINTER,
+             truth=GroundTruth())
+    b.simple("memcpy", 3,
+             minc.Assign("i", minc.Const(0)),
+             minc.While(minc.Cond("<", minc.Local("i"), minc.Param(2)),
+                        minc.body(
+                 minc.StoreMem(minc.BinOp("+", minc.Param(0),
+                                          minc.BinOp("*", minc.Local("i"),
+                                                     minc.Const(4))),
+                               minc.Deref(minc.BinOp(
+                                   "+", minc.Param(1),
+                                   minc.BinOp("*", minc.Local("i"),
+                                              minc.Const(4))))),
+                 minc.Assign("i", minc.BinOp("+", minc.Local("i"),
+                                             minc.Const(1))))),
+             minc.Return(minc.Param(0)),
+             returns=minc.RET_POINTER,
+             truth=GroundTruth())
+
+    return b.build(platform)
+
+
+_CACHE: Dict[str, BuiltLibrary] = {}
+
+
+def libc(platform: Platform) -> BuiltLibrary:
+    """Cached libc build for a platform."""
+    built = _CACHE.get(platform.name)
+    if built is None:
+        built = build_libc(platform)
+        _CACHE[platform.name] = built
+    return built

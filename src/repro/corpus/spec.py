@@ -1,0 +1,278 @@
+"""Synthetic library generation with controlled accuracy characteristics.
+
+The §6.3 evaluation needs libraries whose *real* error behaviour, *binary*
+error behaviour and *documented* error behaviour diverge in realistic,
+measurable ways.  The generator plants three kinds of error codes:
+
+* **visible** codes — returned on reachable, statically-analyzable paths
+  and documented (the profiler's true positives),
+* **hidden** codes — returned at runtime through an *indirect call*
+  (§3.1's accuracy hazard) and documented; static analysis misses them
+  (false negatives),
+* **phantom** codes — present in the binary on a path gated by library
+  state that can never hold, and absent from the docs ("the number of
+  false positives increases as functions maintain more state"),
+
+plus side-channel traffic (errno stores, output-argument stores), filler
+code to hit §6.2's code-size targets, internal helper chains (hop depth),
+and a sprinkle of indirect branches for the §3.1 statistics.
+
+Everything is deterministic in ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..kernel.errno import ERRNO_NAMES
+from ..platform import Platform
+from ..toolchain import GroundTruth, LibraryBuilder, minc
+from ..toolchain.builder import BuiltLibrary
+
+#: errno numbers the generator draws codes from (all have names, so the
+#: documentation can speak of them symbolically).
+_CODE_POOL = sorted(n for n in ERRNO_NAMES if n <= 40)
+
+
+@dataclass
+class LibrarySpec:
+    """Declarative description of one synthetic library."""
+
+    soname: str
+    n_functions: int
+    visible_codes: int          # -> true positives
+    hidden_codes: int = 0       # -> false negatives (indirect calls)
+    phantom_codes: int = 0      # -> false positives (state-gated)
+    seed: int = 1
+    filler_instructions: int = 8   # per function, code-size ballast
+    errno_fraction: float = 0.0    # of code-bearing fns that also set errno
+    outarg_fraction: float = 0.05  # fns with output-argument side effects
+    void_fraction: float = 0.2
+    pointer_fraction: float = 0.15
+    indirect_branch_fns: int = 0   # fns containing a computed goto
+    helper_depth: int = 2          # internal call-chain depth
+    needed: Tuple[str, ...] = ()
+    doc_vague_fraction: float = 0.05
+    doc_crossref_fraction: float = 0.05
+
+
+@dataclass
+class GeneratedFunction:
+    """Bookkeeping the docs generator needs per function."""
+
+    name: str
+    returns: str
+    nparams: int
+    visible: List[int] = field(default_factory=list)   # negative consts
+    hidden: List[int] = field(default_factory=list)
+    phantom: List[int] = field(default_factory=list)
+    sets_errno: bool = False
+    out_args: List[int] = field(default_factory=list)
+    vague_doc: bool = False
+    crossref: Optional[str] = None
+
+
+@dataclass
+class GeneratedLibrary:
+    """A compiled synthetic library plus generation metadata."""
+
+    built: BuiltLibrary
+    spec: LibrarySpec
+    functions: List[GeneratedFunction]
+
+    @property
+    def image(self):
+        return self.built.image
+
+    def expected_counts(self) -> Tuple[int, int, int]:
+        """(TP, FN, FP) this library should produce under Table 2 scoring."""
+        tp = sum(len(f.visible) for f in self.functions)
+        fn = sum(len(f.hidden) for f in self.functions)
+        fp = sum(len(f.phantom) for f in self.functions)
+        return tp, fn, fp
+
+
+def _spread(total: int, buckets: int, rng: random.Random) -> List[int]:
+    """Deterministically spread ``total`` items over ``buckets``."""
+    counts = [total // buckets] * buckets
+    for i in range(total % buckets):
+        counts[i] += 1
+    rng.shuffle(counts)
+    return counts
+
+
+def generate_library(spec: LibrarySpec,
+                     platform: Platform) -> GeneratedLibrary:
+    rng = random.Random((spec.seed, spec.soname, platform.name).__repr__())
+    builder = LibraryBuilder(spec.soname, needed=spec.needed,
+                             globals_=("lib_state",))
+    metas: List[GeneratedFunction] = []
+
+    visible_per_fn = _spread(spec.visible_codes, spec.n_functions, rng)
+    hidden_per_fn = _spread(spec.hidden_codes, spec.n_functions, rng)
+    phantom_per_fn = _spread(spec.phantom_codes, spec.n_functions, rng)
+
+    helper_names = _make_helpers(builder, spec, rng)
+
+    for i in range(spec.n_functions):
+        meta = _make_function(builder, spec, rng, i,
+                              visible_per_fn[i], hidden_per_fn[i],
+                              phantom_per_fn[i], helper_names)
+        metas.append(meta)
+
+    built = builder.build(platform)
+    return GeneratedLibrary(built=built, spec=spec, functions=metas)
+
+
+def _make_helpers(builder: LibraryBuilder, spec: LibrarySpec,
+                  rng: random.Random) -> List[str]:
+    """Internal helper chain: exercise recursive dependent analysis."""
+    names: List[str] = []
+    prev: Optional[str] = None
+    for depth in range(spec.helper_depth):
+        name = f"_{builder.soname.split('.')[0]}_helper{depth}"
+        body: List[minc.Stmt] = []
+        if prev is None:
+            body.append(minc.Return(minc.Param(0)))
+        else:
+            body.append(minc.Return(minc.Call(prev, (minc.Param(0),))))
+        builder.simple(name, 1, *body, export=False, truth=GroundTruth())
+        names.append(name)
+        prev = name
+    return names
+
+
+def _pick_codes(rng: random.Random, count: int,
+                used: set) -> List[int]:
+    codes: List[int] = []
+    pool = [n for n in _CODE_POOL if -n not in used]
+    rng.shuffle(pool)
+    for number in pool[:count]:
+        codes.append(-number)
+        used.add(-number)
+    # if the pool ran dry, synthesize distinct small negatives
+    k = 100
+    while len(codes) < count:
+        candidate = -k
+        if candidate not in used:
+            codes.append(candidate)
+            used.add(candidate)
+        k += 1
+    return codes
+
+
+def _make_function(builder: LibraryBuilder, spec: LibrarySpec,
+                   rng: random.Random, index: int,
+                   n_visible: int, n_hidden: int, n_phantom: int,
+                   helpers: Sequence[str]) -> GeneratedFunction:
+    stem = spec.soname.split(".")[0].replace("-", "_")
+    name = f"{stem}_fn{index}"
+    has_codes = bool(n_visible or n_hidden or n_phantom)
+    roll = rng.random()
+    if has_codes:
+        returns = minc.RET_SCALAR if roll > spec.pointer_fraction \
+            else minc.RET_POINTER
+    elif roll < spec.void_fraction:
+        returns = minc.RET_VOID
+    elif roll < spec.void_fraction + spec.pointer_fraction:
+        returns = minc.RET_POINTER
+    else:
+        returns = minc.RET_SCALAR
+
+    used: set = set()
+    visible = _pick_codes(rng, n_visible, used)
+    hidden = _pick_codes(rng, n_hidden, used)
+    phantom = _pick_codes(rng, n_phantom, used)
+
+    nparams = rng.randint(1, 3)
+    meta = GeneratedFunction(name=name, returns=returns, nparams=nparams,
+                             visible=visible, hidden=hidden,
+                             phantom=phantom)
+    body: List[minc.Stmt] = []
+
+    # filler arithmetic: ballast for code-size / profiling-time scaling
+    for k in range(spec.filler_instructions // 4):
+        body.append(minc.Assign(
+            f"tmp{k}",
+            minc.BinOp("+", minc.Param(0),
+                       minc.Const(rng.randint(1, 1000)))))
+
+    sets_errno = has_codes and rng.random() < spec.errno_fraction
+    meta.sets_errno = sets_errno
+
+    # visible error codes: reachable, analyzable branches
+    for j, code in enumerate(visible):
+        then: List[minc.Stmt] = []
+        if sets_errno and j == 0:
+            then.append(minc.SetErrno(minc.Const(-code)))
+        then.append(minc.Return(minc.Const(code)))
+        body.append(minc.If(
+            minc.Cond("==", minc.Param(0), minc.Const(1000 + j)),
+            tuple(then)))
+
+    # phantom codes: gated on impossible library state
+    for j, code in enumerate(phantom):
+        body.append(minc.If(
+            minc.Cond("==", minc.Global("lib_state"),
+                      minc.Const(987654 + j)),
+            minc.body(minc.Return(minc.Const(code)))))
+
+    # hidden codes: returned via an indirect call at runtime
+    if hidden:
+        hidden_helper = f"_{name}_hidden"
+        helper_body: List[minc.Stmt] = []
+        for j, code in enumerate(hidden):
+            helper_body.append(minc.If(
+                minc.Cond("==", minc.Param(0), minc.Const(2000 + j)),
+                minc.body(minc.Return(minc.Const(code)))))
+        helper_body.append(minc.Return(minc.Const(0)))
+        builder.simple(hidden_helper, 1, *helper_body, export=False,
+                       truth=GroundTruth())
+        body.append(minc.Assign(
+            "hres", minc.IndirectCall(minc.FuncAddr(hidden_helper),
+                                      (minc.Param(0),))))
+        body.append(minc.If(
+            minc.Cond("<", minc.Local("hres"), minc.Const(0)),
+            minc.body(minc.Return(minc.Local("hres")))))
+
+    # output-argument side effects, attached to an existing visible
+    # error path so counted constants stay exact
+    if nparams >= 2 and visible and rng.random() < spec.outarg_fraction:
+        meta.out_args = [1]
+        body.append(minc.If(
+            minc.Cond("==", minc.Param(0), minc.Const(3000)),
+            minc.body(minc.StoreParam(1, minc.Const(-5)),
+                      minc.Return(minc.Const(visible[0])))))
+
+    # the occasional computed goto (indirect branch, §3.1 stats)
+    if index < spec.indirect_branch_fns:
+        body.append(minc.ComputedGoto(
+            minc.Param(0),
+            (minc.body(minc.Assign("cg", minc.Const(1))),
+             minc.body(minc.Assign("cg", minc.Const(2))))))
+
+    # success path: call into the helper chain, return non-const
+    if returns == minc.RET_VOID:
+        # void functions fall through the epilogue without touching the
+        # return register with a constant (no phantom 0 in the profile)
+        body.append(minc.Return(None))
+    elif helpers and rng.random() < 0.3:
+        body.append(minc.Return(minc.Call(helpers[-1], (minc.Param(0),))))
+    else:
+        body.append(minc.Return(minc.Param(0)))
+
+    truth = GroundTruth(
+        error_returns=list(visible),
+        hidden_error_returns=list(hidden),
+        state_dependent_returns=[],       # phantoms are NOT returnable
+        errno_values=list(visible[:1]) if sets_errno else [],
+        out_arg_writes={1: [-5]} if meta.out_args else {},
+    )
+    documented = list(visible) + list(hidden)
+    meta.vague_doc = (not has_codes
+                      and rng.random() < spec.doc_vague_fraction)
+    builder.simple(name, nparams, *body, returns=returns, truth=truth,
+                   documented_errors=documented)
+    return meta

@@ -1,0 +1,143 @@
+"""The Table 1 population: how libraries expose error details.
+
+The paper analyzed >20,000 functions across Ubuntu libraries, combining
+ELSA-parsed header information (return types) with LFI's side-effect
+analysis, and found:
+
+=========  ======  ==========================  ====================
+Return     None    Error details in            Error details
+type               global location             via arguments
+=========  ======  ==========================  ====================
+void       23.0%   0%                          0%
+scalar     56.5%   1%                          3.5%
+pointer    11.6%   1%                          3.4%
+=========  ======  ==========================  ====================
+
+This module generates a population with those proportions (the
+generator's "header files" are the ``FunctionRecord.definition.returns``
+declarations) and provides the measurement that classifies each function
+from its *profile*, so the bench compares measured vs. paper fractions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..platform import Platform
+from ..toolchain import GroundTruth, LibraryBuilder, minc
+from ..toolchain.builder import BuiltLibrary
+from ..core.profiles import SE_ARG, SE_GLOBAL, SE_TLS, FunctionProfile
+
+CHANNEL_NONE = "none"
+CHANNEL_GLOBAL = "global"
+CHANNEL_ARGS = "args"
+
+#: (return type, channel) -> paper fraction.
+TABLE1_PAPER: Dict[Tuple[str, str], float] = {
+    (minc.RET_VOID, CHANNEL_NONE): 0.230,
+    (minc.RET_VOID, CHANNEL_GLOBAL): 0.0,
+    (minc.RET_VOID, CHANNEL_ARGS): 0.0,
+    (minc.RET_SCALAR, CHANNEL_NONE): 0.565,
+    (minc.RET_SCALAR, CHANNEL_GLOBAL): 0.01,
+    (minc.RET_SCALAR, CHANNEL_ARGS): 0.035,
+    (minc.RET_POINTER, CHANNEL_NONE): 0.116,
+    (minc.RET_POINTER, CHANNEL_GLOBAL): 0.01,
+    (minc.RET_POINTER, CHANNEL_ARGS): 0.034,
+}
+
+
+@dataclass
+class PopulationConfig:
+    total_functions: int = 2400
+    n_libraries: int = 40
+    seed: int = 2009
+
+
+def build_population(platform: Platform,
+                     config: PopulationConfig) -> List[BuiltLibrary]:
+    """Generate libraries matching the Table 1 category mix."""
+    rng = random.Random(config.seed)
+    categories: List[Tuple[str, str]] = []
+    for (rtype, channel), fraction in TABLE1_PAPER.items():
+        categories += [(rtype, channel)] * round(
+            fraction * config.total_functions)
+    while len(categories) < config.total_functions:
+        categories.append((minc.RET_SCALAR, CHANNEL_NONE))
+    rng.shuffle(categories)
+
+    per_lib = max(1, len(categories) // config.n_libraries)
+    libraries: List[BuiltLibrary] = []
+    for lib_index in range(config.n_libraries):
+        chunk = categories[lib_index * per_lib:(lib_index + 1) * per_lib]
+        if not chunk:
+            break
+        builder = LibraryBuilder(f"libubuntu{lib_index}.so",
+                                 globals_=("lib_err",))
+        for fn_index, (rtype, channel) in enumerate(chunk):
+            _add_function(builder, rng, lib_index, fn_index, rtype, channel)
+        libraries.append(builder.build(platform))
+    return libraries
+
+
+def _add_function(builder: LibraryBuilder, rng: random.Random,
+                  lib_index: int, fn_index: int,
+                  rtype: str, channel: str) -> None:
+    name = f"u{lib_index}_fn{fn_index}"
+    error_const = -rng.randint(1, 39)
+    error_retval = 0 if rtype == minc.RET_POINTER else error_const
+    body: List[minc.Stmt] = []
+    truth = GroundTruth()
+
+    if rtype == minc.RET_VOID:
+        body.append(minc.ExprStmt(
+            minc.BinOp("+", minc.Param(0), minc.Const(1))))
+        body.append(minc.Return(minc.Const(0)))
+        builder.simple(name, 1, *body, returns=rtype, truth=truth)
+        return
+
+    error_path: List[minc.Stmt] = []
+    if channel == CHANNEL_GLOBAL:
+        # half through errno, half through a library global
+        if rng.random() < 0.5:
+            error_path.append(minc.SetErrno(minc.Const(-error_const)))
+        else:
+            error_path.append(minc.SetGlobal("lib_err",
+                                             minc.Const(-error_const)))
+        truth.errno_values = [error_const]
+    nparams = 2 if channel == CHANNEL_ARGS else 1
+    if channel == CHANNEL_ARGS:
+        error_path.append(minc.StoreParam(1, minc.Const(error_const)))
+        truth.out_arg_writes = {1: [error_const]}
+    error_path.append(minc.Return(minc.Const(error_retval)))
+    truth.error_returns = [error_retval]
+
+    body.append(minc.If(minc.Cond("==", minc.Param(0), minc.Const(7)),
+                        tuple(error_path)))
+    body.append(minc.Return(minc.Param(0)))
+    builder.simple(name, nparams, *body, returns=rtype, truth=truth)
+
+
+def classify_profile(fp: FunctionProfile) -> str:
+    """Channel classification from a function's fault profile (§3.2)."""
+    has_global = False
+    has_args = False
+    for er in fp.error_returns:
+        for se in er.side_effects:
+            if se.kind in (SE_TLS, SE_GLOBAL):
+                has_global = True
+            elif se.kind == SE_ARG:
+                has_args = True
+    if has_args:
+        return CHANNEL_ARGS
+    if has_global:
+        return CHANNEL_GLOBAL
+    return CHANNEL_NONE
+
+
+def no_side_effect_fraction(
+        measured: Dict[Tuple[str, str], float]) -> float:
+    """The paper's headline: >90% of functions expose no side effects."""
+    return sum(fraction for (_rtype, channel), fraction in measured.items()
+               if channel == CHANNEL_NONE)

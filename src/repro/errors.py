@@ -1,0 +1,100 @@
+"""Exception hierarchy for the LFI reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class IsaError(ReproError):
+    """Base class for ISA-level problems (encoding, decoding, assembly)."""
+
+
+class EncodingError(IsaError):
+    """An instruction could not be encoded to bytes."""
+
+
+class DecodingError(IsaError):
+    """A byte sequence could not be decoded into an instruction."""
+
+
+class AssemblyError(IsaError):
+    """Assembly-source or IR-level error (unknown label, bad operand)."""
+
+
+class ImageError(ReproError):
+    """A SELF image is malformed or cannot be (de)serialized."""
+
+
+class SymbolError(ImageError):
+    """A required symbol is missing or duplicated in an image."""
+
+
+class ToolchainError(ReproError):
+    """MinC compilation or linking failed."""
+
+
+class CodegenError(ToolchainError):
+    """The code generator met an AST construct it cannot lower."""
+
+
+class LinkError(ToolchainError):
+    """Static linking failed (undefined symbol, duplicate export)."""
+
+
+class KernelError(ReproError):
+    """The simulated kernel rejected an operation at the host level.
+
+    Note: *guest-visible* errors are returned as negative errno values,
+    never raised; this exception marks bugs or host-level misuse.
+    """
+
+
+class RuntimeFault(ReproError):
+    """Base class for faults raised while executing guest code."""
+
+    def __init__(self, message: str, *, eip: int = 0) -> None:
+        super().__init__(message)
+        self.eip = eip
+
+
+class MemoryFault(RuntimeFault):
+    """Guest access to an unmapped or protected address (SIGSEGV)."""
+
+
+class IllegalInstruction(RuntimeFault):
+    """The CPU fetched an undecodable or unsupported instruction."""
+
+
+class GuestAbort(RuntimeFault):
+    """The guest process aborted (SIGABRT), e.g. allocation failure."""
+
+    def __init__(self, message: str, *, signal: int = 6, eip: int = 0) -> None:
+        super().__init__(message, eip=eip)
+        self.signal = signal
+
+
+class LoaderError(ReproError):
+    """The dynamic linker could not load or resolve something."""
+
+
+class ProfilerError(ReproError):
+    """Static analysis failed in an unrecoverable way."""
+
+
+class ScenarioError(ReproError):
+    """A fault scenario is syntactically or semantically invalid."""
+
+
+class ControllerError(ReproError):
+    """The LFI controller could not synthesize or drive an experiment."""
+
+
+class DocParseError(ReproError):
+    """Library documentation could not be parsed."""

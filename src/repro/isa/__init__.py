@@ -1,0 +1,30 @@
+"""Synthetic instruction set: operands, instructions, ABIs, encode/decode.
+
+This package is the machine layer of the reproduction.  See DESIGN.md §2
+for why the paper's real x86/SPARC targets are replaced by a synthetic,
+byte-encoded ISA with the same structural properties.
+"""
+
+from .abi import SPARCSIM, WORD, X86SIM, Abi, abi_for
+from .asmparse import parse_asm
+from .assembler import LabelDef, assemble, collect_labels, label, program_size
+from .disassembler import disassemble, format_listing
+from .encoder import (decode_instruction, decode_range, encode_instruction,
+                      encode_program, measure)
+from .instructions import (CONDITIONAL_BRANCHES, CONTROL_FLOW, TERMINATORS,
+                           Decoded, Instruction, ins)
+from .operands import (SEGMENT_TLS, Imm, ImportSlot, Label, LabelImm, Mem,
+                       Operand, Reg, Rel)
+
+__all__ = [
+    "Abi", "X86SIM", "SPARCSIM", "WORD", "abi_for",
+    "Instruction", "Decoded", "ins",
+    "CONDITIONAL_BRANCHES", "CONTROL_FLOW", "TERMINATORS",
+    "Reg", "Imm", "Mem", "Rel", "ImportSlot", "Label", "LabelImm", "Operand",
+    "SEGMENT_TLS",
+    "assemble", "label", "LabelDef", "collect_labels", "program_size",
+    "parse_asm",
+    "encode_instruction", "encode_program", "measure",
+    "decode_instruction", "decode_range",
+    "disassemble", "format_listing",
+]

@@ -1,0 +1,166 @@
+"""A textual assembler: listing syntax -> instruction items.
+
+Closes the binutils loop: what ``objdump`` prints, this module can read
+back (modulo resolved addresses), and hand-written guest programs for
+tests and demos become plain text instead of IR construction::
+
+    source = '''
+    f:
+        push ebp
+        mov  ebp, esp
+        mov  eax, [ebp+0x8]
+        cmp  eax, 0x0
+        jnz  nonzero
+        mov  eax, -0x1
+        jmp  done
+    nonzero:
+        mov  eax, 0x1
+    done:
+        leave
+        ret
+    '''
+    items = parse_asm(source, X86SIM)
+    blob = assemble(items, X86SIM)
+
+Syntax: one instruction per line; ``name:`` defines a label; ``;`` and
+``#`` start comments; memory operands are ``[base]``, ``[base+0x8]``,
+``[base-0x4]``, ``[base+index*4]`` or ``gs:[0x0]``; ``<plt:N>`` is an
+import slot; ``offset name`` is a label-address immediate; any other
+bare identifier in a branch/call is a label reference.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from ..errors import AssemblyError
+from .abi import Abi
+from .assembler import Item, label
+from .instructions import ARITY_OF, ins
+from .operands import Imm, ImportSlot, Label, LabelImm, Mem, Operand
+
+_LABEL_DEF = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
+_PLT = re.compile(r"^<plt:(\d+)>$")
+_MEM = re.compile(
+    r"^(?:(gs):)?\[([^\]]+)\]$")
+_IDENT = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+_NUMBER = re.compile(r"^[+-]?(0x[0-9a-fA-F]+|\d+)$")
+
+
+def parse_asm(source: str, abi: Abi) -> List[Item]:
+    """Parse an assembly listing into assembler items."""
+    items: List[Item] = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        match = _LABEL_DEF.match(line)
+        if match:
+            items.append(label(match.group(1)))
+            continue
+        items.append(_parse_instruction(line, abi, lineno))
+    return items
+
+
+def _parse_instruction(line: str, abi: Abi, lineno: int):
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    if mnemonic not in ARITY_OF:
+        raise AssemblyError(f"line {lineno}: unknown mnemonic "
+                            f"{mnemonic!r}")
+    operand_text = parts[1] if len(parts) > 1 else ""
+    operands = [_parse_operand(text.strip(), abi, lineno)
+                for text in _split_operands(operand_text)]
+    if len(operands) != ARITY_OF[mnemonic]:
+        raise AssemblyError(
+            f"line {lineno}: {mnemonic} takes {ARITY_OF[mnemonic]} "
+            f"operands, got {len(operands)}")
+    return ins(mnemonic, *operands)
+
+
+def _split_operands(text: str) -> List[str]:
+    if not text.strip():
+        return []
+    out: List[str] = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append(current)
+            current = ""
+        else:
+            current += ch
+    out.append(current)
+    return out
+
+
+def _parse_number(text: str, lineno: int) -> int:
+    text = text.strip()
+    if not _NUMBER.match(text):
+        raise AssemblyError(f"line {lineno}: bad number {text!r}")
+    return int(text, 0)
+
+
+def _parse_operand(text: str, abi: Abi, lineno: int) -> Operand:
+    from .operands import Reg
+
+    if not text:
+        raise AssemblyError(f"line {lineno}: empty operand")
+    lowered = text.lower()
+    if lowered in abi.registers:
+        return Reg(lowered)
+    plt = _PLT.match(lowered)
+    if plt:
+        return ImportSlot(int(plt.group(1)))
+    if lowered.startswith("offset "):
+        name = text[len("offset"):].strip()
+        if not _IDENT.match(name):
+            raise AssemblyError(f"line {lineno}: bad label {name!r}")
+        return LabelImm(name)
+    mem = _MEM.match(text.replace(" ", ""))
+    if mem:
+        return _parse_memory(mem.group(1), mem.group(2), abi, lineno)
+    if _NUMBER.match(text):
+        return Imm(_parse_number(text, lineno))
+    if _IDENT.match(text):
+        return Label(text)
+    raise AssemblyError(f"line {lineno}: cannot parse operand {text!r}")
+
+
+def _parse_memory(segment, body: str, abi: Abi, lineno: int) -> Mem:
+    base = index = None
+    scale = 1
+    disp = 0
+    for term in re.findall(r"[+-]?[^+-]+", body):
+        sign = -1 if term.startswith("-") else 1
+        term_body = term.lstrip("+-")
+        if "*" in term_body:
+            reg_name, _, scale_text = term_body.partition("*")
+            if reg_name.lower() not in abi.registers:
+                raise AssemblyError(
+                    f"line {lineno}: bad index register {reg_name!r}")
+            if sign < 0:
+                raise AssemblyError(
+                    f"line {lineno}: negative index term {term!r}")
+            index = reg_name.lower()
+            scale = _parse_number(scale_text, lineno)
+        elif term_body.lower() in abi.registers:
+            if sign < 0:
+                raise AssemblyError(
+                    f"line {lineno}: negative base register {term!r}")
+            if base is None:
+                base = term_body.lower()
+            elif index is None:
+                index = term_body.lower()
+            else:
+                raise AssemblyError(
+                    f"line {lineno}: too many registers in {body!r}")
+        else:
+            disp += sign * _parse_number(term_body, lineno)
+    return Mem(base=base, index=index, scale=scale, disp=disp,
+               segment=segment)

@@ -1,0 +1,107 @@
+"""Two-pass assembler: IR with symbolic labels -> flat bytes.
+
+The toolchain's code generator emits a list of items, each either an
+:class:`~repro.isa.instructions.Instruction` (whose branch operands may be
+:class:`~repro.isa.operands.Label` references) or a bare label-definition
+marker.  ``assemble`` lays the items out, resolves every label to a
+relative displacement and returns the encoded bytes.
+
+Because all branch operands encode as fixed-size rel32 payloads, one
+measurement pass is exact — no relaxation loop needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from ..errors import AssemblyError
+from .abi import Abi
+from .encoder import encode_instruction, measure
+from .instructions import Instruction
+from .operands import Imm, Label, LabelImm, Operand, Rel
+
+
+@dataclass(frozen=True)
+class LabelDef:
+    """Marks the position of a label in an instruction stream."""
+
+    name: str
+
+
+Item = Union[Instruction, LabelDef]
+
+
+def label(name: str) -> LabelDef:
+    """Terse constructor for label definitions."""
+    return LabelDef(name)
+
+
+def assemble(items: Sequence[Item], abi: Abi, *, base: int = 0) -> bytes:
+    """Assemble an instruction stream to bytes.
+
+    ``base`` is the address of the first byte within the module; label
+    arithmetic is position-independent so it only matters for error
+    messages and symmetry with disassembly listings.
+    """
+    addresses: Dict[str, int] = {}
+    layout: List[Tuple[int, Instruction]] = []   # (addr, instruction)
+    addr = base
+    for item in items:
+        if isinstance(item, LabelDef):
+            if item.name in addresses:
+                raise AssemblyError(f"duplicate label {item.name!r}")
+            addresses[item.name] = addr
+        else:
+            layout.append((addr, item))
+            addr += measure(item)
+
+    out = bytearray()
+    for insn_addr, insn in layout:
+        size = measure(insn)
+        resolved = _resolve(insn, insn_addr + size, addresses)
+        encoded = encode_instruction(resolved, abi)
+        if len(encoded) != size:  # pragma: no cover - invariant
+            raise AssemblyError(
+                f"size drift assembling {insn.render()}: "
+                f"measured {size}, encoded {len(encoded)}")
+        out += encoded
+    return bytes(out)
+
+
+def _resolve(insn: Instruction, end_addr: int,
+             addresses: Dict[str, int]) -> Instruction:
+    if not any(isinstance(op, (Label, LabelImm)) for op in insn.operands):
+        return insn
+    ops: List[Operand] = []
+    for op in insn.operands:
+        if isinstance(op, (Label, LabelImm)):
+            try:
+                target = addresses[op.name]
+            except KeyError:
+                raise AssemblyError(f"undefined label {op.name!r} "
+                                    f"in {insn.render()}") from None
+            if isinstance(op, Label):
+                ops.append(Rel(target - end_addr))
+            else:
+                ops.append(Imm(target))
+        else:
+            ops.append(op)
+    return Instruction(insn.mnemonic, tuple(ops))
+
+
+def collect_labels(items: Iterable[Item], *, base: int = 0) -> Dict[str, int]:
+    """Return the address each label would get, without encoding."""
+    addresses: Dict[str, int] = {}
+    addr = base
+    for item in items:
+        if isinstance(item, LabelDef):
+            addresses[item.name] = addr
+        else:
+            addr += measure(item)
+    return addresses
+
+
+def program_size(items: Iterable[Item]) -> int:
+    """Total encoded size of an instruction stream."""
+    return sum(measure(i) for i in items if isinstance(i, Instruction))

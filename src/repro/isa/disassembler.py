@@ -1,0 +1,68 @@
+"""Disassembly listings in the style of ``objdump -d``.
+
+The LFI profiler is "loosely coupled" to its disassembler (§3.1); this
+module is our pluggable disassembler.  It produces both a structured form
+(:class:`~repro.isa.instructions.Decoded` records, used by the CFG
+builder) and human-readable listings like the one in Figure 2 of the
+paper (used by examples and debugging).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .abi import Abi
+from .encoder import decode_range
+from .instructions import Decoded
+from .operands import ImportSlot, Rel
+
+
+def disassemble(code: bytes, abi: Abi, *, start: int = 0,
+                end: Optional[int] = None) -> List[Decoded]:
+    """Linear-sweep disassembly of a code range."""
+    return decode_range(code, start, len(code) if end is None else end, abi)
+
+
+def format_listing(decoded: List[Decoded], *,
+                   symbols: Optional[Dict[int, str]] = None,
+                   imports: Optional[List[str]] = None) -> str:
+    """Render a listing with resolved branch targets and import names.
+
+    ``symbols`` maps addresses to names (function entry points); when a
+    branch target or listing address matches one, the name is shown the
+    way ``objdump`` annotates ``<symbol+off>``.
+    """
+    symbols = symbols or {}
+    lines: List[str] = []
+    known = sorted(symbols)
+    for d in decoded:
+        if d.addr in symbols:
+            lines.append(f"{d.addr:08x} <{symbols[d.addr]}>:")
+        text = d.insn.render()
+        if d.insn.operands and isinstance(d.insn.operands[0], Rel):
+            target = d.branch_target()
+            annot = _symbolize(target, symbols, known)
+            text = f"{d.insn.mnemonic} {target:#x}{annot}"
+        elif d.insn.operands and isinstance(d.insn.operands[0], ImportSlot):
+            slot = d.insn.operands[0].slot
+            if imports and slot < len(imports):
+                text = f"{d.insn.mnemonic} <{imports[slot]}@plt>"
+        lines.append(f"{d.addr:8x}:\t{text}")
+    return "\n".join(lines)
+
+
+def _symbolize(addr: int, symbols: Dict[int, str], known: List[int]) -> str:
+    if addr in symbols:
+        return f" <{symbols[addr]}>"
+    # find the nearest preceding symbol, objdump-style <sym+0x...>
+    lo, hi = 0, len(known)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if known[mid] <= addr:
+            lo = mid + 1
+        else:
+            hi = mid
+    if lo:
+        base = known[lo - 1]
+        return f" <{symbols[base]}+{addr - base:#x}>"
+    return ""

@@ -1,0 +1,172 @@
+"""Byte encoding and decoding of instructions.
+
+Libraries in this ecosystem are *real byte blobs*: the profiler never sees
+our IR directly, it disassembles ``.text`` bytes exactly the way LFI drives
+``objdump``/``dumpbin`` (§3.1).  The encoding is a simple tag-length-value
+scheme with variable instruction sizes, so disassembly addresses behave
+like on a CISC machine.
+
+Layout of one instruction::
+
+    opcode:u8  (tag:u8 payload...)*arity
+
+Operand payloads::
+
+    tag 1  Reg        reg_id:u8
+    tag 2  Imm        value:i32le
+    tag 3  Mem        flags:u8 [base:u8] [index:u8 scale:u8] disp:i32le
+                      flags bit0=base bit1=index bit2=gs-segment
+    tag 4  Rel        disp:i32le  (relative to end of instruction)
+    tag 5  ImportSlot slot:u16le
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Tuple
+
+from ..errors import DecodingError, EncodingError
+from .abi import Abi
+from .instructions import ARITY_OF, MNEMONICS, OPCODE_OF, Decoded, Instruction
+from .operands import (SEGMENT_TLS, Imm, ImportSlot, Label, LabelImm, Mem,
+                       Operand, Reg, Rel)
+
+_TAG_REG = 1
+_TAG_IMM = 2
+_TAG_MEM = 3
+_TAG_REL = 4
+_TAG_SLOT = 5
+
+_I32 = struct.Struct("<i")
+_U16 = struct.Struct("<H")
+
+
+def encode_instruction(insn: Instruction, abi: Abi) -> bytes:
+    """Encode one instruction to bytes under the given machine's ABI."""
+    out = bytearray([OPCODE_OF[insn.mnemonic]])
+    for op in insn.operands:
+        if isinstance(op, Reg):
+            out.append(_TAG_REG)
+            out.append(abi.reg_id(op.name))
+        elif isinstance(op, Imm):
+            out.append(_TAG_IMM)
+            out += _I32.pack(op.value)
+        elif isinstance(op, Mem):
+            out.append(_TAG_MEM)
+            flags = ((1 if op.base else 0)
+                     | (2 if op.index else 0)
+                     | (4 if op.segment == SEGMENT_TLS else 0))
+            out.append(flags)
+            if op.base:
+                out.append(abi.reg_id(op.base))
+            if op.index:
+                out.append(abi.reg_id(op.index))
+                out.append(op.scale)
+            out += _I32.pack(op.disp)
+        elif isinstance(op, Rel):
+            out.append(_TAG_REL)
+            out += _I32.pack(op.disp)
+        elif isinstance(op, ImportSlot):
+            out.append(_TAG_SLOT)
+            out += _U16.pack(op.slot)
+        elif isinstance(op, (Label, LabelImm)):
+            raise EncodingError(
+                f"unresolved label {op.name!r} in {insn.render()}; "
+                "assemble() must run before encoding")
+        else:  # pragma: no cover - defensive
+            raise EncodingError(f"cannot encode operand {op!r}")
+    return bytes(out)
+
+
+def encode_program(insns: Iterable[Instruction], abi: Abi) -> bytes:
+    """Encode a straight-line sequence of already-resolved instructions."""
+    return b"".join(encode_instruction(i, abi) for i in insns)
+
+
+def measure(insn: Instruction) -> int:
+    """Encoded size of an instruction, without actually encoding it.
+
+    Needed by the assembler to lay out code before branch displacements
+    are known.  Labels measure like the Rel they will become.
+    """
+    size = 1
+    for op in insn.operands:
+        if isinstance(op, Reg):
+            size += 2
+        elif isinstance(op, (Imm, LabelImm)):
+            size += 5
+        elif isinstance(op, Mem):
+            size += 2 + (1 if op.base else 0) + (2 if op.index else 0) + 4
+        elif isinstance(op, (Rel, Label)):
+            size += 5
+        elif isinstance(op, ImportSlot):
+            size += 3
+        else:  # pragma: no cover - defensive
+            raise EncodingError(f"cannot measure operand {op!r}")
+    return size
+
+
+def decode_instruction(code: bytes, offset: int, abi: Abi) -> Tuple[Instruction, int]:
+    """Decode one instruction at ``offset``; return (instruction, size)."""
+    start = offset
+    try:
+        opcode = code[offset]
+    except IndexError:
+        raise DecodingError(f"truncated instruction at {offset:#x}") from None
+    if opcode >= len(MNEMONICS):
+        raise DecodingError(f"bad opcode {opcode:#x} at {offset:#x}")
+    mnemonic, arity = MNEMONICS[opcode]
+    offset += 1
+    operands: List[Operand] = []
+    try:
+        for _ in range(arity):
+            tag = code[offset]
+            offset += 1
+            if tag == _TAG_REG:
+                operands.append(Reg(abi.reg_name(code[offset])))
+                offset += 1
+            elif tag == _TAG_IMM:
+                operands.append(Imm(_I32.unpack_from(code, offset)[0]))
+                offset += 4
+            elif tag == _TAG_MEM:
+                flags = code[offset]
+                offset += 1
+                base = index = None
+                scale = 1
+                if flags & 1:
+                    base = abi.reg_name(code[offset])
+                    offset += 1
+                if flags & 2:
+                    index = abi.reg_name(code[offset])
+                    scale = code[offset + 1]
+                    offset += 2
+                disp = _I32.unpack_from(code, offset)[0]
+                offset += 4
+                segment = SEGMENT_TLS if flags & 4 else None
+                operands.append(Mem(base=base, index=index, scale=scale,
+                                    disp=disp, segment=segment))
+            elif tag == _TAG_REL:
+                operands.append(Rel(_I32.unpack_from(code, offset)[0]))
+                offset += 4
+            elif tag == _TAG_SLOT:
+                operands.append(ImportSlot(_U16.unpack_from(code, offset)[0]))
+                offset += 2
+            else:
+                raise DecodingError(
+                    f"bad operand tag {tag:#x} at {offset - 1:#x}")
+    except (IndexError, struct.error):
+        raise DecodingError(f"truncated instruction at {start:#x}") from None
+    except ValueError as exc:
+        raise DecodingError(f"malformed operand at {start:#x}: {exc}") from None
+    return Instruction(mnemonic, tuple(operands)), offset - start
+
+
+def decode_range(code: bytes, start: int, end: int, abi: Abi) -> List[Decoded]:
+    """Linear-sweep disassembly of ``code[start:end]``."""
+    out: List[Decoded] = []
+    offset = start
+    while offset < end:
+        insn, size = decode_instruction(code, offset, abi)
+        out.append(Decoded(addr=offset, size=size, insn=insn))
+        offset += size
+    return out

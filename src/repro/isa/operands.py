@@ -1,0 +1,145 @@
+"""Operand model for the synthetic instruction set.
+
+Operands mirror what a 32-bit CISC disassembly exposes:
+
+* :class:`Reg` — a named register (names come from the machine spec).
+* :class:`Imm` — a 32-bit signed immediate constant.
+* :class:`Mem` — a memory reference ``segment:[base + index*scale + disp]``.
+  The only segment we model is ``gs``, the thread-local-storage segment the
+  paper's §3.2 example uses (``add ecx, DWORD PTR gs:0x0``).
+* :class:`Rel` — a branch displacement relative to the *end* of the
+  instruction, like real x86 rel32 branches; position-independent code
+  (§3.2) falls out of this for free.
+* :class:`ImportSlot` — a PLT-style slot for calls into another shared
+  object, resolved by the dynamic linker at load time.  The slot number
+  indexes the image's import table, which survives stripping (as the real
+  ``.rel.plt`` does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+SEGMENT_TLS = "gs"
+
+_I32_MIN = -(1 << 31)
+_I32_MAX = (1 << 31) - 1
+
+
+def _check_i32(value: int, what: str) -> None:
+    if not (_I32_MIN <= value <= _I32_MAX):
+        raise ValueError(f"{what} {value:#x} out of signed 32-bit range")
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand, identified by its textual name."""
+
+    name: str
+
+    def render(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Imm:
+    """A signed 32-bit immediate operand."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        _check_i32(self.value, "immediate")
+
+    def render(self) -> str:
+        return hex(self.value) if self.value >= 0 else f"-{-self.value:#x}"
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand: ``segment:[base + index*scale + disp]``."""
+
+    base: Optional[str] = None
+    index: Optional[str] = None
+    scale: int = 1
+    disp: int = 0
+    segment: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _check_i32(self.disp, "displacement")
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"invalid scale {self.scale}")
+        if self.segment is not None and self.segment != SEGMENT_TLS:
+            raise ValueError(f"unsupported segment {self.segment!r}")
+        if self.index is not None and self.base is None:
+            raise ValueError("indexed addressing requires a base register")
+
+    def render(self) -> str:
+        parts = []
+        if self.base:
+            parts.append(self.base)
+        if self.index:
+            parts.append(f"{self.index}*{self.scale}")
+        if self.disp or not parts:
+            if parts and self.disp >= 0:
+                parts.append(f"+{self.disp:#x}" if self.disp else "")
+            elif parts:
+                parts.append(f"-{-self.disp:#x}")
+            else:
+                parts.append(hex(self.disp))
+        body = "".join(p if p.startswith(("+", "-")) or not i else f"+{p}"
+                       for i, p in enumerate(parts) if p)
+        prefix = f"{self.segment}:" if self.segment else ""
+        return f"{prefix}[{body}]"
+
+
+@dataclass(frozen=True)
+class Rel:
+    """A branch displacement, relative to the end of the instruction."""
+
+    disp: int
+
+    def __post_init__(self) -> None:
+        _check_i32(self.disp, "branch displacement")
+
+    def render(self) -> str:
+        return f".{'+' if self.disp >= 0 else ''}{self.disp:#x}" \
+            if self.disp >= 0 else f".-{-self.disp:#x}"
+
+
+@dataclass(frozen=True)
+class ImportSlot:
+    """A call/jump target living in another shared object (PLT slot)."""
+
+    slot: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.slot < 1 << 16):
+            raise ValueError(f"import slot {self.slot} out of range")
+
+    def render(self) -> str:
+        return f"<plt:{self.slot}>"
+
+
+#: Assembler-time only: a symbolic label reference.  Never encoded; the
+#: assembler resolves labels to :class:`Rel` displacements.
+@dataclass(frozen=True)
+class Label:
+    name: str
+
+    def render(self) -> str:
+        return self.name
+
+
+#: Assembler-time only: the *address* of a label as an immediate.  Used by
+#: position-independent code to turn the call/pop instruction-pointer idiom
+#: into a module base (``sub ecx, LabelImm(here)``); resolves to Imm.
+@dataclass(frozen=True)
+class LabelImm:
+    name: str
+
+    def render(self) -> str:
+        return f"offset {self.name}"
+
+
+Operand = Union[Reg, Imm, Mem, Rel, ImportSlot, Label, LabelImm]

@@ -1,0 +1,22 @@
+"""Simulated kernel: errno, syscalls, VFS, pipes, sockets, and the
+statically-analyzable kernel image."""
+
+from .errno import ERRNO_NAMES, ERRNO_NUMBERS, errno_name, errno_number, strerror
+from .image import build_kernel_image, handler_name
+from .kernel import FileDesc, Kernel, KProcState, ProcessExit
+from .pipes import Pipe, PipeError
+from .sockets import Endpoint, Socket, SocketError, SocketTable
+from .syscalls import SYSCALL_BY_NAME, SYSCALL_BY_NR, SYSCALLS, SyscallSpec, spec
+from .vfs import (O_APPEND, O_CREAT, O_DIRECTORY, O_EXCL, O_RDONLY, O_RDWR,
+                  O_TRUNC, O_WRONLY, Vfs, VfsError, VNode)
+
+__all__ = [
+    "errno_name", "errno_number", "strerror", "ERRNO_NAMES", "ERRNO_NUMBERS",
+    "Kernel", "KProcState", "FileDesc", "ProcessExit",
+    "Pipe", "PipeError", "Socket", "SocketTable", "SocketError", "Endpoint",
+    "SYSCALLS", "SYSCALL_BY_NAME", "SYSCALL_BY_NR", "SyscallSpec", "spec",
+    "Vfs", "VfsError", "VNode",
+    "O_RDONLY", "O_WRONLY", "O_RDWR", "O_CREAT", "O_EXCL", "O_TRUNC",
+    "O_APPEND", "O_DIRECTORY",
+    "build_kernel_image", "handler_name",
+]

@@ -1,0 +1,100 @@
+"""The errno table.
+
+Numbers follow the classic Linux/x86 assignments.  The paper's §3.3
+highlights that the *set* of errno values a function can produce differs
+per platform (BSD vs Linux vs HP/UX vs Solaris ``close``); our syscall
+specs express those differences on top of this shared numbering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+ERRNO_NUMBERS: Dict[str, int] = {
+    "EPERM": 1, "ENOENT": 2, "ESRCH": 3, "EINTR": 4, "EIO": 5,
+    "ENXIO": 6, "E2BIG": 7, "ENOEXEC": 8, "EBADF": 9, "ECHILD": 10,
+    "EAGAIN": 11, "ENOMEM": 12, "EACCES": 13, "EFAULT": 14,
+    "ENOTBLK": 15, "EBUSY": 16, "EEXIST": 17, "EXDEV": 18, "ENODEV": 19,
+    "ENOTDIR": 20, "EISDIR": 21, "EINVAL": 22, "ENFILE": 23, "EMFILE": 24,
+    "ENOTTY": 25, "ETXTBSY": 26, "EFBIG": 27, "ENOSPC": 28, "ESPIPE": 29,
+    "EROFS": 30, "EMLINK": 31, "EPIPE": 32, "EDOM": 33, "ERANGE": 34,
+    "EDEADLK": 35, "ENAMETOOLONG": 36, "ENOLCK": 37, "ENOSYS": 38,
+    "ENOTEMPTY": 39, "ELOOP": 40, "ENOLINK": 67, "EPROTO": 71,
+    "EBADMSG": 74, "EOVERFLOW": 75, "ENOTSOCK": 88, "EDESTADDRREQ": 89,
+    "EMSGSIZE": 90, "EOPNOTSUPP": 95, "EADDRINUSE": 98,
+    "EADDRNOTAVAIL": 99, "ENETDOWN": 100, "ENETUNREACH": 101,
+    "ECONNABORTED": 103, "ECONNRESET": 104, "ENOBUFS": 105,
+    "EISCONN": 106, "ENOTCONN": 107, "ETIMEDOUT": 110,
+    "ECONNREFUSED": 111, "EHOSTUNREACH": 113, "EALREADY": 114,
+    "EINPROGRESS": 115,
+}
+
+#: EWOULDBLOCK aliases EAGAIN, as on Linux.
+ERRNO_NUMBERS["EWOULDBLOCK"] = ERRNO_NUMBERS["EAGAIN"]
+
+ERRNO_NAMES: Dict[int, str] = {}
+for _name, _num in ERRNO_NUMBERS.items():
+    ERRNO_NAMES.setdefault(_num, _name)
+
+_DESCRIPTIONS: Dict[str, str] = {
+    "EPERM": "Operation not permitted",
+    "ENOENT": "No such file or directory",
+    "EINTR": "Interrupted system call",
+    "EIO": "Input/output error",
+    "EBADF": "Bad file descriptor",
+    "EAGAIN": "Resource temporarily unavailable",
+    "ENOMEM": "Cannot allocate memory",
+    "EACCES": "Permission denied",
+    "EFAULT": "Bad address",
+    "EBUSY": "Device or resource busy",
+    "EEXIST": "File exists",
+    "ENOTDIR": "Not a directory",
+    "EISDIR": "Is a directory",
+    "EINVAL": "Invalid argument",
+    "ENFILE": "Too many open files in system",
+    "EMFILE": "Too many open files",
+    "EFBIG": "File too large",
+    "ENOSPC": "No space left on device",
+    "ESPIPE": "Illegal seek",
+    "EROFS": "Read-only file system",
+    "EPIPE": "Broken pipe",
+    "ENAMETOOLONG": "File name too long",
+    "ENOSYS": "Function not implemented",
+    "ENOTEMPTY": "Directory not empty",
+    "ENOLINK": "Link has been severed",
+    "ECONNREFUSED": "Connection refused",
+    "ECONNRESET": "Connection reset by peer",
+    "EADDRINUSE": "Address already in use",
+    "ENOTCONN": "Transport endpoint is not connected",
+    "ETIMEDOUT": "Connection timed out",
+    "ENOTSOCK": "Socket operation on non-socket",
+}
+
+
+def errno_number(name: str) -> int:
+    """Numeric value of an errno symbol, e.g. ``errno_number("EBADF") == 9``."""
+    try:
+        return ERRNO_NUMBERS[name]
+    except KeyError:
+        raise KeyError(f"unknown errno name {name!r}") from None
+
+
+def errno_name(number: int) -> str:
+    """Canonical symbol for an errno value; negative values are normalized.
+
+    The profiler records kernel-side constants, which are negative
+    (``-9`` for EBADF, exactly as in the paper's ``close`` profile), so
+    lookups accept either sign.
+    """
+    number = abs(number)
+    try:
+        return ERRNO_NAMES[number]
+    except KeyError:
+        raise KeyError(f"unknown errno number {number}") from None
+
+
+def strerror(name_or_number) -> str:
+    """Human-readable description, like ``strerror(3)``."""
+    name = (errno_name(name_or_number)
+            if isinstance(name_or_number, int) else name_or_number)
+    return _DESCRIPTIONS.get(name, name)

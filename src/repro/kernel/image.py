@@ -1,0 +1,69 @@
+"""Generation of the analyzable kernel image.
+
+§3.1: "A special type of dependency occurs in the C and C++ standard
+libraries: they wrap kernel system calls, so many dependent functions
+reside in the kernel.  LFI therefore performs static analysis on the
+kernel image as well, to identify the error codes that originate in the
+kernel and may be propagated by the libraries."
+
+This module compiles a SELF image of kind ``kernel`` whose per-syscall
+handler functions *actually contain* every error constant the runtime
+kernel may produce (per :mod:`repro.kernel.syscalls`), reachable on
+argument-dependent paths, plus the success path.  The profiler's kernel
+analysis recovers these sets with the same reverse constant propagation
+it uses on libraries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..binfmt import SharedObject
+from ..binfmt.image import KIND_KERNEL
+from ..platform import Platform
+from ..toolchain import minc
+from ..toolchain.linker import compile_module
+from .errno import errno_number
+from .syscalls import SYSCALLS, SyscallSpec
+
+#: Magic argument values used to make each error path syntactically
+#: reachable in the handler's CFG.  The runtime never passes these.
+_ERROR_PATH_BASE = -10_000
+
+
+def handler_name(syscall: str) -> str:
+    return f"sys_{syscall}"
+
+
+def _handler_body(sc: SyscallSpec, os_name: str) -> Tuple[minc.Stmt, ...]:
+    stmts: List[minc.Stmt] = []
+    for i, errno_name in enumerate(sc.errors_for(os_name)):
+        stmts.append(minc.If(
+            minc.Cond("==", minc.Param(0), minc.Const(_ERROR_PATH_BASE - i)),
+            minc.body(minc.Return(minc.Const(-errno_number(errno_name)))),
+        ))
+    stmts.append(minc.Return(minc.Const(0)))
+    return tuple(stmts)
+
+
+def build_kernel_image(platform: Platform) -> SharedObject:
+    """Compile the kernel image for a platform's OS flavour and machine."""
+    functions = []
+    numbers: Dict[str, int] = {}
+    for sc in SYSCALLS:
+        name = handler_name(sc.name)
+        functions.append(minc.FunctionDef(
+            name=name,
+            nparams=max(sc.nargs, 1),
+            body=_handler_body(sc, platform.os),
+            export=True,
+            returns=minc.RET_SCALAR,
+        ))
+        numbers[name] = sc.nr
+    module = minc.ModuleDef(
+        soname=f"kernel-{platform.os.lower()}",
+        functions=tuple(functions),
+        has_errno=False,
+    )
+    return compile_module(module, platform, kind=KIND_KERNEL,
+                          syscall_numbers=numbers)

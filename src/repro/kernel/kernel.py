@@ -1,0 +1,423 @@
+"""The runtime kernel: syscall dispatch over VFS, pipes and sockets.
+
+Guest code reaches this through ``int 0x80`` (see ``runtime.cpu``); the
+libc wrappers compiled by the toolchain pass arguments in the ABI's
+syscall registers.  Handlers may only fail with errno values declared in
+:mod:`repro.kernel.syscalls` — an assertion enforces that the *runtime*
+kernel and the *statically analyzable kernel image* (``kernel.image``)
+agree, which is the property §3.1's kernel analysis depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import KernelError
+from ..layout import HEAP_BASE, HEAP_LIMIT
+from .errno import errno_number
+from .pipes import Pipe, PipeError
+from .sockets import Endpoint, Socket, SocketError, SocketTable
+from .syscalls import SYSCALL_BY_NR, spec
+from .vfs import O_APPEND, Vfs, VfsError
+
+
+def _sgn(value: int) -> int:
+    """Reinterpret a raw 32-bit syscall argument as signed."""
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+class ProcessExit(Exception):
+    """Raised by the exit syscall to unwind the VM."""
+
+    def __init__(self, status: int) -> None:
+        super().__init__(f"exit({status})")
+        self.status = status
+
+
+@dataclass
+class FileDesc:
+    """One file-descriptor table entry."""
+
+    kind: str                       # file | dir | pipe_r | pipe_w | socket
+    vnode: object = None
+    pos: int = 0
+    flags: int = 0
+    pipe: Optional[Pipe] = None
+    socket: Optional[Socket] = None
+    endpoint: Optional[Endpoint] = None
+    dir_entries: Optional[List[str]] = None
+
+
+@dataclass
+class KProcState:
+    """Per-process kernel-side state, owned by the runtime Process."""
+
+    pid: int
+    fds: Dict[int, FileDesc] = field(default_factory=dict)
+    next_fd: int = 3
+    heap_next: int = HEAP_BASE
+    heap_used: int = 0
+    allocs: Dict[int, int] = field(default_factory=dict)
+
+    def alloc_fd(self, entry: FileDesc, limit: int) -> int:
+        if len(self.fds) >= limit:
+            raise VfsError("EMFILE")
+        fd = self.next_fd
+        self.next_fd += 1
+        self.fds[fd] = entry
+        return fd
+
+
+class Kernel:
+    """A shared kernel instance; multiple processes may attach."""
+
+    def __init__(self, *, os_name: str = "Linux",
+                 disk_capacity: int = 1 << 24,
+                 max_fds: int = 256,
+                 mem_limit: int = HEAP_LIMIT - HEAP_BASE,
+                 pipe_capacity: int = 4096) -> None:
+        self.os_name = os_name
+        self.vfs = Vfs(capacity=disk_capacity)
+        self.sockets = SocketTable()
+        self.max_fds = max_fds
+        self.mem_limit = mem_limit
+        self.pipe_capacity = pipe_capacity
+        self.clock_ns = 0
+        self._next_pid = 1
+        self.syscall_count = 0
+
+    def new_pid(self) -> int:
+        pid = self._next_pid
+        self._next_pid += 1
+        return pid
+
+    # -- dispatch --------------------------------------------------------
+
+    def dispatch(self, proc, nr: int, arg_values: List[int]) -> int:
+        """Execute syscall ``nr``; returns >= 0 or a negative errno."""
+        self.syscall_count += 1
+        sc = SYSCALL_BY_NR.get(nr)
+        if sc is None:
+            return -errno_number("ENOSYS")
+        handler = getattr(self, f"sys_{sc.name}", None)
+        if handler is None:
+            raise KernelError(f"syscall {sc.name} has no runtime handler")
+        args = list(arg_values[:sc.nargs])
+        args += [0] * (sc.nargs - len(args))
+        try:
+            result = handler(proc, *args)
+        except VfsError as exc:
+            return self._fail(sc.name, exc.errno_name)
+        except PipeError as exc:
+            return self._fail(sc.name, exc.errno_name)
+        except SocketError as exc:
+            return self._fail(sc.name, exc.errno_name)
+        return result
+
+    def _fail(self, syscall_name: str, errno_name: str) -> int:
+        declared = spec(syscall_name).errors_for(self.os_name)
+        if errno_name not in declared:
+            raise KernelError(
+                f"{syscall_name} produced undeclared error {errno_name} "
+                f"(declared: {declared})")
+        return -errno_number(errno_name)
+
+    @staticmethod
+    def _fd(proc, fd: int) -> FileDesc:
+        entry = proc.kstate.fds.get(fd)
+        if entry is None:
+            raise VfsError("EBADF")
+        return entry
+
+    @staticmethod
+    def _check_buf(addr: int, count: int) -> None:
+        if addr == 0 and count > 0:
+            raise VfsError("EFAULT")
+
+    # -- file syscalls -----------------------------------------------------
+
+    def sys_open(self, proc, path_ptr: int, flags: int, mode: int) -> int:
+        self._check_buf(path_ptr, 1)
+        path = proc.read_cstr(path_ptr)
+        node = self.vfs.open_node(path, flags)
+        kind = "dir" if node.is_dir else "file"
+        entry = FileDesc(kind=kind, vnode=node, flags=flags)
+        if flags & O_APPEND and not node.is_dir:
+            entry.pos = node.size()
+        return proc.kstate.alloc_fd(entry, self.max_fds)
+
+    def sys_close(self, proc, fd: int) -> int:
+        entry = self._fd(proc, fd)
+        del proc.kstate.fds[fd]
+        if entry.kind == "pipe_r" and entry.pipe:
+            entry.pipe.close_read()
+        elif entry.kind == "pipe_w" and entry.pipe:
+            entry.pipe.close_write()
+        elif entry.kind == "socket":
+            if entry.socket is not None:
+                self.sockets.close(entry.socket)
+            elif entry.endpoint is not None:
+                entry.endpoint.close()
+        return 0
+
+    def sys_read(self, proc, fd: int, buf: int, count: int) -> int:
+        self._check_buf(buf, count)
+        entry = self._fd(proc, fd)
+        if entry.kind == "dir":
+            raise VfsError("EISDIR")
+        if entry.kind == "file":
+            data = self.vfs.read_at(entry.vnode, entry.pos, count)
+            entry.pos += len(data)
+        elif entry.kind == "pipe_r":
+            data = entry.pipe.read(count)
+        elif entry.kind == "pipe_w":
+            raise VfsError("EBADF")
+        elif entry.kind == "socket":
+            data = self._endpoint_of(entry).recv(count)
+        else:
+            raise VfsError("EBADF")
+        proc.mem_write(buf, data)
+        return len(data)
+
+    def sys_write(self, proc, fd: int, buf: int, count: int) -> int:
+        self._check_buf(buf, count)
+        entry = self._fd(proc, fd)
+        data = proc.mem_read(buf, count)
+        if entry.kind == "file":
+            written = self.vfs.write_at(entry.vnode, entry.pos, data)
+            entry.pos += written
+            return written
+        if entry.kind == "pipe_w":
+            return entry.pipe.write(data)
+        if entry.kind == "pipe_r":
+            raise VfsError("EBADF")
+        if entry.kind == "socket":
+            return self._endpoint_of(entry).send(data)
+        raise VfsError("EISDIR" if entry.kind == "dir" else "EBADF")
+
+    def sys_lseek(self, proc, fd: int, offset: int, whence: int) -> int:
+        offset = _sgn(offset)
+        entry = self._fd(proc, fd)
+        if entry.kind != "file":
+            raise VfsError("ESPIPE" if entry.kind.startswith(("pipe", "sock"))
+                           else "EINVAL")
+        size = entry.vnode.size()
+        new = {0: offset, 1: entry.pos + offset, 2: size + offset}.get(whence)
+        if new is None or new < 0:
+            raise VfsError("EINVAL")
+        entry.pos = new
+        return new
+
+    def sys_unlink(self, proc, path_ptr: int) -> int:
+        self.vfs.unlink(proc.read_cstr(path_ptr))
+        return 0
+
+    def sys_link(self, proc, old_ptr: int, new_ptr: int) -> int:
+        self._check_buf(old_ptr, 1)
+        self._check_buf(new_ptr, 1)
+        self.vfs.link(proc.read_cstr(old_ptr), proc.read_cstr(new_ptr))
+        return 0
+
+    def sys_rename(self, proc, old_ptr: int, new_ptr: int) -> int:
+        self._check_buf(old_ptr, 1)
+        self._check_buf(new_ptr, 1)
+        self.vfs.rename(proc.read_cstr(old_ptr), proc.read_cstr(new_ptr))
+        return 0
+
+    def sys_access(self, proc, path_ptr: int, mode: int) -> int:
+        self._check_buf(path_ptr, 1)
+        self.vfs.access(proc.read_cstr(path_ptr))
+        return 0
+
+    def sys_mkdir(self, proc, path_ptr: int, mode: int) -> int:
+        self.vfs.mkdir(proc.read_cstr(path_ptr))
+        return 0
+
+    def sys_rmdir(self, proc, path_ptr: int) -> int:
+        self.vfs.rmdir(proc.read_cstr(path_ptr))
+        return 0
+
+    def sys_stat(self, proc, path_ptr: int, buf: int) -> int:
+        self._check_buf(buf, 8)
+        size, is_dir = self.vfs.stat(proc.read_cstr(path_ptr))
+        proc.mem_write_u32(buf, size)
+        proc.mem_write_u32(buf + 4, is_dir)
+        return 0
+
+    def sys_dup(self, proc, fd: int) -> int:
+        entry = self._fd(proc, fd)
+        return proc.kstate.alloc_fd(entry, self.max_fds)
+
+    def sys_fsync(self, proc, fd: int) -> int:
+        entry = self._fd(proc, fd)
+        if entry.kind != "file":
+            raise VfsError("EINVAL")
+        return 0
+
+    def sys_ftruncate(self, proc, fd: int, length: int) -> int:
+        length = _sgn(length)
+        entry = self._fd(proc, fd)
+        if entry.kind != "file" or length < 0:
+            raise VfsError("EINVAL")
+        node = entry.vnode
+        if length < node.size():
+            self.vfs.used -= node.size() - length
+            del node.data[length:]
+        else:
+            self.vfs.write_at(node, node.size(),
+                              b"\x00" * (length - node.size()))
+        return 0
+
+    def sys_getdents(self, proc, fd: int, buf: int, count: int) -> int:
+        """Simplified dirent protocol: one NUL-terminated name per call."""
+        self._check_buf(buf, count)
+        entry = self._fd(proc, fd)
+        if entry.kind != "dir":
+            raise VfsError("ENOTDIR")
+        if entry.dir_entries is None:
+            entry.dir_entries = self.vfs.listdir(entry.vnode)
+        if entry.pos >= len(entry.dir_entries):
+            return 0
+        name = entry.dir_entries[entry.pos].encode() + b"\x00"
+        if len(name) > count:
+            raise VfsError("EFAULT")
+        entry.pos += 1
+        proc.mem_write(buf, name)
+        return len(name)
+
+    # -- pipes / memory / process ------------------------------------------
+
+    def sys_pipe(self, proc, fds_ptr: int) -> int:
+        self._check_buf(fds_ptr, 8)
+        pipe = Pipe(capacity=self.pipe_capacity)
+        rfd = proc.kstate.alloc_fd(FileDesc(kind="pipe_r", pipe=pipe),
+                                   self.max_fds)
+        wfd = proc.kstate.alloc_fd(FileDesc(kind="pipe_w", pipe=pipe),
+                                   self.max_fds)
+        proc.mem_write_u32(fds_ptr, rfd)
+        proc.mem_write_u32(fds_ptr + 4, wfd)
+        return 0
+
+    def sys_brk(self, proc, increment: int) -> int:
+        return self.sys_mmap(proc, 0, increment)
+
+    def sys_mmap(self, proc, addr_hint: int, size: int) -> int:
+        size = _sgn(size)
+        if size <= 0:
+            raise VfsError("EINVAL")
+        size = (size + 0xF) & ~0xF
+        ks = proc.kstate
+        if ks.heap_used + size > self.mem_limit \
+                or ks.heap_next + size > HEAP_LIMIT:
+            return -errno_number("ENOMEM")
+        addr = ks.heap_next
+        ks.heap_next += size
+        ks.heap_used += size
+        ks.allocs[addr] = size
+        proc.memory.map_region(addr, size)
+        return addr
+
+    def sys_munmap(self, proc, addr: int, size: int) -> int:
+        ks = proc.kstate
+        size = _sgn(size)
+        if size == 0:
+            # libc free() path: the kernel knows the allocation's size
+            size = ks.allocs.pop(addr, 0)
+            if size == 0:
+                raise VfsError("EINVAL")
+        elif size < 0:
+            raise VfsError("EINVAL")
+        else:
+            ks.allocs.pop(addr, None)
+        ks.heap_used = max(0, ks.heap_used - size)
+        return 0
+
+    def sys_getpid(self, proc) -> int:
+        return proc.kstate.pid
+
+    def sys_kill(self, proc, pid: int, sig: int) -> int:
+        if sig < 0 or sig > 64:
+            raise VfsError("EINVAL")
+        # only self-signalling is modelled
+        if pid != proc.kstate.pid:
+            return -errno_number("ESRCH")
+        raise ProcessExit(-sig)
+
+    def sys_exit(self, proc, status: int) -> int:
+        raise ProcessExit(_sgn(status))
+
+    def sys_fork(self, proc) -> int:
+        # Guest-level fork is not modelled; apps spawn sibling processes
+        # at the host level (see apps.minipidgin).
+        return -errno_number("EAGAIN")
+
+    def sys_nanosleep(self, proc, ns: int, rem: int) -> int:
+        ns = _sgn(ns)
+        if ns < 0:
+            raise VfsError("EINVAL")
+        self.clock_ns += ns
+        return 0
+
+    def sys_modify_ldt(self, proc, func: int, ptr: int, count: int) -> int:
+        return -errno_number("ENOSYS")
+
+    # -- sockets -----------------------------------------------------------
+
+    def sys_socket(self, proc, domain: int, type_: int, proto: int) -> int:
+        if domain < 0 or type_ < 0:
+            raise VfsError("EINVAL")
+        entry = FileDesc(kind="socket", socket=Socket())
+        return proc.kstate.alloc_fd(entry, self.max_fds)
+
+    def _socket_of(self, proc, fd: int) -> FileDesc:
+        entry = self._fd(proc, fd)
+        if entry.kind != "socket":
+            raise SocketError("ENOTSOCK")
+        return entry
+
+    def _endpoint_of(self, entry: FileDesc) -> Endpoint:
+        if entry.endpoint is not None:
+            return entry.endpoint
+        if entry.socket is not None and entry.socket.endpoint is not None:
+            return entry.socket.endpoint
+        raise SocketError("ENOTCONN")
+
+    def sys_bind(self, proc, fd: int, port: int, _len: int) -> int:
+        entry = self._socket_of(proc, fd)
+        self.sockets.bind(entry.socket, port)
+        return 0
+
+    def sys_listen(self, proc, fd: int, backlog: int) -> int:
+        entry = self._socket_of(proc, fd)
+        entry.socket.backlog_limit = max(1, backlog)
+        self.sockets.listen(entry.socket)
+        return 0
+
+    def sys_accept(self, proc, fd: int, _addr: int, _len: int) -> int:
+        entry = self._socket_of(proc, fd)
+        endpoint = self.sockets.accept(entry.socket)
+        new = FileDesc(kind="socket", endpoint=endpoint)
+        return proc.kstate.alloc_fd(new, self.max_fds)
+
+    def sys_connect(self, proc, fd: int, port: int, _len: int) -> int:
+        entry = self._socket_of(proc, fd)
+        self.sockets.connect(entry.socket, port)
+        entry.endpoint = entry.socket.endpoint
+        return 0
+
+    def sys_send(self, proc, fd: int, buf: int, count: int,
+                 _flags: int) -> int:
+        self._check_buf(buf, count)
+        entry = self._socket_of(proc, fd)
+        data = proc.mem_read(buf, count)
+        return self._endpoint_of(entry).send(data)
+
+    def sys_recv(self, proc, fd: int, buf: int, count: int,
+                 _flags: int) -> int:
+        self._check_buf(buf, count)
+        entry = self._socket_of(proc, fd)
+        data = self._endpoint_of(entry).recv(count)
+        proc.mem_write(buf, data)
+        return len(data)

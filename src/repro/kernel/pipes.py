@@ -1,0 +1,70 @@
+"""Bounded pipes with short-write semantics.
+
+Pipes have a finite capacity; when a writer offers more bytes than fit,
+the kernel accepts a *partial* write — the precise low-level behaviour
+behind the previously-unknown Pidgin bug LFI found (§6.1): the forked DNS
+resolver "does not handle the case when writes fail or are incomplete".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class PipeError(Exception):
+    """Pipe failure identified by errno name (EPIPE, EAGAIN)."""
+
+    def __init__(self, errno_name: str) -> None:
+        super().__init__(errno_name)
+        self.errno_name = errno_name
+
+
+@dataclass
+class Pipe:
+    """A unidirectional byte channel shared by two processes."""
+
+    capacity: int = 4096
+    buffer: bytearray = field(default_factory=bytearray)
+    read_open: bool = True
+    write_open: bool = True
+
+    def write(self, data: bytes) -> int:
+        """Append up to capacity; returns bytes accepted (may be short).
+
+        Raises EPIPE once the read side is gone (a real kernel would also
+        raise SIGPIPE; our libc surfaces the errno).  Raises EAGAIN when
+        completely full, matching O_NONBLOCK pipes — the cooperative
+        scheduler in the apps retries.
+        """
+        if not self.read_open:
+            raise PipeError("EPIPE")
+        room = self.capacity - len(self.buffer)
+        if room <= 0:
+            raise PipeError("EAGAIN")
+        accepted = data[:room]
+        self.buffer.extend(accepted)
+        return len(accepted)
+
+    def read(self, count: int) -> bytes:
+        """Take up to ``count`` bytes; empty result means would-block/EOF.
+
+        Raises EAGAIN when empty but the writer is still open (the caller
+        should retry); returns ``b""`` for true EOF.
+        """
+        if not self.buffer:
+            if self.write_open:
+                raise PipeError("EAGAIN")
+            return b""
+        chunk = bytes(self.buffer[:count])
+        del self.buffer[:count]
+        return chunk
+
+    def close_read(self) -> None:
+        self.read_open = False
+
+    def close_write(self) -> None:
+        self.write_open = False
+
+    @property
+    def fill(self) -> int:
+        return len(self.buffer)

@@ -1,0 +1,117 @@
+"""Loopback sockets for the simulated kernel.
+
+Enough of the Berkeley API for the miniweb/AB experiments (Table 3):
+listen/accept with a backlog, connect by integer port, bidirectional
+bounded buffers with short sends, connection reset on close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class SocketError(Exception):
+    """Socket failure identified by errno name."""
+
+    def __init__(self, errno_name: str) -> None:
+        super().__init__(errno_name)
+        self.errno_name = errno_name
+
+
+@dataclass
+class Endpoint:
+    """One side of an established connection."""
+
+    inbox: bytearray = field(default_factory=bytearray)
+    capacity: int = 65536
+    peer: Optional["Endpoint"] = None
+    open: bool = True
+
+    def send(self, data: bytes) -> int:
+        if self.peer is None or not self.peer.open:
+            raise SocketError("ECONNRESET" if self.peer else "ENOTCONN")
+        room = self.peer.capacity - len(self.peer.inbox)
+        if room <= 0:
+            raise SocketError("EAGAIN")
+        accepted = data[:room]
+        self.peer.inbox.extend(accepted)
+        return len(accepted)
+
+    def recv(self, count: int) -> bytes:
+        if not self.inbox:
+            if self.peer is None:
+                raise SocketError("ENOTCONN")
+            if not self.peer.open:
+                return b""
+            raise SocketError("EAGAIN")
+        chunk = bytes(self.inbox[:count])
+        del self.inbox[:count]
+        return chunk
+
+    def close(self) -> None:
+        self.open = False
+
+
+@dataclass
+class Socket:
+    """A socket descriptor: unbound, listening, or connected."""
+
+    listening: bool = False
+    port: Optional[int] = None
+    backlog: List[Endpoint] = field(default_factory=list)
+    backlog_limit: int = 16
+    endpoint: Optional[Endpoint] = None
+
+    def is_connected(self) -> bool:
+        return self.endpoint is not None
+
+
+class SocketTable:
+    """Kernel-wide registry of bound ports."""
+
+    def __init__(self) -> None:
+        self.listeners: Dict[int, Socket] = {}
+
+    def bind(self, sock: Socket, port: int) -> None:
+        if sock.port is not None:
+            raise SocketError("EINVAL")
+        if port in self.listeners:
+            raise SocketError("EADDRINUSE")
+        sock.port = port
+
+    def listen(self, sock: Socket) -> None:
+        if sock.port is None:
+            raise SocketError("EADDRINUSE")
+        sock.listening = True
+        self.listeners[sock.port] = sock
+
+    def connect(self, sock: Socket, port: int) -> None:
+        if sock.is_connected():
+            raise SocketError("EISCONN")
+        listener = self.listeners.get(port)
+        if listener is None or not listener.listening:
+            raise SocketError("ECONNREFUSED")
+        if len(listener.backlog) >= listener.backlog_limit:
+            raise SocketError("ETIMEDOUT")
+        client_end = Endpoint()
+        server_end = Endpoint()
+        client_end.peer = server_end
+        server_end.peer = client_end
+        sock.endpoint = client_end
+        listener.backlog.append(server_end)
+
+    @staticmethod
+    def accept(listener: Socket) -> Endpoint:
+        if not listener.listening:
+            raise SocketError("EINVAL")
+        if not listener.backlog:
+            raise SocketError("EAGAIN")
+        return listener.backlog.pop(0)
+
+    def close(self, sock: Socket) -> None:
+        if sock.listening and sock.port is not None:
+            self.listeners.pop(sock.port, None)
+            sock.listening = False
+        if sock.endpoint is not None:
+            sock.endpoint.close()

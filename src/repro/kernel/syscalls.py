@@ -1,0 +1,131 @@
+"""Declarative system-call specifications.
+
+Each :class:`SyscallSpec` is the single source of truth for one syscall:
+
+* its number and argument count (used by libc wrappers and the VM),
+* the errno values it can produce, per OS flavour — these drive BOTH the
+  runtime kernel (which may only fail with declared errors) and the
+  generated *kernel image* that the LFI profiler statically analyzes
+  (§3.1: error codes "originate in the kernel and may be propagated by
+  the libraries"),
+* the errno values its *documentation* admits to, which may be an
+  incomplete subset — reproducing the paper's ``modify_ldt`` finding,
+  where the man page listed EFAULT/EINVAL/ENOSYS but the profiler found
+  ENOMEM as well, and the platform-dependent ``close`` sets (ENOLINK is
+  Solaris-only, §3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .errno import errno_number
+
+
+@dataclass(frozen=True)
+class SyscallSpec:
+    name: str
+    nr: int
+    nargs: int
+    errors: Tuple[str, ...]                       # base errno names
+    extra_errors: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    documented: Optional[Tuple[str, ...]] = None  # None => same as errors
+
+    def errors_for(self, os: str) -> Tuple[str, ...]:
+        """Errno names this syscall can produce on the given OS."""
+        return self.errors + self.extra_errors.get(os, ())
+
+    def error_numbers_for(self, os: str) -> Tuple[int, ...]:
+        return tuple(errno_number(e) for e in self.errors_for(os))
+
+    def documented_errors_for(self, os: str) -> Tuple[str, ...]:
+        """What the man page admits to (used for Table 2 style scoring)."""
+        base = self.errors if self.documented is None else self.documented
+        return base + self.extra_errors.get(os, ())
+
+
+SYSCALLS: Tuple[SyscallSpec, ...] = (
+    SyscallSpec("exit", 1, 1, ()),
+    SyscallSpec("fork", 2, 0, ("EAGAIN", "ENOMEM")),
+    SyscallSpec("read", 3, 3,
+                ("EBADF", "EFAULT", "EINTR", "EIO", "EAGAIN", "EISDIR",
+                 "EINVAL")),
+    SyscallSpec("write", 4, 3,
+                ("EBADF", "EFAULT", "EINTR", "EIO", "EAGAIN", "EPIPE",
+                 "ENOSPC", "EFBIG", "EINVAL")),
+    SyscallSpec("open", 5, 3,
+                ("ENOENT", "EACCES", "EMFILE", "ENFILE", "ENOMEM",
+                 "EEXIST", "EISDIR", "ENOTDIR", "ENAMETOOLONG", "EINTR")),
+    SyscallSpec("close", 6, 1,
+                ("EBADF", "EIO", "EINTR"),
+                extra_errors={"Solaris": ("ENOLINK",)}),
+    SyscallSpec("link", 9, 2,
+                ("EEXIST", "ENOENT", "EPERM", "EMLINK", "ENOTDIR",
+                 "EACCES", "EXDEV")),
+    SyscallSpec("unlink", 10, 1,
+                ("ENOENT", "EACCES", "EBUSY", "EISDIR", "EPERM")),
+    SyscallSpec("access", 33, 2,
+                ("ENOENT", "EACCES", "ENOTDIR", "EFAULT",
+                 "ENAMETOOLONG")),
+    SyscallSpec("rename", 38, 2,
+                ("ENOENT", "EACCES", "EISDIR", "ENOTDIR", "ENOTEMPTY",
+                 "EXDEV", "EINVAL")),
+    SyscallSpec("lseek", 19, 3, ("EBADF", "EINVAL", "ESPIPE")),
+    SyscallSpec("getpid", 20, 0, ()),
+    SyscallSpec("kill", 37, 2, ("ESRCH", "EPERM", "EINVAL")),
+    SyscallSpec("mkdir", 39, 2,
+                ("EEXIST", "ENOENT", "EACCES", "ENOSPC", "ENOTDIR")),
+    SyscallSpec("rmdir", 40, 1,
+                ("ENOENT", "ENOTEMPTY", "ENOTDIR", "EBUSY")),
+    SyscallSpec("dup", 41, 1, ("EBADF", "EMFILE")),
+    SyscallSpec("pipe", 42, 1, ("EMFILE", "ENFILE", "EFAULT")),
+    SyscallSpec("brk", 45, 1, ("ENOMEM",)),
+    SyscallSpec("mmap", 90, 2, ("ENOMEM", "EINVAL", "EACCES")),
+    SyscallSpec("munmap", 91, 2, ("EINVAL",)),
+    SyscallSpec("stat", 106, 2,
+                ("ENOENT", "EACCES", "EFAULT", "ENOTDIR", "ENAMETOOLONG")),
+    SyscallSpec("fsync", 118, 1, ("EBADF", "EIO", "EINVAL")),
+    # The paper's documentation-inconsistency case study: the man page
+    # claims EFAULT/EINVAL/ENOSYS, the binary also produces ENOMEM.
+    SyscallSpec("modify_ldt", 123, 3,
+                ("EFAULT", "EINVAL", "ENOSYS", "ENOMEM"),
+                documented=("EFAULT", "EINVAL", "ENOSYS")),
+    SyscallSpec("getdents", 141, 3,
+                ("EBADF", "EFAULT", "ENOTDIR", "ENOENT")),
+    SyscallSpec("nanosleep", 162, 2, ("EINTR", "EINVAL", "EFAULT")),
+    SyscallSpec("ftruncate", 93, 2, ("EBADF", "EINVAL", "EFBIG")),
+    SyscallSpec("socket", 359, 3,
+                ("EACCES", "EMFILE", "ENFILE", "ENOBUFS", "ENOMEM",
+                 "EINVAL")),
+    SyscallSpec("bind", 361, 3,
+                ("EADDRINUSE", "EBADF", "EINVAL", "ENOTSOCK", "EACCES")),
+    SyscallSpec("connect", 362, 3,
+                ("ECONNREFUSED", "EBADF", "ETIMEDOUT", "EINTR", "EISCONN",
+                 "ENETUNREACH", "EADDRINUSE", "ENOTSOCK")),
+    SyscallSpec("listen", 363, 2,
+                ("EBADF", "ENOTSOCK", "EOPNOTSUPP", "EADDRINUSE")),
+    SyscallSpec("accept", 364, 3,
+                ("EBADF", "ENOTSOCK", "EAGAIN", "EINTR", "ECONNABORTED",
+                 "EMFILE")),
+    SyscallSpec("send", 369, 4,
+                ("EBADF", "EPIPE", "EAGAIN", "EINTR", "ECONNRESET",
+                 "EMSGSIZE", "ENOTCONN", "ENOTSOCK")),
+    SyscallSpec("recv", 371, 4,
+                ("EBADF", "EAGAIN", "EINTR", "ECONNRESET", "ENOTCONN",
+                 "ENOTSOCK")),
+)
+
+SYSCALL_BY_NAME: Dict[str, SyscallSpec] = {s.name: s for s in SYSCALLS}
+SYSCALL_BY_NR: Dict[int, SyscallSpec] = {s.nr: s for s in SYSCALLS}
+
+#: Convenience constants: NR_read, NR_write, ...
+for _spec in SYSCALLS:
+    globals()[f"NR_{_spec.name}"] = _spec.nr
+
+
+def spec(name: str) -> SyscallSpec:
+    try:
+        return SYSCALL_BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown syscall {name!r}") from None

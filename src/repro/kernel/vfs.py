@@ -1,0 +1,240 @@
+"""An in-memory virtual filesystem for the simulated kernel.
+
+Small but real: hierarchical directories, regular files, byte-granular
+read/write/seek, a disk-capacity limit (so ENOSPC can genuinely occur)
+and directory enumeration for ``getdents``.  Guest-visible failures are
+reported by raising :class:`VfsError` carrying an errno *name*; the
+kernel layer translates to negative numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class VfsError(Exception):
+    """A POSIX-style filesystem failure, identified by errno name."""
+
+    def __init__(self, errno_name: str, message: str = "") -> None:
+        super().__init__(f"{errno_name}: {message}" if message else errno_name)
+        self.errno_name = errno_name
+
+
+# open(2) flag bits, matching what our libc exports.
+O_RDONLY = 0x0
+O_WRONLY = 0x1
+O_RDWR = 0x2
+O_CREAT = 0x40
+O_EXCL = 0x80
+O_TRUNC = 0x200
+O_APPEND = 0x400
+O_DIRECTORY = 0x10000
+
+_ACC_MODE = 0x3
+
+
+@dataclass
+class VNode:
+    """A file or directory node."""
+
+    name: str
+    is_dir: bool
+    data: bytearray = field(default_factory=bytearray)
+    children: Dict[str, "VNode"] = field(default_factory=dict)
+    nlink: int = 1
+
+    def size(self) -> int:
+        return len(self.data)
+
+
+class Vfs:
+    """The filesystem tree plus global accounting."""
+
+    def __init__(self, *, capacity: int = 1 << 24,
+                 max_name: int = 255) -> None:
+        self.root = VNode("/", is_dir=True)
+        self.capacity = capacity
+        self.used = 0
+        self.max_name = max_name
+
+    # -- path handling ---------------------------------------------------
+
+    @staticmethod
+    def _split(path: str) -> List[str]:
+        return [p for p in path.split("/") if p]
+
+    def _walk(self, parts: List[str]) -> VNode:
+        node = self.root
+        for part in parts:
+            if not node.is_dir:
+                raise VfsError("ENOTDIR", part)
+            child = node.children.get(part)
+            if child is None:
+                raise VfsError("ENOENT", part)
+            node = child
+        return node
+
+    def lookup(self, path: str) -> VNode:
+        return self._walk(self._split(path))
+
+    def _parent_of(self, path: str) -> Tuple[VNode, str]:
+        parts = self._split(path)
+        if not parts:
+            raise VfsError("EINVAL", "empty path")
+        name = parts[-1]
+        if len(name) > self.max_name:
+            raise VfsError("ENAMETOOLONG", name)
+        parent = self._walk(parts[:-1])
+        if not parent.is_dir:
+            raise VfsError("ENOTDIR", path)
+        return parent, name
+
+    # -- operations ------------------------------------------------------
+
+    def open_node(self, path: str, flags: int) -> VNode:
+        """Resolve (and possibly create/truncate) the node behind open()."""
+        try:
+            node = self.lookup(path)
+        except VfsError as exc:
+            if exc.errno_name != "ENOENT" or not flags & O_CREAT:
+                raise
+            parent, name = self._parent_of(path)
+            node = VNode(name, is_dir=False)
+            parent.children[name] = node
+            return node
+        if flags & O_CREAT and flags & O_EXCL:
+            raise VfsError("EEXIST", path)
+        if node.is_dir and (flags & _ACC_MODE) != O_RDONLY:
+            raise VfsError("EISDIR", path)
+        if not node.is_dir and flags & O_DIRECTORY:
+            raise VfsError("ENOTDIR", path)
+        if flags & O_TRUNC and not node.is_dir:
+            self.used -= node.size()
+            node.data = bytearray()
+        return node
+
+    def read_at(self, node: VNode, pos: int, count: int) -> bytes:
+        if node.is_dir:
+            raise VfsError("EISDIR", node.name)
+        return bytes(node.data[pos:pos + count])
+
+    def write_at(self, node: VNode, pos: int, data: bytes) -> int:
+        if node.is_dir:
+            raise VfsError("EISDIR", node.name)
+        end = pos + len(data)
+        growth = max(0, end - node.size())
+        if self.used + growth > self.capacity:
+            # accept what fits, like a nearly-full disk would
+            allowed_growth = self.capacity - self.used
+            if allowed_growth <= 0 and growth > 0:
+                raise VfsError("ENOSPC", node.name)
+            data = data[:node.size() - pos + allowed_growth] \
+                if pos <= node.size() else b""
+            if not data:
+                raise VfsError("ENOSPC", node.name)
+            end = pos + len(data)
+            growth = max(0, end - node.size())
+        if end > node.size():
+            node.data.extend(b"\x00" * (end - node.size()))
+        node.data[pos:end] = data
+        self.used += growth
+        return len(data)
+
+    def mkdir(self, path: str) -> None:
+        parent, name = self._parent_of(path)
+        if name in parent.children:
+            raise VfsError("EEXIST", path)
+        parent.children[name] = VNode(name, is_dir=True)
+
+    def rmdir(self, path: str) -> None:
+        parent, name = self._parent_of(path)
+        node = parent.children.get(name)
+        if node is None:
+            raise VfsError("ENOENT", path)
+        if not node.is_dir:
+            raise VfsError("ENOTDIR", path)
+        if node.children:
+            raise VfsError("ENOTEMPTY", path)
+        del parent.children[name]
+
+    def unlink(self, path: str) -> None:
+        parent, name = self._parent_of(path)
+        node = parent.children.get(name)
+        if node is None:
+            raise VfsError("ENOENT", path)
+        if node.is_dir:
+            raise VfsError("EISDIR", path)
+        node.nlink -= 1
+        if node.nlink <= 0:
+            self.used -= node.size()
+        del parent.children[name]
+
+    def link(self, old_path: str, new_path: str) -> None:
+        """Create a hard link (both names share the node)."""
+        node = self.lookup(old_path)
+        if node.is_dir:
+            raise VfsError("EPERM", old_path)
+        if node.nlink >= 1000:
+            raise VfsError("EMLINK", old_path)
+        parent, name = self._parent_of(new_path)
+        if name in parent.children:
+            raise VfsError("EEXIST", new_path)
+        node.nlink += 1
+        parent.children[name] = node
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        """Atomically move a file or empty-target directory."""
+        old_parent, old_name = self._parent_of(old_path)
+        node = old_parent.children.get(old_name)
+        if node is None:
+            raise VfsError("ENOENT", old_path)
+        new_parent, new_name = self._parent_of(new_path)
+        target = new_parent.children.get(new_name)
+        if target is not None:
+            if target is node:
+                return
+            if target.is_dir and not node.is_dir:
+                raise VfsError("EISDIR", new_path)
+            if node.is_dir and not target.is_dir:
+                raise VfsError("ENOTDIR", new_path)
+            if target.is_dir and target.children:
+                raise VfsError("ENOTEMPTY", new_path)
+            if not target.is_dir:
+                target.nlink -= 1
+                if target.nlink <= 0:
+                    self.used -= target.size()
+        del old_parent.children[old_name]
+        node.name = new_name
+        new_parent.children[new_name] = node
+
+    def access(self, path: str) -> None:
+        """Existence check; raises ENOENT/ENOTDIR like access(2)."""
+        self.lookup(path)
+
+    def stat(self, path: str) -> Tuple[int, int]:
+        """Return (size, is_dir) for the node at ``path``."""
+        node = self.lookup(path)
+        return node.size(), 1 if node.is_dir else 0
+
+    def listdir(self, node: VNode) -> List[str]:
+        if not node.is_dir:
+            raise VfsError("ENOTDIR", node.name)
+        return sorted(node.children)
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.lookup(path)
+            return True
+        except VfsError:
+            return False
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Host-side helper to seed fixture files."""
+        node = self.open_node(path, O_CREAT | O_TRUNC | O_WRONLY)
+        self.write_at(node, 0, data)
+
+    def read_file(self, path: str) -> bytes:
+        """Host-side helper to inspect files."""
+        node = self.lookup(path)
+        return bytes(node.data)

@@ -1,0 +1,49 @@
+"""Address-space layout conventions shared by toolchain, loader and profiler.
+
+Real systems fix these conventions in the psABI; we fix them here so that
+position-independent code, the dynamic linker and the static analyzer all
+agree:
+
+* A module's ``.text`` is mapped at its load base; its ``.data`` (globals
+  and GOT) is mapped at ``base + DATA_REGION_OFFSET``.  PIC sequences
+  derive the base with the call/pop idiom and reach data with a constant
+  displacement, which is what the side-effect analyzer (§3.2) recognizes
+  statically.
+* Reading ``gs:[0]`` yields the *executing module's* TLS block base for
+  the current thread (a compressed model of the DTV dance in real TLS).
+"""
+
+#: .data (globals + GOT) lives at module base + this offset.
+DATA_REGION_OFFSET = 0x100000
+
+#: Modules are loaded at bases spaced this far apart.
+MODULE_SPACING = 0x400000
+
+#: First module load base.
+FIRST_MODULE_BASE = 0x08000000
+
+#: Stack top (grows down) and reserved size.
+STACK_TOP = 0xBF000000
+STACK_SIZE = 0x00100000
+
+#: Guest heap region handed out by the kernel's mmap/brk.
+HEAP_BASE = 0x40000000
+HEAP_LIMIT = 0x50000000
+
+#: TLS blocks are carved out of this region, one block per module.
+TLS_REGION_BASE = 0xB0000000
+TLS_BLOCK_SPACING = 0x10000
+
+#: Sentinel return address: when the CPU returns here, a host-initiated
+#: call has completed.
+RETURN_SENTINEL = 0xFFFFFFF0
+
+
+def module_base(index: int) -> int:
+    """Load base for the ``index``-th module loaded into a process."""
+    return FIRST_MODULE_BASE + index * MODULE_SPACING
+
+
+def data_base(module_load_base: int) -> int:
+    """Absolute address of a module's .data region."""
+    return module_load_base + DATA_REGION_OFFSET

@@ -1,0 +1,93 @@
+"""Platform descriptors.
+
+The paper evaluates LFI on three platforms: Linux/x86, Windows/x86 and
+Solaris/SPARC (§6.3).  A :class:`Platform` bundles everything that varies
+between them in our reproduction:
+
+* the machine (register file / ABI family) the libraries are compiled for,
+* how a shim library is interposed (``LD_PRELOAD`` vs. the Windows
+  ``WriteProcessMemory``/``CreateRemoteThread`` dance, §5.1),
+* how libraries expose the errno side channel (TLS on Linux/Windows,
+  a global location on our Solaris flavour — both appear in Table 1),
+* the names of the platform's binary-inspection tools (``objdump`` /
+  ``ldd`` on Linux and Solaris, ``dumpbin`` on Windows, §3.1), which the
+  profiler shells out to conceptually (here: calls into ``binfmt.tools``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: Interposition strategies (§5.1).
+PRELOAD = "LD_PRELOAD"
+REMOTE_THREAD = "WriteProcessMemory/CreateRemoteThread"
+
+#: errno side-channel kinds (§3.2 / Table 1).
+CHANNEL_TLS = "TLS"
+CHANNEL_GLOBAL = "GLOBAL"
+
+
+@dataclass(frozen=True)
+class Platform:
+    """An (operating system, CPU architecture) pair LFI runs on."""
+
+    name: str
+    os: str
+    arch: str
+    machine: str              # ISA family tag understood by repro.isa.abi
+    interposition: str        # PRELOAD or REMOTE_THREAD
+    errno_channel: str        # CHANNEL_TLS or CHANNEL_GLOBAL
+    disassembler_tool: str    # name of the conceptual host tool
+    dependency_tool: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+LINUX_X86 = Platform(
+    name="linux-x86",
+    os="Linux",
+    arch="x86",
+    machine="x86sim",
+    interposition=PRELOAD,
+    errno_channel=CHANNEL_TLS,
+    disassembler_tool="objdump",
+    dependency_tool="ldd",
+)
+
+WINDOWS_X86 = Platform(
+    name="windows-x86",
+    os="Windows",
+    arch="x86",
+    machine="x86sim",
+    interposition=REMOTE_THREAD,
+    errno_channel=CHANNEL_TLS,
+    disassembler_tool="dumpbin",
+    dependency_tool="dumpbin /dependents",
+)
+
+SOLARIS_SPARC = Platform(
+    name="solaris-sparc",
+    os="Solaris",
+    arch="SPARC",
+    machine="sparcsim",
+    interposition=PRELOAD,
+    errno_channel=CHANNEL_GLOBAL,
+    disassembler_tool="objdump",
+    dependency_tool="ldd",
+)
+
+ALL_PLATFORMS = (LINUX_X86, WINDOWS_X86, SOLARIS_SPARC)
+
+_BY_NAME = {p.name: p for p in ALL_PLATFORMS}
+
+
+def platform_by_name(name: str) -> Platform:
+    """Look up a platform descriptor by its canonical name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,13 @@
+"""Guest runtime: memory, CPU interpreter, dynamic linker, processes."""
+
+from .cpu import Cpu, HostFunction, ShadowFrame, sgn32
+from .memory import MASK32, Memory
+from .process import LoadedModule, Process
+from .trace import TraceEntry, Tracer
+
+__all__ = [
+    "Memory", "MASK32",
+    "Cpu", "HostFunction", "ShadowFrame", "sgn32",
+    "Process", "LoadedModule",
+    "Tracer", "TraceEntry",
+]

@@ -1,0 +1,327 @@
+"""The CPU interpreter.
+
+Executes predecoded SELF machine code against a :class:`Memory`, with:
+
+* exact signed comparisons for conditional branches,
+* a shadow call stack for backtrace triggers (§4's ``<stacktrace>``),
+* host functions — symbols the dynamic linker binds to Python callables;
+  *raw* host functions may rewrite CPU state directly, which is how the
+  synthesized interception stubs hand control to the LFI controller and
+  then either return an injected value or tail-jump to the original
+  (§5.1's ``jmp [original_fn_ptr]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import IllegalInstruction, MemoryFault, RuntimeFault
+from ..isa import Imm, ImportSlot, Mem, Reg, Rel
+from ..isa.instructions import Instruction
+from ..layout import RETURN_SENTINEL
+from .memory import MASK32, Memory
+
+
+def sgn32(value: int) -> int:
+    """Interpret a 32-bit pattern as signed."""
+    value &= MASK32
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+@dataclass
+class ShadowFrame:
+    """One entry of the shadow call stack (for backtraces)."""
+
+    return_addr: int
+    callee_addr: int
+
+
+@dataclass
+class HostFunction:
+    """A Python callable bound into the guest symbol space."""
+
+    name: str
+    fn: Callable
+    raw: bool = False
+
+
+class _RunComplete(Exception):
+    """Internal: control returned to the host-call sentinel."""
+
+
+class Cpu:
+    """One virtual CPU bound to a process."""
+
+    def __init__(self, proc) -> None:
+        self.proc = proc
+        self.abi = proc.abi
+        self.mem: Memory = proc.memory
+        self.regs = {name: 0 for name in self.abi.registers}
+        self.zf = False
+        self.sf = False
+        self.eip = 0
+        self.shadow: List[ShadowFrame] = []
+        self.instructions_executed = 0
+        #: optional per-instruction hook: fn(addr, instruction)
+        self.tracer = None
+
+    # -- operand plumbing ---------------------------------------------------
+
+    def _mem_addr(self, op: Mem) -> int:
+        addr = op.disp
+        if op.base:
+            addr += self.regs[op.base]
+        if op.index:
+            addr += self.regs[op.index] * op.scale
+        addr &= MASK32
+        if op.segment == "gs":
+            addr = (addr + self.proc.tls_base_for_addr(self.eip)) & MASK32
+        return addr
+
+    def _read(self, op) -> int:
+        if isinstance(op, Reg):
+            return self.regs[op.name]
+        if isinstance(op, Imm):
+            return op.value & MASK32
+        if isinstance(op, Mem):
+            return self.mem.read_u32(self._mem_addr(op))
+        raise IllegalInstruction(
+            f"operand {op!r} not readable at {self.eip:#x}", eip=self.eip)
+
+    def _write(self, op, value: int) -> None:
+        value &= MASK32
+        if isinstance(op, Reg):
+            self.regs[op.name] = value
+        elif isinstance(op, Mem):
+            self.mem.write_u32(self._mem_addr(op), value)
+        else:
+            raise IllegalInstruction(
+                f"operand {op!r} not writable at {self.eip:#x}", eip=self.eip)
+
+    def _set_flags(self, signed_result: int) -> None:
+        self.zf = signed_result == 0
+        self.sf = signed_result < 0
+
+    # -- stack ------------------------------------------------------------
+
+    def push(self, value: int) -> None:
+        sp = (self.regs[self.abi.stack_pointer] - 4) & MASK32
+        self.regs[self.abi.stack_pointer] = sp
+        self.mem.write_u32(sp, value)
+
+    def pop(self) -> int:
+        sp = self.regs[self.abi.stack_pointer]
+        value = self.mem.read_u32(sp)
+        self.regs[self.abi.stack_pointer] = (sp + 4) & MASK32
+        return value
+
+    # -- control transfer ------------------------------------------------
+
+    def _enter(self, target: int, *, is_call: bool, return_addr: int) -> None:
+        if is_call:
+            self.push(return_addr)
+            self.shadow.append(ShadowFrame(return_addr, target))
+        host = self.proc.host_functions.get(target)
+        if host is not None:
+            self._invoke_host(host)
+        else:
+            self.eip = target
+
+    def _invoke_host(self, host: HostFunction) -> None:
+        if host.raw:
+            host.fn(self.proc, self)
+            return
+        result = host.fn(self.proc, self)
+        ret = self.pop()
+        if self.shadow:
+            self.shadow.pop()
+        if result is not None:
+            self.regs[self.abi.return_register] = result & MASK32
+        if ret == RETURN_SENTINEL:
+            raise _RunComplete
+        self.eip = ret
+
+    def invoke_host_toplevel(self, host: HostFunction) -> None:
+        """Invoke a host function outside run() (host-initiated call)."""
+        try:
+            self._invoke_host(host)
+        except _RunComplete:
+            pass
+
+    def force_transfer(self, addr: int, new_sp: int) -> None:
+        """Raw host functions redirect execution here.
+
+        Sets the stack pointer, then either resumes at ``addr`` or — when
+        ``addr`` is the host-call sentinel — completes the run, exactly
+        like a ``ret`` would.
+        """
+        self.regs[self.abi.stack_pointer] = new_sp & 0xFFFFFFFF
+        if addr == RETURN_SENTINEL:
+            raise _RunComplete
+        host = self.proc.host_functions.get(addr)
+        if host is not None:
+            self._invoke_host(host)
+            return
+        self.eip = addr
+
+    def do_return(self) -> None:
+        ret = self.pop()
+        if self.shadow:
+            self.shadow.pop()
+        if ret == RETURN_SENTINEL:
+            raise _RunComplete
+        self.eip = ret
+
+    def backtrace(self, limit: int = 32) -> List[int]:
+        """Return addresses of callees, innermost first."""
+        return [f.callee_addr for f in reversed(self.shadow[-limit:])]
+
+    # -- host-call argument access -----------------------------------------
+
+    def host_arg(self, index: int) -> int:
+        """Read argument ``index`` of the current host call (signed)."""
+        if self.abi.arg_registers:
+            return sgn32(self.regs[self.abi.arg_registers[index]])
+        sp = self.regs[self.abi.stack_pointer]
+        return self.mem.read_i32(sp + 4 + 4 * index)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> None:
+        entry = self.proc.code_cache.get(self.eip)
+        if entry is None:
+            raise MemoryFault(
+                f"execution reached unmapped code at {self.eip:#010x}",
+                eip=self.eip)
+        insn, size, target = entry
+        self.instructions_executed += 1
+        if self.tracer is not None:
+            self.tracer(self.eip, insn)
+        next_eip = self.eip + size
+        m = insn.mnemonic
+        ops = insn.operands
+
+        if m == "mov":
+            self._write(ops[0], self._read(ops[1]))
+        elif m == "lea":
+            self._write(ops[0], self._mem_addr(ops[1]))
+        elif m in ("add", "sub", "and", "or", "xor", "imul", "shl", "shr"):
+            a = self._read(ops[0])
+            b = self._read(ops[1])
+            if m == "add":
+                r = a + b
+            elif m == "sub":
+                r = a - b
+            elif m == "and":
+                r = a & b
+            elif m == "or":
+                r = a | b
+            elif m == "xor":
+                r = a ^ b
+            elif m == "imul":
+                r = sgn32(a) * sgn32(b)
+            elif m == "shl":
+                r = a << (b & 31)
+            else:
+                r = a >> (b & 31)
+            self._write(ops[0], r)
+            self._set_flags(sgn32(r))
+        elif m == "neg":
+            r = -sgn32(self._read(ops[0]))
+            self._write(ops[0], r)
+            self._set_flags(sgn32(r))
+        elif m == "not":
+            self._write(ops[0], ~self._read(ops[0]))
+        elif m == "inc":
+            r = self._read(ops[0]) + 1
+            self._write(ops[0], r)
+            self._set_flags(sgn32(r))
+        elif m == "dec":
+            r = self._read(ops[0]) - 1
+            self._write(ops[0], r)
+            self._set_flags(sgn32(r))
+        elif m == "cmp":
+            diff = sgn32(self._read(ops[0])) - sgn32(self._read(ops[1]))
+            self._set_flags(diff)
+        elif m == "test":
+            self._set_flags(sgn32(self._read(ops[0]) & self._read(ops[1])))
+        elif m == "push":
+            self.push(self._read(ops[0]))
+        elif m == "pop":
+            self._write(ops[0], self.pop())
+        elif m == "jmp":
+            self.eip = self._branch_target(ops[0], target)
+            host = self.proc.host_functions.get(self.eip)
+            if host is not None:
+                self._invoke_host(host)
+            return
+        elif m in ("jz", "jnz", "js", "jns", "jl", "jle", "jg", "jge"):
+            taken = {
+                "jz": self.zf, "jnz": not self.zf,
+                "js": self.sf, "jns": not self.sf,
+                "jl": self.sf, "jge": not self.sf,
+                "jle": self.sf or self.zf,
+                "jg": not self.sf and not self.zf,
+            }[m]
+            if taken:
+                self.eip = target
+                return
+        elif m == "call":
+            dest = self._branch_target(ops[0], target)
+            self.eip = next_eip
+            self._enter(dest, is_call=True, return_addr=next_eip)
+            return
+        elif m == "ret":
+            self.do_return()
+            return
+        elif m == "leave":
+            fp = self.abi.frame_pointer
+            self.regs[self.abi.stack_pointer] = self.regs[fp]
+            self.regs[fp] = self.pop()
+        elif m == "nop":
+            pass
+        elif m == "int":
+            self._syscall(ops[0])
+        elif m == "hlt":
+            raise IllegalInstruction("hlt executed", eip=self.eip)
+        else:  # pragma: no cover - defensive
+            raise IllegalInstruction(f"unhandled {m}", eip=self.eip)
+        self.eip = next_eip
+
+    def _branch_target(self, op, precomputed: Optional[int]) -> int:
+        if precomputed is not None:
+            return precomputed
+        if isinstance(op, Reg):
+            return self.regs[op.name]
+        if isinstance(op, ImportSlot):
+            return self.proc.plt_resolve(self.eip, op.slot)
+        raise IllegalInstruction(
+            f"bad branch operand {op!r} at {self.eip:#x}", eip=self.eip)
+
+    def _syscall(self, vector_op) -> None:
+        vector = self._read(vector_op)
+        if vector != 0x80:
+            raise IllegalInstruction(
+                f"unknown interrupt vector {vector:#x}", eip=self.eip)
+        nr = self.regs[self.abi.syscall_number_register]
+        # Arguments cross the boundary as raw 32-bit patterns; handlers
+        # reinterpret the semantically-signed ones (offsets, statuses).
+        args = [self.regs[r] for r in self.abi.syscall_arg_registers]
+        result = self.proc.kernel.dispatch(self.proc, nr, args)
+        self.regs[self.abi.return_register] = result & MASK32
+
+    def run(self, entry: int, *, max_steps: int = 20_000_000) -> None:
+        """Run from ``entry`` until control returns to the sentinel."""
+        self.eip = entry
+        budget = max_steps
+        try:
+            while True:
+                self.step()
+                budget -= 1
+                if budget <= 0:
+                    raise RuntimeFault(
+                        f"step budget exhausted at {self.eip:#x}",
+                        eip=self.eip)
+        except _RunComplete:
+            return

@@ -1,0 +1,126 @@
+"""Sparse paged guest memory with explicit region mapping.
+
+Accesses outside mapped regions raise :class:`~repro.errors.MemoryFault`
+(the guest's SIGSEGV), which the §6.1 MySQL experiment relies on: 12 test
+cases died of SIGSEGV under injection.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from ..errors import MemoryFault
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+_U32 = struct.Struct("<I")
+
+MASK32 = 0xFFFFFFFF
+
+
+class Memory:
+    """32-bit address space; pages materialize on first touch."""
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+        self._regions: List[Tuple[int, int]] = []   # sorted (start, end)
+
+    # -- region management ----------------------------------------------
+
+    def map_region(self, start: int, size: int) -> None:
+        """Declare [start, start+size) accessible."""
+        if size <= 0:
+            raise ValueError("region size must be positive")
+        end = start + size
+        self._regions.append((start, end))
+        self._regions.sort()
+        self._coalesce()
+
+    def _coalesce(self) -> None:
+        merged: List[Tuple[int, int]] = []
+        for start, end in self._regions:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(end, merged[-1][1]))
+            else:
+                merged.append((start, end))
+        self._regions = merged
+
+    def is_mapped(self, addr: int, size: int = 1) -> bool:
+        end = addr + size
+        for start, rend in self._regions:
+            if start <= addr and end <= rend:
+                return True
+            if start > addr:
+                break
+        return False
+
+    def _check(self, addr: int, size: int) -> None:
+        if addr < 0 or addr + size > MASK32 + 1 or not self.is_mapped(addr, size):
+            raise MemoryFault(
+                f"access to unmapped address {addr & MASK32:#010x} "
+                f"(size {size})")
+
+    # -- raw access -------------------------------------------------------
+
+    def read(self, addr: int, size: int) -> bytes:
+        self._check(addr, size)
+        out = bytearray()
+        while size > 0:
+            page = addr >> PAGE_SHIFT
+            offset = addr & (PAGE_SIZE - 1)
+            chunk = min(size, PAGE_SIZE - offset)
+            backing = self._pages.get(page)
+            if backing is None:
+                out += b"\x00" * chunk
+            else:
+                out += backing[offset:offset + chunk]
+            addr += chunk
+            size -= chunk
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        self._check(addr, len(data))
+        pos = 0
+        size = len(data)
+        while pos < size:
+            page = addr >> PAGE_SHIFT
+            offset = addr & (PAGE_SIZE - 1)
+            chunk = min(size - pos, PAGE_SIZE - offset)
+            backing = self._pages.get(page)
+            if backing is None:
+                backing = bytearray(PAGE_SIZE)
+                self._pages[page] = backing
+            backing[offset:offset + chunk] = data[pos:pos + chunk]
+            addr += chunk
+            pos += chunk
+
+    # -- word access --------------------------------------------------------
+
+    def read_u32(self, addr: int) -> int:
+        return _U32.unpack(self.read(addr, 4))[0]
+
+    def write_u32(self, addr: int, value: int) -> None:
+        self.write(addr, _U32.pack(value & MASK32))
+
+    def read_i32(self, addr: int) -> int:
+        value = self.read_u32(addr)
+        return value - (1 << 32) if value & 0x80000000 else value
+
+    def write_i32(self, addr: int, value: int) -> None:
+        self.write_u32(addr, value & MASK32)
+
+    def read_cstr(self, addr: int, limit: int = 4096) -> str:
+        out = bytearray()
+        while len(out) < limit:
+            byte = self.read(addr, 1)
+            if byte == b"\x00":
+                break
+            out += byte
+            addr += 1
+        return out.decode("utf-8", errors="replace")
+
+    def write_cstr(self, addr: int, text: str) -> int:
+        data = text.encode("utf-8") + b"\x00"
+        self.write(addr, data)
+        return len(data)

@@ -1,0 +1,12 @@
+"""MinC language, code generator and linker for synthetic libraries."""
+
+from . import minc
+from .builder import BuiltLibrary, FunctionRecord, GroundTruth, LibraryBuilder
+from .codegen import FunctionCodegen, ModuleContext, entry_label
+from .linker import compile_module
+
+__all__ = [
+    "minc", "compile_module", "entry_label",
+    "FunctionCodegen", "ModuleContext",
+    "LibraryBuilder", "BuiltLibrary", "GroundTruth", "FunctionRecord",
+]

@@ -1,0 +1,120 @@
+"""Fluent builder for authoring MinC libraries.
+
+Corpus generators compose hundreds of functions; the builder keeps that
+terse while recording per-function *ground truth* (which constant returns
+are errors, which side effects accompany them) that the accuracy
+evaluation (§6.3) scores the profiler against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..binfmt import SharedObject
+from ..platform import Platform
+from . import minc
+from .linker import compile_module
+
+
+@dataclass
+class GroundTruth:
+    """What a function can *really* return, known from its source.
+
+    ``error_returns`` are constants the function returns on failure;
+    ``success_returns`` are constants returned on success (the §3.1
+    heuristics try to tell these apart); ``errno_values`` are values the
+    function may store to errno alongside an error return;
+    ``out_arg_writes`` maps argument index -> constants stored through it.
+    ``analyzable`` is False when the author knows static analysis cannot
+    see some returns (e.g. values produced behind indirect calls) — these
+    become expected false negatives.
+    """
+
+    error_returns: List[int] = field(default_factory=list)
+    success_returns: List[int] = field(default_factory=list)
+    errno_values: List[int] = field(default_factory=list)
+    out_arg_writes: Dict[int, List[int]] = field(default_factory=dict)
+    hidden_error_returns: List[int] = field(default_factory=list)
+    state_dependent_returns: List[int] = field(default_factory=list)
+
+    def all_real_error_returns(self) -> List[int]:
+        """Every error constant actually returnable at runtime."""
+        return sorted(set(self.error_returns)
+                      | set(self.hidden_error_returns))
+
+
+@dataclass
+class FunctionRecord:
+    """A function definition plus its ground truth and doc metadata."""
+
+    definition: minc.FunctionDef
+    truth: GroundTruth
+    documented_errors: Optional[List[int]] = None  # None = same as truth
+
+
+class LibraryBuilder:
+    """Accumulates functions and produces (image, ground truth) pairs."""
+
+    def __init__(self, soname: str, *, needed: Sequence[str] = (),
+                 globals_: Sequence[str] = (), has_errno: bool = True) -> None:
+        self.soname = soname
+        self.needed = tuple(needed)
+        self.globals_ = tuple(globals_)
+        self.has_errno = has_errno
+        self.records: List[FunctionRecord] = []
+        self._names: set = set()
+
+    def add(self, definition: minc.FunctionDef,
+            truth: Optional[GroundTruth] = None,
+            documented_errors: Optional[List[int]] = None) -> "LibraryBuilder":
+        if definition.name in self._names:
+            raise ValueError(
+                f"{self.soname}: duplicate function {definition.name!r}")
+        self._names.add(definition.name)
+        self.records.append(FunctionRecord(
+            definition, truth or GroundTruth(), documented_errors))
+        return self
+
+    def simple(self, name: str, nparams: int, *stmts: minc.Stmt,
+               export: bool = True, returns: str = minc.RET_SCALAR,
+               truth: Optional[GroundTruth] = None,
+               documented_errors: Optional[List[int]] = None,
+               ) -> "LibraryBuilder":
+        """Shorthand: add a function from bare statements."""
+        return self.add(
+            minc.FunctionDef(name, nparams, tuple(stmts),
+                             export=export, returns=returns),
+            truth, documented_errors)
+
+    def module(self) -> minc.ModuleDef:
+        return minc.ModuleDef(
+            soname=self.soname,
+            functions=tuple(r.definition for r in self.records),
+            needed=self.needed,
+            globals_=self.globals_,
+            has_errno=self.has_errno,
+        )
+
+    def build(self, platform: Platform) -> "BuiltLibrary":
+        image = compile_module(self.module(), platform)
+        return BuiltLibrary(image=image, records=tuple(self.records),
+                            platform=platform)
+
+
+@dataclass(frozen=True)
+class BuiltLibrary:
+    """A compiled library together with its authoring metadata."""
+
+    image: SharedObject
+    records: Tuple[FunctionRecord, ...]
+    platform: Platform
+
+    def truth_for(self, function: str) -> GroundTruth:
+        for record in self.records:
+            if record.definition.name == function:
+                return record.truth
+        raise KeyError(f"{self.image.soname}: no function {function!r}")
+
+    def exported_records(self) -> Tuple[FunctionRecord, ...]:
+        return tuple(r for r in self.records if r.definition.export)

@@ -1,0 +1,488 @@
+"""MinC -> synthetic machine code.
+
+One :class:`ModuleContext` per translation unit tracks imports (PLT
+slots), the data/GOT region, TLS allocations and the errno channel; one
+:class:`FunctionCodegen` per function lowers statements to instruction
+items consumed by the assembler.
+
+The generated code deliberately exhibits the patterns the LFI profiler is
+built to analyze (§3.1/§3.2):
+
+* constant error returns reach the ABI return register along CFG paths,
+* errno stores use the position-independent call/pop + GOT + ``gs:``
+  sequence (TLS platforms) or a PIC global store (global-errno platforms),
+* output-argument stores go through pointers loaded from the parameter
+  home slots,
+* syscall wrappers negate the kernel result into errno and return -1 —
+  byte-for-byte the shape of the paper's GNU libc listing.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import CodegenError
+from ..isa import (WORD, Abi, Imm, ImportSlot, Label, LabelImm, Mem, Reg,
+                   abi_for, ins, label)
+from ..isa.assembler import Item
+from ..layout import DATA_REGION_OFFSET
+from ..platform import CHANNEL_GLOBAL, CHANNEL_TLS, Platform
+from . import minc
+
+#: TLS allocations start here, leaving room for loader bookkeeping.
+TLS_ALLOC_START = 0x10
+
+#: Inverted condition map: jump taken when the condition is FALSE.
+_INVERSE_JCC = {
+    "==": "jnz", "!=": "jz",
+    "<": "jge", "<=": "jg",
+    ">": "jle", ">=": "jl",
+}
+
+_BINOP_MNEMONIC = {
+    "+": "add", "-": "sub", "*": "imul",
+    "&": "and", "|": "or", "^": "xor",
+    "<<": "shl", ">>": "shr",
+}
+
+
+def entry_label(function_name: str) -> str:
+    """Assembler label marking a function's entry point."""
+    return f"__fn_{function_name}"
+
+
+class ModuleContext:
+    """Shared per-module compilation state."""
+
+    def __init__(self, module: minc.ModuleDef, platform: Platform) -> None:
+        self.module = module
+        self.platform = platform
+        self.abi: Abi = abi_for(platform.machine)
+        self.internal: Set[str] = {fn.name for fn in module.functions}
+        self.imports: List[str] = []
+        self._import_slots: Dict[str, int] = {}
+        self.data = bytearray()
+        self.data_symbols: Dict[str, int] = {}
+        self.got_symbols: Dict[str, int] = {}
+        self.tls_symbols: Dict[str, int] = {}
+        self.tls_size = TLS_ALLOC_START
+        self._label_counter = 0
+        self.errno_channel: Optional[str] = None
+        self.errno_got_offset: Optional[int] = None   # TLS platforms
+        self.errno_data_offset: Optional[int] = None  # global platforms
+        if module.has_errno:
+            self._allocate_errno()
+        for name in module.globals_:
+            self.alloc_data(name)
+
+    # -- allocators ----------------------------------------------------
+
+    def fresh(self, prefix: str) -> str:
+        self._label_counter += 1
+        return f".L{prefix}{self._label_counter}"
+
+    def import_slot(self, symbol: str) -> int:
+        if symbol in self._import_slots:
+            return self._import_slots[symbol]
+        slot = len(self.imports)
+        self.imports.append(symbol)
+        self._import_slots[symbol] = slot
+        return slot
+
+    def alloc_data(self, name: str, value: int = 0) -> int:
+        """Allocate a 4-byte global in .data; returns its offset."""
+        if name in self.data_symbols:
+            raise CodegenError(f"duplicate global {name!r}")
+        offset = len(self.data)
+        self.data += struct.pack("<i", value)
+        self.data_symbols[name] = offset
+        return offset
+
+    def alloc_got(self, name: str, value: int) -> int:
+        """Allocate a GOT slot (a .data word the analyzer may read)."""
+        if name in self.got_symbols:
+            raise CodegenError(f"duplicate GOT slot {name!r}")
+        offset = len(self.data)
+        self.data += struct.pack("<i", value)
+        self.got_symbols[name] = offset
+        return offset
+
+    def alloc_tls(self, name: str, size: int = WORD) -> int:
+        if name in self.tls_symbols:
+            raise CodegenError(f"duplicate TLS symbol {name!r}")
+        offset = self.tls_size
+        self.tls_size += size
+        self.tls_symbols[name] = offset
+        return offset
+
+    def _allocate_errno(self) -> None:
+        self.errno_channel = self.platform.errno_channel
+        if self.errno_channel == CHANNEL_TLS:
+            tls_off = self.alloc_tls("errno")
+            self.errno_got_offset = self.alloc_got("errno@got", tls_off)
+        elif self.errno_channel == CHANNEL_GLOBAL:
+            self.errno_data_offset = self.alloc_data("errno")
+        else:  # pragma: no cover - defensive
+            raise CodegenError(
+                f"unknown errno channel {self.errno_channel!r}")
+
+
+class FunctionCodegen:
+    """Lowers one MinC function to instruction items."""
+
+    def __init__(self, fn: minc.FunctionDef, ctx: ModuleContext) -> None:
+        self.fn = fn
+        self.ctx = ctx
+        self.abi = ctx.abi
+        self.items: List[Item] = []
+        self.epilogue = ctx.fresh(f"{fn.name}_ret")
+        self._local_disp: Dict[str, int] = {}
+        self._assign_locals()
+
+    # -- frame layout ----------------------------------------------------
+
+    def _assign_locals(self) -> None:
+        names: List[str] = []
+        _collect_locals(self.fn.body, names)
+        # param homes occupy the first frame slots on register-argument ABIs
+        base = WORD * self.fn.nparams if self.abi.arg_registers else 0
+        for i, name in enumerate(names):
+            self._local_disp[name] = -(base + WORD * (i + 1))
+        self.frame_size = base + WORD * len(names)
+
+    def local_slot(self, name: str) -> Mem:
+        try:
+            disp = self._local_disp[name]
+        except KeyError:
+            raise CodegenError(
+                f"{self.fn.name}: local {name!r} read before assignment"
+            ) from None
+        return Mem(base=self.abi.frame_pointer, disp=disp)
+
+    def param_home(self, index: int) -> Mem:
+        if not (0 <= index < self.fn.nparams):
+            raise CodegenError(
+                f"{self.fn.name}: parameter index {index} out of range")
+        return self.abi.param_home(index)
+
+    # -- emission helpers --------------------------------------------------
+
+    @property
+    def acc(self) -> Reg:
+        return Reg(self.abi.return_register)
+
+    @property
+    def scratch(self) -> Reg:
+        return Reg(self.abi.scratch[1])
+
+    @property
+    def scratch2(self) -> Reg:
+        return Reg(self.abi.scratch[2])
+
+    def emit(self, mnemonic: str, *operands) -> None:
+        self.items.append(ins(mnemonic, *operands))
+
+    def emit_label(self, name: str) -> None:
+        self.items.append(label(name))
+
+    def pic_modbase(self, reg: Reg) -> None:
+        """Load the module base into ``reg`` via the call/pop PIC idiom."""
+        here = self.ctx.fresh("pic")
+        self.emit("call", Label(here))
+        self.emit_label(here)
+        self.emit("pop", reg)
+        self.emit("sub", reg, LabelImm(here))
+
+    def pic_data_addr(self, reg: Reg, data_offset: int) -> None:
+        self.pic_modbase(reg)
+        self.emit("add", reg, Imm(DATA_REGION_OFFSET + data_offset))
+
+    def errno_addr(self, reg: Reg) -> None:
+        """Materialize the absolute address of errno into ``reg``."""
+        ctx = self.ctx
+        if ctx.errno_channel == CHANNEL_TLS:
+            assert ctx.errno_got_offset is not None
+            self.pic_data_addr(reg, ctx.errno_got_offset)
+            self.emit("mov", reg, Mem(base=reg.name))     # GOT -> TLS offset
+            self.emit("add", reg, Mem(disp=0, segment="gs"))  # + TLS base
+        elif ctx.errno_channel == CHANNEL_GLOBAL:
+            assert ctx.errno_data_offset is not None
+            self.pic_data_addr(reg, ctx.errno_data_offset)
+        else:
+            raise CodegenError(
+                f"{self.fn.name}: module {ctx.module.soname} has no errno")
+
+    # -- expressions ---------------------------------------------------
+
+    def eval(self, expr: minc.Expr) -> None:
+        """Evaluate ``expr`` into the accumulator (the return register)."""
+        acc = self.acc
+        if isinstance(expr, minc.Const):
+            self.emit("mov", acc, Imm(expr.value))
+        elif isinstance(expr, minc.Param):
+            self.emit("mov", acc, self.param_home(expr.index))
+        elif isinstance(expr, minc.Local):
+            self.emit("mov", acc, self.local_slot(expr.name))
+        elif isinstance(expr, minc.Global):
+            off = self._global_offset(expr.name)
+            self.pic_data_addr(self.scratch, off)
+            self.emit("mov", acc, Mem(base=self.scratch.name))
+        elif isinstance(expr, minc.Deref):
+            self.eval(expr.addr)
+            self.emit("mov", acc, Mem(base=acc.name))
+        elif isinstance(expr, minc.Neg):
+            self.eval(expr.operand)
+            self.emit("neg", acc)
+        elif isinstance(expr, minc.BinOp):
+            self.eval(expr.lhs)
+            self.emit("push", acc)
+            self.eval(expr.rhs)
+            self.emit("mov", self.scratch2, acc)
+            self.emit("pop", acc)
+            self.emit(_BINOP_MNEMONIC[expr.op], acc, self.scratch2)
+        elif isinstance(expr, minc.Call):
+            self._emit_call(expr.name, expr.args)
+        elif isinstance(expr, minc.IndirectCall):
+            self._emit_indirect_call(expr.target, expr.args)
+        elif isinstance(expr, minc.Syscall):
+            self._emit_syscall(expr.nr, expr.args)
+        elif isinstance(expr, minc.ErrnoRef):
+            self.errno_addr(self.scratch)
+            self.emit("mov", acc, Mem(base=self.scratch.name))
+        elif isinstance(expr, minc.FuncAddr):
+            if expr.name not in self.ctx.internal:
+                raise CodegenError(
+                    f"FuncAddr of non-internal function {expr.name!r}")
+            self.pic_modbase(self.scratch)
+            self.emit("add", self.scratch, LabelImm(entry_label(expr.name)))
+            self.emit("mov", acc, self.scratch)
+        else:  # pragma: no cover - defensive
+            raise CodegenError(f"cannot lower expression {expr!r}")
+
+    def _global_offset(self, name: str) -> int:
+        try:
+            return self.ctx.data_symbols[name]
+        except KeyError:
+            raise CodegenError(
+                f"{self.ctx.module.soname} has no global {name!r}") from None
+
+    def _push_args(self, arguments: Sequence[minc.Expr]) -> None:
+        for arg in reversed(list(arguments)):
+            self.eval(arg)
+            self.emit("push", self.acc)
+
+    def _pop_reg_args(self, count: int, regs: Sequence[str]) -> None:
+        for i in range(count):
+            self.emit("pop", Reg(regs[i]))
+
+    def _emit_call(self, name: str, arguments: Sequence[minc.Expr]) -> None:
+        self._push_args(arguments)
+        n = len(arguments)
+        if self.abi.arg_registers:
+            self._pop_reg_args(n, self.abi.arg_registers)
+        if name in self.ctx.internal:
+            target = Label(entry_label(name))
+        else:
+            target = ImportSlot(self.ctx.import_slot(name))
+        self.emit("call", target)
+        if not self.abi.arg_registers and n:
+            self.emit("add", Reg(self.abi.stack_pointer), Imm(WORD * n))
+
+    def _emit_indirect_call(self, target: minc.Expr,
+                            arguments: Sequence[minc.Expr]) -> None:
+        self._push_args(arguments)
+        n = len(arguments)
+        self.eval(target)
+        self.emit("mov", self.scratch, self.acc)
+        if self.abi.arg_registers:
+            self._pop_reg_args(n, self.abi.arg_registers)
+        self.emit("call", self.scratch)
+        if not self.abi.arg_registers and n:
+            self.emit("add", Reg(self.abi.stack_pointer), Imm(WORD * n))
+
+    def _emit_syscall(self, nr: int, arguments: Sequence[minc.Expr]) -> None:
+        if len(arguments) > len(self.abi.syscall_arg_registers):
+            raise CodegenError(f"syscall {nr} has too many arguments")
+        self._push_args(arguments)
+        self._pop_reg_args(len(arguments), self.abi.syscall_arg_registers)
+        self.emit("mov", Reg(self.abi.syscall_number_register), Imm(nr))
+        self.emit("int", Imm(0x80))
+
+    # -- conditions ------------------------------------------------------
+
+    def cond_jump_false(self, cond: minc.Cond, target: str) -> None:
+        if isinstance(cond.rhs, minc.Const):
+            self.eval(cond.lhs)
+            self.emit("cmp", self.acc, Imm(cond.rhs.value))
+        else:
+            self.eval(cond.lhs)
+            self.emit("push", self.acc)
+            self.eval(cond.rhs)
+            self.emit("mov", self.scratch2, self.acc)
+            self.emit("pop", self.acc)
+            self.emit("cmp", self.acc, self.scratch2)
+        self.emit(_INVERSE_JCC[cond.op], Label(target))
+
+    # -- statements ------------------------------------------------------
+
+    def stmt(self, statement: minc.Stmt) -> None:
+        if isinstance(statement, minc.Return):
+            if statement.value is not None:
+                self.eval(statement.value)
+            self.emit("jmp", Label(self.epilogue))
+        elif isinstance(statement, minc.Assign):
+            self.eval(statement.value)
+            self.emit("mov", self.local_slot(statement.name), self.acc)
+        elif isinstance(statement, minc.SetGlobal):
+            off = self._global_offset(statement.name)
+            self._store_via(lambda: self.pic_data_addr(self.scratch, off),
+                            statement.value)
+        elif isinstance(statement, minc.SetErrno):
+            self._store_via(lambda: self.errno_addr(self.scratch),
+                            statement.value)
+        elif isinstance(statement, minc.StoreParam):
+            home = self.param_home(statement.index)
+            self._store_via(lambda: self.emit("mov", self.scratch, home),
+                            statement.value)
+        elif isinstance(statement, minc.StoreMem):
+            self.eval(statement.addr)
+            self.emit("push", self.acc)
+            self.eval(statement.value)
+            self.emit("mov", self.scratch2, self.acc)
+            self.emit("pop", self.scratch)
+            self.emit("mov", Mem(base=self.scratch.name), self.scratch2)
+        elif isinstance(statement, minc.If):
+            self._emit_if(statement)
+        elif isinstance(statement, minc.While):
+            self._emit_while(statement)
+        elif isinstance(statement, minc.ExprStmt):
+            self.eval(statement.value)
+        elif isinstance(statement, minc.SyscallWrapper):
+            self._emit_syscall_wrapper(statement)
+        elif isinstance(statement, minc.ComputedGoto):
+            self._emit_computed_goto(statement)
+        else:  # pragma: no cover - defensive
+            raise CodegenError(f"cannot lower statement {statement!r}")
+
+    def _store_via(self, load_addr, value: minc.Expr) -> None:
+        """Store ``value`` through an address produced into ``scratch``.
+
+        Constants store directly (``mov [scratch], imm``) — the pattern
+        the profiler detects; non-constants are computed first.
+        """
+        if isinstance(value, minc.Const):
+            load_addr()
+            self.emit("mov", Mem(base=self.scratch.name), Imm(value.value))
+        else:
+            self.eval(value)
+            self.emit("mov", self.scratch2, self.acc)
+            load_addr()
+            self.emit("mov", Mem(base=self.scratch.name), self.scratch2)
+
+    def _emit_if(self, statement: minc.If) -> None:
+        l_else = self.ctx.fresh("else")
+        l_end = self.ctx.fresh("endif")
+        self.cond_jump_false(statement.cond, l_else)
+        for s in statement.then:
+            self.stmt(s)
+        self.emit("jmp", Label(l_end))
+        self.emit_label(l_else)
+        for s in statement.orelse:
+            self.stmt(s)
+        self.emit_label(l_end)
+
+    def _emit_while(self, statement: minc.While) -> None:
+        l_top = self.ctx.fresh("loop")
+        l_end = self.ctx.fresh("endloop")
+        self.emit_label(l_top)
+        self.cond_jump_false(statement.cond, l_end)
+        for s in statement.body:
+            self.stmt(s)
+        self.emit("jmp", Label(l_top))
+        self.emit_label(l_end)
+
+    def _emit_syscall_wrapper(self, statement: minc.SyscallWrapper) -> None:
+        """The canonical wrapper: see the GNU libc listing in §3.2."""
+        if statement.args is not None:
+            arguments = statement.args
+        else:
+            arguments = tuple(minc.Param(i) for i in range(self.fn.nparams))
+        self._emit_syscall(statement.nr, arguments)
+        l_ok = self.ctx.fresh("sysok")
+        acc = self.acc
+        self.emit("cmp", acc, Imm(0))
+        self.emit("jge", Label(l_ok))
+        # error path: errno = -result; return error_retval
+        self.emit("xor", self.scratch2, self.scratch2)
+        self.emit("sub", self.scratch2, acc)          # scratch2 = -result
+        self.errno_addr(self.scratch)
+        self.emit("mov", Mem(base=self.scratch.name), self.scratch2)
+        if statement.error_retval == -1:
+            self.emit("or", acc, Imm(-1))
+        elif statement.error_retval == 0:
+            self.emit("xor", acc, acc)
+        else:
+            self.emit("mov", acc, Imm(statement.error_retval))
+        self.emit("jmp", Label(self.epilogue))
+        self.emit_label(l_ok)
+        self.emit("jmp", Label(self.epilogue))
+
+    def _emit_computed_goto(self, statement: minc.ComputedGoto) -> None:
+        if not statement.targets:
+            raise CodegenError("ComputedGoto with no targets")
+        labels = [self.ctx.fresh("case") for _ in statement.targets]
+        l_end = self.ctx.fresh("endswitch")
+        self.eval(statement.selector)
+        self.pic_modbase(self.scratch)
+        self.emit("mov", self.scratch2, LabelImm(labels[0]))
+        for i in range(1, len(labels)):
+            skip = self.ctx.fresh("skipcase")
+            self.emit("cmp", self.acc, Imm(i))
+            self.emit("jnz", Label(skip))
+            self.emit("mov", self.scratch2, LabelImm(labels[i]))
+            self.emit_label(skip)
+        self.emit("add", self.scratch, self.scratch2)
+        self.emit("jmp", self.scratch)                # indirect branch
+        for lab, stmts in zip(labels, statement.targets):
+            self.emit_label(lab)
+            for s in stmts:
+                self.stmt(s)
+            self.emit("jmp", Label(l_end))
+        self.emit_label(l_end)
+
+    # -- whole function ----------------------------------------------------
+
+    def compile(self) -> List[Item]:
+        abi = self.abi
+        fp, sp = Reg(abi.frame_pointer), Reg(abi.stack_pointer)
+        self.emit_label(entry_label(self.fn.name))
+        self.emit("push", fp)
+        self.emit("mov", fp, sp)
+        if self.frame_size:
+            self.emit("sub", sp, Imm(self.frame_size))
+        if abi.arg_registers:
+            for i in range(self.fn.nparams):
+                self.emit("mov", self.param_home(i),
+                          Reg(abi.arg_registers[i]))
+        for statement in self.fn.body:
+            self.stmt(statement)
+        self.emit_label(self.epilogue)
+        self.emit("leave")
+        self.emit("ret")
+        return self.items
+
+
+def _collect_locals(stmts: Sequence[minc.Stmt], out: List[str]) -> None:
+    for s in stmts:
+        if isinstance(s, minc.Assign) and s.name not in out:
+            out.append(s.name)
+        if isinstance(s, minc.If):
+            _collect_locals(s.then, out)
+            _collect_locals(s.orelse, out)
+        elif isinstance(s, minc.While):
+            _collect_locals(s.body, out)
+        elif isinstance(s, minc.ComputedGoto):
+            for branch in s.targets:
+                _collect_locals(branch, out)

@@ -1,0 +1,92 @@
+"""Static linking: MinC modules -> SELF shared objects.
+
+``compile_module`` drives codegen for every function, lays the functions
+out in one ``.text``, resolves intra-module labels, and packages exports,
+imports, data/GOT, TLS and dependency information into a
+:class:`~repro.binfmt.image.SharedObject`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..binfmt import SharedObject, Symbol
+from ..binfmt.image import KIND_KERNEL, KIND_SHARED
+from ..errors import LinkError
+from ..isa import assemble, collect_labels
+from ..isa.assembler import Item
+from ..platform import Platform
+from . import minc
+from .codegen import FunctionCodegen, ModuleContext, entry_label
+
+
+def compile_module(module: minc.ModuleDef, platform: Platform,
+                   *, kind: str = KIND_SHARED,
+                   syscall_numbers: Dict[str, int] = None) -> SharedObject:
+    """Compile and link a MinC module into a SELF image.
+
+    ``syscall_numbers`` is only used for kernel images: it maps handler
+    function names to syscall numbers so the image's syscall table can be
+    emitted (the profiler analyzes the kernel image through this table,
+    §3.1: "LFI therefore performs static analysis on the kernel image as
+    well").
+    """
+    ctx = ModuleContext(module, platform)
+    items: List[Item] = []
+    for fn in module.functions:
+        items.extend(FunctionCodegen(fn, ctx).compile())
+
+    text = assemble(items, ctx.abi)
+    addresses = collect_labels(items)
+
+    # Function extents: entry label to the next function's entry (or end).
+    entries = sorted(
+        ((addresses[entry_label(fn.name)], fn) for fn in module.functions),
+        key=lambda pair: pair[0])
+    extents: Dict[str, Tuple[int, int]] = {}
+    for i, (offset, fn) in enumerate(entries):
+        end = entries[i + 1][0] if i + 1 < len(entries) else len(text)
+        extents[fn.name] = (offset, end - offset)
+
+    exports = tuple(
+        Symbol(fn.name, *extents[fn.name])
+        for fn in module.functions if fn.export)
+    local_symbols = tuple(
+        Symbol(fn.name, *extents[fn.name])
+        for fn in module.functions if not fn.export)
+
+    data_symbols = tuple(
+        Symbol(name, offset, 4)
+        for name, offset in sorted(ctx.data_symbols.items(),
+                                   key=lambda kv: kv[1]))
+    tls_symbols = tuple(
+        Symbol(name, offset, 4)
+        for name, offset in sorted(ctx.tls_symbols.items(),
+                                   key=lambda kv: kv[1]))
+
+    syscall_table: Tuple[Tuple[int, int], ...] = ()
+    if kind == KIND_KERNEL:
+        if syscall_numbers is None:
+            raise LinkError("kernel images need syscall_numbers")
+        rows = []
+        for name, nr in sorted(syscall_numbers.items(), key=lambda kv: kv[1]):
+            if name not in extents:
+                raise LinkError(f"kernel syscall handler {name!r} missing")
+            rows.append((nr, extents[name][0]))
+        syscall_table = tuple(rows)
+
+    return SharedObject(
+        soname=module.soname,
+        machine=platform.machine,
+        kind=kind,
+        text=text,
+        exports=exports,
+        local_symbols=local_symbols,
+        imports=tuple(ctx.imports),
+        needed=tuple(module.needed),
+        data=bytes(ctx.data),
+        data_symbols=data_symbols,
+        tls_size=ctx.tls_size,
+        tls_symbols=tls_symbols,
+        syscall_table=syscall_table,
+    )

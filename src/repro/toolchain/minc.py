@@ -1,0 +1,314 @@
+"""MinC — the miniature C-like language libraries are written in.
+
+The corpus generator and the synthetic libc are authored as MinC ASTs and
+*compiled to SELF machine code*.  This is the crucial trick that lets us
+evaluate the LFI profiler honestly: ground truth about error returns is
+known at the AST level, but the profiler only ever sees the compiled
+bytes, exactly as LFI only sees library binaries (§3.1).
+
+The language is deliberately small: 32-bit integers everywhere, locals,
+parameters, module globals, calls (direct, imported, indirect), system
+calls, errno assignment, output-parameter stores, ``if``/``while``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Const:
+    """A 32-bit integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Param:
+    """The ``index``-th function parameter (0-based)."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class Local:
+    """A named local variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Global:
+    """Read a module global variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Deref:
+    """Load a 32-bit word through a pointer expression."""
+
+    addr: "Expr"
+
+
+@dataclass(frozen=True)
+class Neg:
+    """Arithmetic negation."""
+
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Binary arithmetic: ``+ - * & | ^ << >>``."""
+
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+
+    _OPS = {"+", "-", "*", "&", "|", "^", "<<", ">>"}
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise ValueError(f"bad binary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Call:
+    """Direct call to a function by name.
+
+    The linker decides whether the callee is internal (direct ``call``)
+    or lives in another library (``call`` through a PLT import slot).
+    """
+
+    name: str
+    args: Tuple["Expr", ...] = ()
+
+
+@dataclass(frozen=True)
+class IndirectCall:
+    """Call through a function pointer — the §3.1 accuracy hazard."""
+
+    target: "Expr"
+    args: Tuple["Expr", ...] = ()
+
+
+@dataclass(frozen=True)
+class Syscall:
+    """Invoke the kernel: ``syscall(nr, args...)`` via ``int 0x80``."""
+
+    nr: int
+    args: Tuple["Expr", ...] = ()
+
+
+@dataclass(frozen=True)
+class FuncAddr:
+    """Address of an internal function (for building indirect calls)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ErrnoRef:
+    """Read the module's errno channel (e.g. for __errno_location-style
+    accessors that applications call after a failed library call)."""
+
+
+Expr = Union[Const, Param, Local, Global, Deref, Neg, BinOp, Call,
+             IndirectCall, Syscall, FuncAddr, ErrnoRef]
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Cond:
+    """A comparison used by ``if``/``while``: ``== != < <= > >=``."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    _OPS = {"==", "!=", "<", "<=", ">", ">="}
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise ValueError(f"bad comparison operator {self.op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Return:
+    """Return from the function, optionally with a value."""
+
+    value: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``local = expr``; declares the local on first use."""
+
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class SetGlobal:
+    """``module_global = expr``."""
+
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class SetErrno:
+    """Store into the module's errno channel (TLS or global, per platform).
+
+    Compiles to the §3.2 position-independent sequence the side-effect
+    analyzer must recognize.
+    """
+
+    value: Expr
+
+
+@dataclass(frozen=True)
+class StoreParam:
+    """``*(param index) = expr`` — an output-argument side effect."""
+
+    index: int
+    value: Expr
+
+
+@dataclass(frozen=True)
+class StoreMem:
+    """``*(addr) = value`` for arbitrary pointer expressions."""
+
+    addr: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class If:
+    cond: Cond
+    then: Tuple["Stmt", ...]
+    orelse: Tuple["Stmt", ...] = ()
+
+
+@dataclass(frozen=True)
+class While:
+    cond: Cond
+    body: Tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class ExprStmt:
+    """Evaluate an expression for its effects (typically a call)."""
+
+    value: Expr
+
+
+@dataclass(frozen=True)
+class SyscallWrapper:
+    """The canonical libc syscall-wrapper body (§3.2's GNU libc example).
+
+    Passes all of the function's parameters to kernel syscall ``nr``; on a
+    negative kernel return it stores the negated result into errno and
+    returns ``error_retval`` (-1 for scalar wrappers like ``close``, 0 for
+    pointer-returning wrappers like ``malloc``); otherwise it returns the
+    kernel's value.  Compiles to the exact instruction shape shown in the
+    paper (xor/sub to negate, PIC+TLS store, ``or eax, 0xffffffff``).
+    """
+
+    nr: int
+    error_retval: int = -1
+    #: Override the syscall arguments (default: the function's parameters
+    #: in order).  Lets e.g. malloc forward ``mmap(0, size)``.
+    args: Optional[Tuple["Expr", ...]] = None
+
+
+@dataclass(frozen=True)
+class ComputedGoto:
+    """An indirect branch to one of several labels (jump-table style).
+
+    Used sparingly by the corpus to reproduce the §3.1 indirect-branch
+    population (0.13% of branches) that makes CFGs incomplete.
+    ``selector`` picks an entry in ``targets`` (statement indices are
+    label names created by the code generator); out-of-range selectors
+    take the last target.
+    """
+
+    selector: Expr
+    targets: Tuple[Tuple["Stmt", ...], ...]
+
+
+Stmt = Union[Return, Assign, SetGlobal, SetErrno, StoreParam, StoreMem, If,
+             While, ExprStmt, SyscallWrapper, ComputedGoto]
+
+
+# ---------------------------------------------------------------------------
+# Functions and modules
+# ---------------------------------------------------------------------------
+
+RET_VOID = "void"
+RET_SCALAR = "scalar"
+RET_POINTER = "pointer"
+RETURN_TYPES = (RET_VOID, RET_SCALAR, RET_POINTER)
+
+
+@dataclass(frozen=True)
+class FunctionDef:
+    """One MinC function.
+
+    ``returns`` is the *declared* return type; it never reaches the binary
+    (like C, types live in headers) but the corpus keeps it for the
+    Table 1 analysis, which combines header information with binary
+    side-effect analysis (§3.2).
+    """
+
+    name: str
+    nparams: int
+    body: Tuple[Stmt, ...]
+    export: bool = True
+    returns: str = RET_SCALAR
+
+    def __post_init__(self) -> None:
+        if self.returns not in RETURN_TYPES:
+            raise ValueError(f"bad return type {self.returns!r}")
+
+
+@dataclass(frozen=True)
+class ModuleDef:
+    """A MinC translation unit destined to become one shared object."""
+
+    soname: str
+    functions: Tuple[FunctionDef, ...]
+    needed: Tuple[str, ...] = ()
+    globals_: Tuple[str, ...] = ()       # module global variable names
+    has_errno: bool = True               # allocate an errno channel
+
+    def function(self, name: str) -> FunctionDef:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"{self.soname} has no function {name!r}")
+
+
+def body(*stmts: Stmt) -> Tuple[Stmt, ...]:
+    """Terse tuple constructor for statement lists."""
+    return tuple(stmts)
+
+
+def args(*exprs: Expr) -> Tuple[Expr, ...]:
+    """Terse tuple constructor for argument lists."""
+    return tuple(exprs)

@@ -1,0 +1,43 @@
+"""Shared test helpers: compile-and-run MinC snippets on the VM."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.corpus.libc import libc
+from repro.kernel import Kernel
+from repro.platform import LINUX_X86, Platform
+from repro.runtime import Process
+from repro.toolchain import LibraryBuilder, minc
+
+
+def build_one(name: str, nparams: int, *stmts: minc.Stmt,
+              platform: Platform = LINUX_X86,
+              soname: str = "libt.so",
+              extra=None, globals_=(), needed=()):
+    """Compile a single-function library (plus optional extra functions)."""
+    builder = LibraryBuilder(soname, globals_=globals_, needed=needed)
+    builder.simple(name, nparams, *stmts)
+    if extra:
+        for fn_def in extra:
+            builder.add(fn_def)
+    return builder.build(platform).image
+
+
+def run_one(name: str, nparams: int, *stmts: minc.Stmt,
+            args: Sequence[int] = (),
+            platform: Platform = LINUX_X86,
+            with_libc: bool = False,
+            kernel: Optional[Kernel] = None,
+            extra=None, globals_=()):
+    """Compile, load and call one function; returns (result, process)."""
+    needed = ("libc.so.6",) if with_libc else ()
+    image = build_one(name, nparams, *stmts, platform=platform,
+                      extra=extra, globals_=globals_, needed=needed)
+    proc = Process(kernel or Kernel(os_name=platform.os), platform)
+    images = [image]
+    if with_libc:
+        images.append(libc(platform).image)
+    proc.load_program(images)
+    result = proc.libcall(name, *args)
+    return result, proc

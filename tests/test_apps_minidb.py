@@ -1,0 +1,198 @@
+"""minidb engine behaviour and the §6.1 coverage experiment mechanics."""
+
+import pytest
+
+from repro.apps.coverage import BlockCoverage
+from repro.apps.minidb import DbError, MiniDB, run_suite
+from repro.apps.minidb import test_names as suite_test_names
+from repro.core.controller import Controller
+from repro.core.scenario import memory_faults, random_plan
+from repro.kernel import Kernel
+from repro.platform import LINUX_X86
+
+
+@pytest.fixture()
+def db():
+    return MiniDB(Kernel(), LINUX_X86)
+
+
+class TestEngine:
+    def test_create_insert_select(self, db):
+        db.execute("create table t k v")
+        db.execute("insert into t 1 alpha")
+        db.execute("insert into t 2 beta")
+        assert db.execute("select from t") == [(1, "alpha"), (2, "beta")]
+
+    def test_point_query_uses_index(self, db):
+        db.execute("create table t k v")
+        for i in range(10):
+            db.execute(f"insert into t {i} v{i}")
+        assert db.execute("select from t where k 7") == [(7, "v7")]
+
+    def test_update_and_delete(self, db):
+        db.execute("create table t k v")
+        db.execute("insert into t 1 old")
+        assert db.execute("update t 1 new") == 1
+        assert db.execute("select from t where k 1") == [(1, "new")]
+        assert db.execute("delete from t 1") == 1
+        assert db.execute("select from t") == []
+
+    def test_transaction_atomicity(self, db):
+        db.execute("create table t k v")
+        db.execute("begin txn")
+        db.execute("insert into t 1 x")
+        db.execute("rollback txn")
+        assert db.execute("select from t") == []
+
+    def test_rows_persist_in_vfs(self, db):
+        db.execute("create table t k v")
+        db.execute("insert into t 5 stored")
+        raw = db.kernel.vfs.read_file("/db/t.tbl")
+        assert b"stored" in raw
+
+    def test_wal_written(self, db):
+        db.execute("create table t k v")
+        db.execute("insert into t 5 x")
+        assert b"I t 5 x" in db.kernel.vfs.read_file("/db/wal.log")
+
+    def test_checkpoint_truncates_wal(self, db):
+        db.execute("create table t k v")
+        db.execute("insert into t 5 x")
+        db.checkpoint()
+        assert db.kernel.vfs.read_file("/db/wal.log") == b""
+
+    def test_bad_sql_raises(self, db):
+        with pytest.raises(DbError):
+            db.execute("drop table t")
+
+    def test_ibuf_merges_to_secondary_index(self, db):
+        db.execute("create table t k v")
+        for i in range(20):
+            db.execute(f"insert into t {i} v{i}")
+        idx = db.kernel.vfs.read_file("/db/secondary.idx")
+        assert b"t:0:0" in idx
+
+
+class TestSuiteRunner:
+    def test_all_green_without_faults(self):
+        result = run_suite(LINUX_X86)
+        assert result.failed == result.sigsegv == result.sigabrt == 0
+        assert result.passed == len(suite_test_names())
+
+    def test_baseline_coverage_near_mysql(self):
+        """MySQL 5.0's suite reached 73%; ours lands in that band."""
+        result = run_suite(LINUX_X86)
+        assert 0.68 <= result.overall_coverage() <= 0.78
+
+    def test_error_blocks_untouched_at_baseline(self):
+        result = run_suite(LINUX_X86)
+        assert "merge_err_hard" not in result.coverage.hits["ibuf"]
+        assert "read_err_hard" not in result.coverage.hits["storage"]
+
+    def test_faultload_raises_coverage(self, libc_profiles_linux):
+        baseline = run_suite(LINUX_X86)
+        plan = random_plan(libc_profiles_linux, probability=0.02,
+                           seed=2009)
+        lfi = Controller(LINUX_X86, libc_profiles_linux, plan)
+        faulted = run_suite(LINUX_X86, controller=lfi)
+        merged = baseline.coverage
+        merged.merge(faulted.coverage)
+        assert merged.overall_coverage() > baseline.passed / 1e9  # sanity
+        assert merged.overall_coverage() \
+            >= run_suite(LINUX_X86).overall_coverage()
+
+    def test_malloc_faults_can_sigsegv(self, libc_profiles_linux):
+        """The unchecked allocations crash like MySQL's 12 cases."""
+        crashes = 0
+        for seed in range(6):
+            plan = memory_faults(libc_profiles_linux["libc.so.6"],
+                                 probability=0.05, seed=seed)
+            lfi = Controller(LINUX_X86, libc_profiles_linux, plan)
+            result = run_suite(LINUX_X86, controller=lfi)
+            crashes += result.sigsegv
+        assert crashes >= 1
+
+
+class TestCoverageTool:
+    def test_registration_and_hits(self):
+        cov = BlockCoverage()
+        cov.register("m", "a", "b")
+        cov.hit("m", "a")
+        assert cov.module_coverage("m") == 0.5
+        assert cov.overall_coverage() == 0.5
+
+    def test_unregistered_hit_rejected(self):
+        cov = BlockCoverage()
+        cov.register("m", "a")
+        with pytest.raises(KeyError):
+            cov.hit("m", "ghost")
+
+    def test_merge_unions(self):
+        a = BlockCoverage()
+        a.register("m", "x", "y")
+        a.hit("m", "x")
+        b = BlockCoverage()
+        b.register("m", "x", "y")
+        b.hit("m", "y")
+        a.merge(b)
+        assert a.module_coverage("m") == 1.0
+
+    def test_report_renders(self):
+        cov = BlockCoverage()
+        cov.register("m", "a")
+        cov.hit("m", "a")
+        assert "overall" in cov.report()
+        assert "100.0%" in cov.report()
+
+    def test_reset(self):
+        cov = BlockCoverage()
+        cov.register("m", "a")
+        cov.hit("m", "a")
+        cov.reset_hits()
+        assert cov.overall_coverage() == 0.0
+
+
+class TestCrashRecovery:
+    def test_tables_rediscovered_after_restart(self):
+        kernel = Kernel()
+        db1 = MiniDB(kernel, LINUX_X86)
+        db1.execute("create table t k v")
+        for i in range(5):
+            db1.execute(f"insert into t {i} v{i}")
+        # "crash": abandon db1 without checkpoint/close
+        db2 = MiniDB(kernel, LINUX_X86)
+        rows = db2.execute("select from t")
+        assert len(rows) == 5
+        assert db2.execute("select from t where k 3") == [(3, "v3")]
+
+    def test_torn_insert_replayed_from_wal(self):
+        kernel = Kernel()
+        db1 = MiniDB(kernel, LINUX_X86)
+        db1.execute("create table t k v")
+        db1.execute("insert into t 1 kept")
+        # simulate a torn append: WAL has the entry, the table does not
+        kernel.vfs.write_file(
+            "/db/wal.log",
+            kernel.vfs.read_file("/db/wal.log") + b"I t 9 recovered\n")
+        db2 = MiniDB(kernel, LINUX_X86)
+        assert db2.execute("select from t where k 9") == [(9, "recovered")]
+        assert "wal_apply_insert" in db2.cov.hits["wal"]
+
+    def test_applied_entries_not_duplicated(self):
+        kernel = Kernel()
+        db1 = MiniDB(kernel, LINUX_X86)
+        db1.execute("create table t k v")
+        db1.execute("insert into t 1 once")
+        db2 = MiniDB(kernel, LINUX_X86)
+        assert db2.execute("select from t") == [(1, "once")]
+        assert "wal_skip_applied" in db2.cov.hits["wal"]
+
+    def test_checkpoint_prevents_replay_work(self):
+        kernel = Kernel()
+        db1 = MiniDB(kernel, LINUX_X86)
+        db1.execute("create table t k v")
+        db1.execute("insert into t 1 x")
+        db1.checkpoint()
+        db2 = MiniDB(kernel, LINUX_X86)
+        assert "wal_apply_insert" not in db2.cov.hits["wal"]
+        assert db2.execute("select from t") == [(1, "x")]

@@ -1,0 +1,90 @@
+"""The §6.1 Pidgin case study: baseline, crash, replay."""
+
+import pytest
+
+from repro.apps import MiniPidgin
+from repro.core.controller import Controller
+from repro.core.scenario import io_faults, plan_from_xml
+from repro.kernel import Kernel
+from repro.platform import LINUX_X86
+
+HOSTS = [f"buddy{i}.example.org" for i in range(10)]
+
+
+class TestBaseline:
+    def test_resolution_works_without_faults(self):
+        app = MiniPidgin(Kernel(), LINUX_X86)
+        addresses = app.login_and_chat(["im.example.org", "x.test"])
+        assert len(addresses) == 2
+        assert all(a.startswith("93.184.216.") for a in addresses)
+
+    def test_resolver_serves_bursts(self):
+        app = MiniPidgin(Kernel(), LINUX_X86)
+        addresses = app.resolve_burst(HOSTS)
+        assert len(addresses) == len(HOSTS)
+        assert app.resolver.served == len(HOSTS)
+
+    def test_single_resolve(self):
+        app = MiniPidgin(Kernel(), LINUX_X86)
+        assert app.resolve("one.example.net").startswith("93.184")
+
+
+class TestBugDiscovery:
+    def _campaign(self, libc_profiles, seed):
+        plan = io_faults(libc_profiles["libc.so.6"], probability=0.10,
+                         seed=seed)
+        lfi = Controller(LINUX_X86, libc_profiles, plan)
+
+        def session():
+            app = MiniPidgin(Kernel(), LINUX_X86, controller=lfi)
+            app.login_and_chat(HOSTS)
+            return 0
+
+        return lfi, lfi.run_test(session)
+
+    def test_random_io_faults_crash_pidgin(self, libc_profiles_linux):
+        """10% random I/O faultload finds the bug, as in the paper."""
+        crashed = []
+        for seed in range(6):
+            _lfi, outcome = self._campaign(libc_profiles_linux, seed)
+            if outcome.crashed:
+                crashed.append(outcome)
+        assert crashed, "the Pidgin bug never manifested"
+        assert any(o.status == "SIGABRT" for o in crashed)
+
+    def test_crash_is_the_huge_malloc(self, libc_profiles_linux):
+        for seed in range(8):
+            _lfi, outcome = self._campaign(libc_profiles_linux, seed)
+            if outcome.status == "SIGABRT" \
+                    and "g_malloc" in outcome.detail:
+                # payload bytes misread as an allocation size
+                assert "20211" in outcome.detail or "bytes" in outcome.detail
+                return
+        pytest.fail("no g_malloc SIGABRT observed")
+
+    def test_replay_script_reproduces_crash(self, libc_profiles_linux):
+        """§6.1: 'We restarted Pidgin using the corresponding replay
+        script ... it crashed again.'"""
+        for seed in range(8):
+            lfi, outcome = self._campaign(libc_profiles_linux, seed)
+            if not outcome.crashed:
+                continue
+            replay = plan_from_xml(outcome.replay_xml)
+            lfi2 = Controller(LINUX_X86, libc_profiles_linux, replay)
+
+            def session():
+                app = MiniPidgin(Kernel(), LINUX_X86, controller=lfi2)
+                app.login_and_chat(HOSTS)
+                return 0
+
+            outcome2 = lfi2.run_test(session)
+            assert outcome2.crashed
+            assert outcome2.status == outcome.status
+            return
+        pytest.fail("no crash to replay")
+
+    def test_log_attributes_injections_to_write(self, libc_profiles_linux):
+        lfi, outcome = self._campaign(libc_profiles_linux, seed=0)
+        assert lfi.logbook.records, "no injections logged"
+        functions = {r.function for r in lfi.logbook.records}
+        assert functions & {"write", "read"}

@@ -1,0 +1,145 @@
+"""The textual assembler: parse, assemble, execute, round-trip."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binfmt import SharedObject, Symbol
+from repro.errors import AssemblyError
+from repro.isa import X86SIM, Imm, ImportSlot, Label, LabelImm, Mem, Reg, assemble
+from repro.isa.asmparse import parse_asm
+from repro.isa.assembler import LabelDef
+from repro.kernel import Kernel
+from repro.platform import LINUX_X86
+from repro.runtime import Process
+
+
+def _instructions(src):
+    return [i for i in parse_asm(src, X86SIM)
+            if not isinstance(i, LabelDef)]
+
+
+class TestOperandParsing:
+    def test_registers(self):
+        (insn,) = _instructions("push ebp")
+        assert insn.operands == (Reg("ebp"),)
+
+    def test_immediates(self):
+        assert _instructions("push 0x10")[0].operands == (Imm(0x10),)
+        assert _instructions("push -0x1")[0].operands == (Imm(-1),)
+        assert _instructions("push 42")[0].operands == (Imm(42),)
+
+    def test_memory_base(self):
+        (insn,) = _instructions("mov eax, [ebp]")
+        assert insn.operands[1] == Mem(base="ebp")
+
+    def test_memory_disp(self):
+        assert _instructions("mov eax, [ebp+0x8]")[0].operands[1] \
+            == Mem(base="ebp", disp=8)
+        assert _instructions("mov eax, [ebp-0x4]")[0].operands[1] \
+            == Mem(base="ebp", disp=-4)
+
+    def test_memory_indexed(self):
+        (insn,) = _instructions("mov eax, [ebx+ecx*4+0x10]")
+        assert insn.operands[1] == Mem(base="ebx", index="ecx", scale=4,
+                                       disp=0x10)
+
+    def test_memory_absolute(self):
+        (insn,) = _instructions("mov eax, [0x1000]")
+        assert insn.operands[1] == Mem(disp=0x1000)
+
+    def test_tls_segment(self):
+        (insn,) = _instructions("add ecx, gs:[0x0]")
+        assert insn.operands[1] == Mem(disp=0, segment="gs")
+
+    def test_plt_slot(self):
+        (insn,) = _instructions("call <plt:3>")
+        assert insn.operands == (ImportSlot(3),)
+
+    def test_label_reference(self):
+        (insn,) = _instructions("jmp done")
+        assert insn.operands == (Label("done"),)
+
+    def test_label_imm(self):
+        (insn,) = _instructions("sub ecx, offset here")
+        assert insn.operands[1] == LabelImm("here")
+
+    def test_comments_and_blanks(self):
+        items = parse_asm("""
+            ; full-line comment
+            nop         # trailing comment
+            ret
+        """, X86SIM)
+        assert len(items) == 2
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            parse_asm("frobnicate eax", X86SIM)
+
+    def test_wrong_arity(self):
+        with pytest.raises(AssemblyError, match="takes 2 operands"):
+            parse_asm("mov eax", X86SIM)
+
+    def test_bad_operand(self):
+        with pytest.raises(AssemblyError):
+            parse_asm("push @nope", X86SIM)
+
+    def test_bad_memory_register(self):
+        with pytest.raises(AssemblyError):
+            parse_asm("mov eax, [qqq*4+ebx]", X86SIM)
+
+
+class TestEndToEnd:
+    SOURCE = """
+    f:
+        push ebp
+        mov  ebp, esp
+        mov  eax, [ebp+0x8]
+        cmp  eax, 0x0
+        jnz  nonzero
+        mov  eax, -0x1
+        jmp  done
+    nonzero:
+        mov  eax, 0x1
+    done:
+        leave
+        ret
+    """
+
+    def _load(self):
+        items = parse_asm(self.SOURCE, X86SIM)
+        text = assemble(items, X86SIM)
+        image = SharedObject(soname="libasm.so", machine="x86sim",
+                             text=text,
+                             exports=(Symbol("f", 0, len(text)),))
+        proc = Process(Kernel(), LINUX_X86)
+        proc.load(image)
+        return proc
+
+    def test_assembles_and_runs(self):
+        proc = self._load()
+        assert proc.libcall("f", 0) == -1
+        assert proc.libcall("f", 7) == 1
+
+    def test_roundtrip_through_objdump_style_rendering(self):
+        """render() output of parsed instructions re-parses identically."""
+        items = parse_asm(self.SOURCE, X86SIM)
+        rendered = []
+        for item in items:
+            if isinstance(item, LabelDef):
+                rendered.append(f"{item.name}:")
+            else:
+                rendered.append("    " + item.render())
+        again = parse_asm("\n".join(rendered), X86SIM)
+        assert again == items
+
+
+@given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+@settings(max_examples=50)
+def test_property_immediate_roundtrip(value):
+    (insn,) = _instructions(f"push {value}")
+    assert insn.operands == (Imm(value),)
+    reparsed = _instructions("push " + insn.operands[0].render())
+    assert reparsed[0] == insn

@@ -1,0 +1,160 @@
+"""SELF images: serialization, symbols, stripping, inspection tools."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binfmt import (SharedObject, Symbol, export_index,
+                          find_symbol_definitions, ldd, nm, objdump,
+                          objdump_function, strip)
+from repro.binfmt.image import KIND_KERNEL
+from repro.errors import ImageError, LoaderError, SymbolError
+from repro.platform import LINUX_X86
+from repro.toolchain import LibraryBuilder, minc
+
+
+def _tiny_image(**overrides):
+    defaults = dict(
+        soname="libx.so", machine="x86sim", text=b"\x1b",   # one "nop"
+        exports=(Symbol("f", 0, 1),),
+    )
+    defaults.update(overrides)
+    return SharedObject(**defaults)
+
+
+_name = st.text(alphabet="abcdefghij_", min_size=1, max_size=8)
+
+
+@given(
+    soname=_name,
+    text=st.binary(max_size=64),
+    data=st.binary(max_size=32),
+    tls_size=st.integers(min_value=0, max_value=1 << 16),
+    syms=st.lists(st.tuples(_name, st.integers(0, 1000),
+                            st.integers(0, 100)),
+                  max_size=5, unique_by=lambda t: t[0]),
+)
+@settings(max_examples=100)
+def test_serialization_roundtrip(soname, text, data, tls_size, syms):
+    image = SharedObject(
+        soname=soname, machine="x86sim", text=text, data=data,
+        tls_size=tls_size,
+        exports=tuple(Symbol(*s) for s in syms),
+        needed=("libc.so.6",),
+        imports=("read", "write"),
+    )
+    assert SharedObject.from_bytes(image.to_bytes()) == image
+
+
+class TestImage:
+    def test_bad_magic(self):
+        with pytest.raises(ImageError):
+            SharedObject.from_bytes(b"ELF!" + b"\x00" * 64)
+
+    def test_truncated(self):
+        blob = _tiny_image().to_bytes()
+        with pytest.raises(ImageError):
+            SharedObject.from_bytes(blob[: len(blob) // 2])
+
+    def test_duplicate_export_rejected(self):
+        with pytest.raises(SymbolError):
+            _tiny_image(exports=(Symbol("f", 0, 1), Symbol("f", 0, 1)))
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ImageError):
+            _tiny_image(kind="weird")
+
+    def test_find_export(self):
+        image = _tiny_image()
+        assert image.find_export("f").offset == 0
+        with pytest.raises(SymbolError):
+            image.find_export("g")
+
+    def test_function_at(self):
+        image = _tiny_image(exports=(Symbol("f", 0, 4), Symbol("g", 4, 4)),
+                            text=b"\x1b" * 8)
+        assert image.function_at(5).name == "g"
+        assert image.function_at(100) is None
+
+    def test_strip_removes_locals_keeps_exports(self):
+        image = _tiny_image(local_symbols=(Symbol("_internal", 0, 1),))
+        stripped = strip(image)
+        assert stripped.is_stripped
+        assert stripped.exports == image.exports
+        assert not image.is_stripped
+
+    def test_got_value_reads_data(self):
+        image = _tiny_image(data=(0x14).to_bytes(4, "little"))
+        assert image.got_value(0) == 0x14
+
+    def test_got_value_out_of_range(self):
+        image = _tiny_image(data=b"\x00" * 4)
+        with pytest.raises(ImageError):
+            image.got_value(4)
+
+    def test_kernel_syscall_table_roundtrips(self):
+        image = _tiny_image(kind=KIND_KERNEL,
+                            syscall_table=((3, 0), (4, 10)))
+        again = SharedObject.from_bytes(image.to_bytes())
+        assert again.syscall_table == ((3, 0), (4, 10))
+
+    def test_tls_symbol_lookup(self):
+        image = _tiny_image(tls_symbols=(Symbol("errno", 0x10, 4),))
+        assert image.tls_symbol("errno").offset == 0x10
+        with pytest.raises(SymbolError):
+            image.tls_symbol("other")
+
+
+class TestTools:
+    @pytest.fixture(scope="class")
+    def demo(self):
+        b = LibraryBuilder("libdemo.so")
+        b.simple("visible", 1, minc.Return(minc.Const(-9)))
+        b.simple("hidden", 1, minc.Return(minc.Const(0)), export=False)
+        return b.build(LINUX_X86).image
+
+    def test_nm_lists_exports_and_locals(self, demo):
+        text = nm(demo)
+        assert "T visible" in text
+        assert "t hidden" in text
+        assert "errno@tls" in text
+
+    def test_objdump_contains_symbols_and_instructions(self, demo):
+        listing = objdump(demo)
+        assert "<visible>:" in listing
+        assert "ret" in listing
+
+    def test_objdump_function_scopes_range(self, demo):
+        listing = objdump_function(demo, "visible")
+        assert "<visible>:" in listing
+        assert "<hidden>:" not in listing
+
+    def test_ldd_resolves_closure(self, demo):
+        libx = _tiny_image(soname="libx.so", needed=("liby.so",))
+        liby = _tiny_image(soname="liby.so", needed=("libz.so",))
+        libz = _tiny_image(soname="libz.so")
+        order = ldd(libx, {"liby.so": liby, "libz.so": libz})
+        assert [m.soname for m in order] == ["libx.so", "liby.so", "libz.so"]
+
+    def test_ldd_missing_dependency(self):
+        libx = _tiny_image(needed=("nothere.so",))
+        with pytest.raises(LoaderError):
+            ldd(libx, {})
+
+    def test_ldd_handles_cycles(self):
+        liba = _tiny_image(soname="liba.so", needed=("libb.so",))
+        libb = _tiny_image(soname="libb.so", needed=("liba.so",))
+        order = ldd(liba, {"liba.so": liba, "libb.so": libb})
+        assert [m.soname for m in order] == ["liba.so", "libb.so"]
+
+    def test_export_index_first_wins(self):
+        first = _tiny_image(soname="shim.so")
+        second = _tiny_image(soname="orig.so")
+        index = export_index([first, second])
+        assert index["f"].soname == "shim.so"
+
+    def test_find_symbol_definitions(self):
+        first = _tiny_image(soname="a.so")
+        second = _tiny_image(soname="b.so")
+        hits = find_symbol_definitions("f", [first, second])
+        assert [i.soname for i in hits] == ["a.so", "b.so"]

@@ -1,0 +1,155 @@
+"""The command-line interface: the paper's two-command workflow on disk."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.profiles import LibraryProfile
+from repro.core.scenario import plan_from_xml
+
+
+@pytest.fixture(scope="module")
+def sysroot(tmp_path_factory):
+    root = tmp_path_factory.mktemp("sysroot")
+    assert main(["build-corpus", "--out", str(root)]) == 0
+    return root
+
+
+@pytest.fixture(scope="module")
+def libc_profile_file(sysroot, tmp_path_factory):
+    out = tmp_path_factory.mktemp("profiles") / "libc.profile.xml"
+    assert main(["profile", str(sysroot / "libc.so.6.self"),
+                 "--kernel", str(sysroot / "kernel.self"),
+                 "-o", str(out)]) == 0
+    return out
+
+
+class TestBuildCorpus:
+    def test_writes_images(self, sysroot):
+        names = {p.name for p in sysroot.glob("*.self")}
+        assert {"libc.so.6.self", "libapr-1.so.self",
+                "libaprutil-1.so.self", "kernel.self"} <= names
+
+    def test_other_platform(self, tmp_path):
+        assert main(["build-corpus", "--out", str(tmp_path),
+                     "--platform", "solaris-sparc"]) == 0
+        assert (tmp_path / "libc.so.6.self").exists()
+
+
+class TestProfile:
+    def test_profile_xml_valid(self, libc_profile_file):
+        profile = LibraryProfile.from_xml(libc_profile_file.read_text())
+        assert profile.soname == "libc.so.6"
+        close = profile.function("close")
+        values = {v for se in close.find(-1).side_effects
+                  for v in se.values}
+        assert values == {-9, -5, -4}
+
+    def test_profile_to_stdout(self, sysroot, capsys):
+        assert main(["profile", str(sysroot / "libc.so.6.self")]) == 0
+        out = capsys.readouterr().out
+        assert "<profile" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["profile", "/does/not/exist.self"]) == 2
+
+    def test_with_dependency_libraries(self, sysroot, tmp_path, capsys):
+        out = tmp_path / "apr.xml"
+        assert main(["profile", str(sysroot / "libapr-1.so.self"),
+                     "--with-library", str(sysroot / "libc.so.6.self"),
+                     "--kernel", str(sysroot / "kernel.self"),
+                     "-o", str(out)]) == 0
+        profile = LibraryProfile.from_xml(out.read_text())
+        assert -1 in profile.function("apr_file_read").retvals()
+
+
+class TestGeneratePlan:
+    def test_random_plan(self, libc_profile_file, tmp_path):
+        out = tmp_path / "plan.xml"
+        assert main(["generate-plan", str(libc_profile_file),
+                     "--mode", "random", "--probability", "0.2",
+                     "--seed", "9", "-o", str(out)]) == 0
+        plan = plan_from_xml(out.read_text())
+        assert plan.seed == 9
+        assert "close" in plan.functions()
+
+    def test_exhaustive_with_function_filter(self, libc_profile_file,
+                                             tmp_path):
+        out = tmp_path / "plan.xml"
+        assert main(["generate-plan", str(libc_profile_file),
+                     "--mode", "exhaustive", "--function", "close",
+                     "-o", str(out)]) == 0
+        plan = plan_from_xml(out.read_text())
+        assert plan.functions() == ["close"]
+
+    def test_io_preset(self, libc_profile_file, tmp_path):
+        out = tmp_path / "plan.xml"
+        assert main(["generate-plan", str(libc_profile_file),
+                     "--mode", "io", "--probability", "0.1",
+                     "-o", str(out)]) == 0
+        plan = plan_from_xml(out.read_text())
+        assert "write" in plan.functions()
+
+
+class TestInspection:
+    def test_objdump(self, sysroot, capsys):
+        assert main(["objdump", str(sysroot / "libc.so.6.self"),
+                     "--function", "close"]) == 0
+        out = capsys.readouterr().out
+        assert "<close>:" in out and "int 0x80" in out
+
+    def test_nm(self, sysroot, capsys):
+        assert main(["nm", str(sysroot / "libc.so.6.self")]) == 0
+        assert "T close" in capsys.readouterr().out
+
+    def test_ldd(self, sysroot, capsys):
+        assert main(["ldd", str(sysroot / "libaprutil-1.so.self"),
+                     "--path", str(sysroot)]) == 0
+        out = capsys.readouterr().out
+        assert "libapr-1.so" in out and "libc.so.6" in out
+
+    def test_stub_source(self, libc_profile_file, tmp_path, capsys):
+        plan = tmp_path / "plan.xml"
+        main(["generate-plan", str(libc_profile_file), "--mode",
+              "exhaustive", "--function", "close", "-o", str(plan)])
+        assert main(["stub-source", str(plan)]) == 0
+        out = capsys.readouterr().out
+        assert "dlsym(RTLD_NEXT" in out
+
+
+class TestRunDemo:
+    def test_pidgin_demo_crashes_under_io_faults(self, libc_profile_file,
+                                                 sysroot, tmp_path,
+                                                 capsys):
+        plan = tmp_path / "plan.xml"
+        main(["generate-plan", str(libc_profile_file), "--mode", "io",
+              "--probability", "0.1", "--seed", "3", "-o", str(plan)])
+        report = tmp_path / "log.txt"
+        replay = tmp_path / "replay.xml"
+        code = main(["run-demo", "pidgin", "--plan", str(plan),
+                     "--profiles", str(libc_profile_file),
+                     "--report", str(report),
+                     "--replay-out", str(replay)])
+        out = capsys.readouterr().out
+        assert "outcome:" in out
+        assert report.exists() and replay.exists()
+        assert code in (0, 1)
+        if code == 1:                       # crashed: replay must parse
+            assert plan_from_xml(replay.read_text()).triggers
+
+    def test_miniweb_demo_normal_without_faults(self, libc_profile_file,
+                                                tmp_path, capsys):
+        plan = tmp_path / "plan.xml"
+        main(["generate-plan", str(libc_profile_file), "--mode",
+              "random", "--probability", "0.000001", "--seed", "1",
+              "-o", str(plan)])
+        code = main(["run-demo", "miniweb", "--plan", str(plan)])
+        assert code == 0
+        assert "outcome: normal" in capsys.readouterr().out
+
+    def test_minidb_demo_runs(self, libc_profile_file, tmp_path, capsys):
+        plan = tmp_path / "plan.xml"
+        main(["generate-plan", str(libc_profile_file), "--mode",
+              "random", "--probability", "0.01", "--seed", "5",
+              "--function", "fsync", "-o", str(plan)])
+        code = main(["run-demo", "minidb", "--plan", str(plan)])
+        assert code in (0, 1)

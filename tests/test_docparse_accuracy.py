@@ -1,0 +1,169 @@
+"""Documentation parsing and the §6.3 accuracy metric."""
+
+import pytest
+
+from repro.core.accuracy import (AccuracyResult, format_accuracy_table,
+                                 reported_constants, score_against_docs,
+                                 score_against_truth)
+from repro.core.docparse import ParsedDoc, parse_man_page, parse_manual
+from repro.core.profiles import (SE_ARG, SE_TLS, ErrorReturn,
+                                 FunctionProfile, LibraryProfile,
+                                 SideEffect)
+from repro.errors import DocParseError
+
+CLOSE_PAGE = """
+NAME
+    close - close a file descriptor
+
+SYNOPSIS
+    int close(int fd);
+
+RETURN VALUE
+    close() returns zero on success.  On error, -1 is returned, and
+    errno is set appropriately.
+
+ERRORS
+    EBADF  fd isn't a valid open file descriptor.
+    EINTR  The close() call was interrupted by a signal.
+    EIO    An I/O error occurred.
+"""
+
+LINKAT_PAGE = """
+NAME
+    linkat - create a file link relative to directory fds
+
+RETURN VALUE
+    On error, -1 is returned.
+
+ERRORS
+    The same errors that occur for link can also occur here.
+"""
+
+LINK_PAGE = """
+NAME
+    link - make a new name for a file
+
+RETURN VALUE
+    On error, -1 is returned.
+
+ERRORS
+    EEXIST  newpath already exists.
+    ENOENT  a component of oldpath does not exist.
+"""
+
+VAGUE_PAGE = """
+NAME
+    xmlparse - parse a document
+
+RETURN VALUE
+    Returns 0 if successful, a positive error code otherwise.
+
+ERRORS
+    No errors are defined.
+"""
+
+
+class TestManPageParser:
+    def test_errno_extraction(self):
+        doc = parse_man_page(CLOSE_PAGE)
+        assert doc.function == "close"
+        assert doc.errno_names == ["EBADF", "EINTR", "EIO"]
+
+    def test_error_retval_extraction(self):
+        doc = parse_man_page(CLOSE_PAGE)
+        assert -1 in doc.error_retvals
+
+    def test_constants_are_kernel_signed(self):
+        consts = parse_man_page(CLOSE_PAGE).error_constants()
+        assert -9 in consts and -5 in consts and -4 in consts
+
+    def test_vague_pages_flagged(self):
+        assert parse_man_page(VAGUE_PAGE).vague
+
+    def test_cross_reference_detected(self):
+        doc = parse_man_page(LINKAT_PAGE)
+        assert doc.cross_references == ["link"]
+
+    def test_manual_resolves_cross_references(self):
+        manual = parse_manual({"link": LINK_PAGE, "linkat": LINKAT_PAGE})
+        assert set(manual["linkat"].errno_names) == {"EEXIST", "ENOENT"}
+
+    def test_pageless_name_rejected(self):
+        with pytest.raises(DocParseError):
+            parse_man_page("RETURN VALUE\n    nothing\n")
+
+    def test_explicit_function_name_override(self):
+        doc = parse_man_page("ERRORS\n    EIO  boom.\n", function="f")
+        assert doc.function == "f" and doc.errno_names == ["EIO"]
+
+
+def _profile_with(name, retvals, errno_values=(), arg_values=()):
+    effects = []
+    if errno_values:
+        effects.append(SideEffect(SE_TLS, "l.so", offset=0x10,
+                                  values=tuple(errno_values)))
+    if arg_values:
+        effects.append(SideEffect(SE_ARG, "l.so", arg_index=1,
+                                  values=tuple(arg_values)))
+    profile = LibraryProfile(soname="l.so", platform="linux-x86")
+    profile.functions[name] = FunctionProfile(
+        name=name,
+        error_returns=[ErrorReturn(retvals[0], tuple(effects))]
+        + [ErrorReturn(v) for v in retvals[1:]])
+    return profile
+
+
+class TestReportedConstants:
+    def test_errno_values_normalized(self):
+        fp = _profile_with("f", [-1], errno_values=[9]).function("f")
+        assert reported_constants(fp) == {-1, -9}
+
+    def test_arg_values_excluded(self):
+        fp = _profile_with("f", [-1], arg_values=[-5]).function("f")
+        assert reported_constants(fp) == {-1}
+
+
+class TestScoring:
+    def test_docs_scoring_counts(self):
+        profile = _profile_with("close", [-1], errno_values=[-9, -5, -4])
+        docs = {"close": parse_man_page(CLOSE_PAGE)}
+        result = score_against_docs(profile, docs)
+        # reported: {-1, -9, -5, -4}; documented identical
+        assert (result.tp, result.fn, result.fp) == (4, 0, 0)
+        assert result.accuracy == 1.0
+
+    def test_docs_scoring_counts_misses_and_extras(self):
+        profile = _profile_with("close", [-1], errno_values=[-9, -12])
+        docs = {"close": parse_man_page(CLOSE_PAGE)}
+        result = score_against_docs(profile, docs)
+        assert result.tp == 2          # -1, -9
+        assert result.fn == 2          # -5, -4 not found
+        assert result.fp == 1          # -12 undocumented
+        assert result.accuracy == pytest.approx(2 / 5)
+
+    def test_accuracy_formula(self):
+        r = AccuracyResult("l", "p", tp=52, fn=10, fp=0)
+        assert r.accuracy == pytest.approx(52 / 62)
+
+    def test_table_formatting(self):
+        text = format_accuracy_table(
+            [AccuracyResult("libpcre.so", "linux-x86", tp=52, fn=10)])
+        assert "libpcre.so" in text and "84%" in text
+
+    def test_truth_scoring_on_generated_library(self):
+        from repro.corpus.spec import LibrarySpec, generate_library
+        from repro.core.profiler import HeuristicConfig, Profiler
+        from repro.platform import LINUX_X86
+        generated = generate_library(
+            LibrarySpec(soname="libscore.so", n_functions=6,
+                        visible_codes=9, hidden_codes=3, phantom_codes=2,
+                        seed=5),
+            LINUX_X86)
+        profiler = Profiler(LINUX_X86,
+                            {generated.image.soname: generated.image},
+                            heuristics=HeuristicConfig.all_enabled())
+        profile = profiler.profile_library(generated.image.soname)
+        result = score_against_truth(profile, generated.built)
+        assert result.tp == 9
+        assert result.fn == 3
+        assert result.fp == 2

@@ -1,0 +1,110 @@
+"""Fuzzing the parsers: hostile bytes must fail with typed errors.
+
+The profiler consumes untrusted binaries (§2 mentions validating
+closed-source products); every decoder in the pipeline must reject
+malformed input with a :class:`~repro.errors.ReproError` subclass —
+never an unhandled TypeError/IndexError/struct.error.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binfmt import SharedObject
+from repro.core.profiler import build_cfg
+from repro.core.profiles import LibraryProfile
+from repro.core.scenario import plan_from_xml
+from repro.errors import ReproError
+from repro.isa import X86SIM, decode_instruction, encode_instruction, ins, Imm
+from repro.isa.asmparse import parse_asm
+
+
+class TestSelfImageFuzz:
+    @given(blob=st.binary(max_size=200))
+    @settings(max_examples=200)
+    def test_random_bytes(self, blob):
+        try:
+            SharedObject.from_bytes(blob)
+        except ReproError:
+            pass
+
+    @given(cut=st.integers(min_value=0, max_value=400),
+           mutation=st.tuples(st.integers(4, 400), st.integers(0, 255)))
+    @settings(max_examples=150)
+    def test_truncated_and_mutated_valid_image(self, cut, mutation,
+                                               libc_linux):
+        blob = bytearray(libc_linux.image.to_bytes())
+        pos, value = mutation
+        if pos < len(blob):
+            blob[pos] = value
+        truncated = bytes(blob[:max(4, len(blob) - cut)])
+        try:
+            image = SharedObject.from_bytes(truncated)
+            # decodable mutants must still be *safe* to analyze
+            for sym in image.exports[:3]:
+                try:
+                    build_cfg(image, sym.offset, X86SIM)
+                except ReproError:
+                    pass
+        except (ReproError, UnicodeDecodeError):
+            pass
+
+
+class TestInstructionFuzz:
+    @given(blob=st.binary(min_size=1, max_size=32))
+    @settings(max_examples=300)
+    def test_random_instruction_bytes(self, blob):
+        try:
+            insn, size = decode_instruction(blob, 0, X86SIM)
+            assert 0 < size <= len(blob)
+            # decodable bytes must re-encode to the same prefix
+            assert encode_instruction(insn, X86SIM) == blob[:size]
+        except ReproError:
+            pass
+
+    @given(text=st.text(max_size=80))
+    @settings(max_examples=200)
+    def test_random_assembly_text(self, text):
+        try:
+            parse_asm(text, X86SIM)
+        except ReproError:
+            pass
+
+
+class TestXmlFuzz:
+    @given(text=st.text(max_size=120))
+    @settings(max_examples=150)
+    def test_random_profile_xml(self, text):
+        try:
+            LibraryProfile.from_xml(text)
+        except (ReproError, ValueError):
+            pass
+
+    @given(text=st.text(max_size=120))
+    @settings(max_examples=150)
+    def test_random_plan_xml(self, text):
+        try:
+            plan_from_xml(text)
+        except (ReproError, ValueError):
+            pass
+
+    def test_hostile_but_wellformed_plan(self):
+        # structurally valid XML with nonsense values
+        from repro.errors import ScenarioError
+        with pytest.raises((ScenarioError, ValueError)):
+            plan_from_xml('<plan><function name="f" inject="-3"/></plan>')
+
+
+class TestCfgOnArbitraryCode:
+    @given(blob=st.binary(min_size=4, max_size=120))
+    @settings(max_examples=150)
+    def test_cfg_exploration_never_crashes(self, blob):
+        """Exploration of arbitrary (possibly garbage) .text must either
+        produce a CFG or mark it incomplete — never raise."""
+        image = SharedObject(
+            soname="fuzz.so", machine="x86sim", text=blob,
+            exports=(
+                __import__("repro.binfmt", fromlist=["Symbol"]
+                           ).Symbol("f", 0, len(blob)),))
+        cfg = build_cfg(image, 0, X86SIM)
+        assert cfg.entry == 0

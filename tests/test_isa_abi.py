@@ -1,0 +1,69 @@
+"""ABI descriptors: the per-machine conventions the profiler relies on."""
+
+import pytest
+
+from repro.isa import SPARCSIM, X86SIM, Mem, Reg, abi_for
+
+
+class TestLookup:
+    def test_by_machine_tag(self):
+        assert abi_for("x86sim") is X86SIM
+        assert abi_for("sparcsim") is SPARCSIM
+
+    def test_unknown_machine(self):
+        with pytest.raises(KeyError):
+            abi_for("mips")
+
+
+class TestX86:
+    def test_return_register(self):
+        assert X86SIM.return_register == "eax"
+
+    def test_stack_arguments(self):
+        assert X86SIM.arg_registers == ()
+
+    def test_param_home_positive_offsets(self):
+        # §3.2: "positive offsets from the base stack pointer"
+        home0 = X86SIM.param_home(0)
+        home2 = X86SIM.param_home(2)
+        assert home0 == Mem(base="ebp", disp=8)
+        assert home2 == Mem(base="ebp", disp=16)
+
+    def test_arg_slot_matches_home(self):
+        assert X86SIM.arg_slot(1) == X86SIM.param_home(1)
+
+    def test_reg_ids_roundtrip(self):
+        for i, name in enumerate(X86SIM.registers):
+            assert X86SIM.reg_id(name) == i
+            assert X86SIM.reg_name(i) == name
+
+    def test_unknown_register(self):
+        with pytest.raises(KeyError):
+            X86SIM.reg_id("o3")
+
+    def test_syscall_registers_disjoint_sanity(self):
+        assert X86SIM.syscall_number_register == "eax"
+        assert "ebx" in X86SIM.syscall_arg_registers
+
+
+class TestSparc:
+    def test_return_register(self):
+        assert SPARCSIM.return_register == "o0"
+
+    def test_register_arguments(self):
+        assert SPARCSIM.arg_registers[:2] == ("o0", "o1")
+
+    def test_param_home_negative_frame_slots(self):
+        # "stack/register combinations in general": fixed home slots
+        assert SPARCSIM.param_home(0) == Mem(base="fp", disp=-4)
+        assert SPARCSIM.param_home(3) == Mem(base="fp", disp=-16)
+
+    def test_arg_slot_is_register(self):
+        assert SPARCSIM.arg_slot(0) == Reg("o0")
+
+    def test_arg_slot_limit(self):
+        with pytest.raises(ValueError):
+            SPARCSIM.arg_slot(len(SPARCSIM.arg_registers))
+
+    def test_syscall_number_register(self):
+        assert SPARCSIM.syscall_number_register == "g1"

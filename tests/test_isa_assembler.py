@@ -1,0 +1,68 @@
+"""Two-pass assembler: label resolution, layout, diagnostics."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import (X86SIM, Imm, Label, LabelImm, Reg, Rel, assemble,
+                       collect_labels, decode_range, disassemble, ins,
+                       label, program_size)
+
+
+def _decode(blob):
+    return [d.insn for d in decode_range(blob, 0, len(blob), X86SIM)]
+
+
+class TestLabelResolution:
+    def test_forward_branch(self):
+        items = [ins("jmp", Label("end")), ins("nop"), label("end"),
+                 ins("ret")]
+        decoded = disassemble(assemble(items, X86SIM), X86SIM)
+        assert decoded[0].branch_target() == decoded[2].addr
+
+    def test_backward_branch(self):
+        items = [label("top"), ins("nop"), ins("jmp", Label("top"))]
+        decoded = disassemble(assemble(items, X86SIM), X86SIM)
+        assert decoded[1].branch_target() == 0
+
+    def test_branch_to_self_is_negative_size(self):
+        items = [label("top"), ins("jmp", Label("top"))]
+        decoded = disassemble(assemble(items, X86SIM), X86SIM)
+        assert decoded[0].branch_target() == 0
+
+    def test_label_imm_resolves_to_address(self):
+        items = [ins("nop"), label("here"), ins("sub", Reg("ecx"),
+                                                LabelImm("here"))]
+        decoded = _decode(assemble(items, X86SIM))
+        # "here" sits right after the 1-byte nop
+        assert decoded[1].operands[1] == Imm(1)
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError, match="undefined label"):
+            assemble([ins("jmp", Label("ghost"))], X86SIM)
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble([label("a"), label("a")], X86SIM)
+
+
+class TestLayout:
+    def test_collect_labels_positions(self):
+        items = [ins("nop"), label("a"), ins("ret"), label("b")]
+        positions = collect_labels(items)
+        assert positions == {"a": 1, "b": 2}
+
+    def test_program_size_matches_encoding(self):
+        items = [ins("push", Imm(4)), ins("pop", Reg("eax")), ins("ret")]
+        assert program_size(items) == len(assemble(items, X86SIM))
+
+    def test_base_offsets_labels(self):
+        items = [label("a"), ins("nop")]
+        assert collect_labels(items, base=0x100) == {"a": 0x100}
+
+    def test_empty_program(self):
+        assert assemble([], X86SIM) == b""
+
+    def test_labels_do_not_consume_space(self):
+        with_labels = [label("x"), ins("nop"), label("y"), ins("ret")]
+        without = [ins("nop"), ins("ret")]
+        assert assemble(with_labels, X86SIM) == assemble(without, X86SIM)

@@ -1,0 +1,140 @@
+"""Byte encoder/decoder: roundtrips, sizes, error handling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AssemblyError, DecodingError, EncodingError
+from repro.isa import (SPARCSIM, X86SIM, Imm, ImportSlot, Label, Mem, Reg,
+                       Rel, decode_instruction, decode_range,
+                       encode_instruction, encode_program, ins, measure)
+from repro.isa.instructions import ARITY_OF, MNEMONICS
+
+I32 = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+
+
+def _reg_strategy(abi):
+    return st.sampled_from(abi.registers).map(Reg)
+
+
+def _mem_strategy(abi):
+    return st.builds(
+        Mem,
+        base=st.one_of(st.none(), st.sampled_from(abi.registers)),
+        disp=I32,
+        segment=st.sampled_from([None, None, "gs"]),
+    )
+
+
+def _operand_strategy(abi):
+    return st.one_of(
+        _reg_strategy(abi),
+        I32.map(Imm),
+        _mem_strategy(abi),
+        I32.map(Rel),
+        st.integers(min_value=0, max_value=0xFFFF).map(ImportSlot),
+    )
+
+
+def _instruction_strategy(abi):
+    def build(draw_tuple):
+        mnemonic, operands = draw_tuple
+        return ins(mnemonic, *operands[:ARITY_OF[mnemonic]])
+
+    return st.tuples(
+        st.sampled_from([name for name, _ in MNEMONICS]),
+        st.lists(_operand_strategy(abi), min_size=2, max_size=2),
+    ).map(build)
+
+
+@given(_instruction_strategy(X86SIM))
+@settings(max_examples=300)
+def test_roundtrip_x86(insn):
+    blob = encode_instruction(insn, X86SIM)
+    decoded, size = decode_instruction(blob, 0, X86SIM)
+    assert decoded == insn
+    assert size == len(blob) == measure(insn)
+
+
+@given(_instruction_strategy(SPARCSIM))
+@settings(max_examples=200)
+def test_roundtrip_sparc(insn):
+    blob = encode_instruction(insn, SPARCSIM)
+    decoded, size = decode_instruction(blob, 0, SPARCSIM)
+    assert decoded == insn
+    assert size == len(blob)
+
+
+@given(st.lists(_instruction_strategy(X86SIM), min_size=1, max_size=20))
+@settings(max_examples=50)
+def test_program_roundtrip(insns):
+    blob = encode_program(insns, X86SIM)
+    decoded = decode_range(blob, 0, len(blob), X86SIM)
+    assert [d.insn for d in decoded] == insns
+    assert decoded[-1].end == len(blob)
+
+
+class TestEncodeErrors:
+    def test_unresolved_label_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_instruction(ins("jmp", Label("x")), X86SIM)
+
+    def test_foreign_register_rejected(self):
+        with pytest.raises(KeyError):
+            encode_instruction(ins("push", Reg("o0")), X86SIM)
+
+
+class TestDecodeErrors:
+    def test_empty(self):
+        with pytest.raises(DecodingError):
+            decode_instruction(b"", 0, X86SIM)
+
+    def test_bad_opcode(self):
+        with pytest.raises(DecodingError):
+            decode_instruction(bytes([250]), 0, X86SIM)
+
+    def test_truncated_operand(self):
+        blob = encode_instruction(ins("push", Imm(77)), X86SIM)
+        with pytest.raises(DecodingError):
+            decode_instruction(blob[:-2], 0, X86SIM)
+
+    def test_bad_operand_tag(self):
+        opcode = encode_instruction(ins("push", Imm(1)), X86SIM)[0]
+        with pytest.raises(DecodingError):
+            decode_instruction(bytes([opcode, 0x7F]), 0, X86SIM)
+
+
+class TestInstructionModel:
+    def test_arity_enforced(self):
+        with pytest.raises(AssemblyError):
+            ins("mov", Reg("eax"))
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            ins("bogus")
+
+    def test_branch_classification(self):
+        assert ins("jz", Rel(0)).is_conditional
+        assert ins("jmp", Rel(0)).is_branch
+        assert not ins("jmp", Rel(0)).is_conditional
+        assert ins("ret").is_terminator
+        assert not ins("call", Rel(0)).is_terminator
+
+    def test_render_no_operands(self):
+        assert ins("ret").render() == "ret"
+
+    def test_render_operands(self):
+        assert ins("mov", Reg("eax"), Imm(5)).render() == "mov eax, 0x5"
+
+
+class TestDecoded:
+    def test_branch_target(self):
+        from repro.isa.instructions import Decoded
+        d = Decoded(addr=0x10, size=6, insn=ins("jmp", Rel(0x20)))
+        assert d.branch_target() == 0x36
+
+    def test_branch_target_requires_rel(self):
+        from repro.isa.instructions import Decoded
+        d = Decoded(addr=0, size=2, insn=ins("push", Imm(1)))
+        with pytest.raises(AssemblyError):
+            d.branch_target()

@@ -1,0 +1,112 @@
+"""Operand model: validation and rendering."""
+
+import pytest
+
+from repro.isa import Imm, ImportSlot, Label, LabelImm, Mem, Reg, Rel
+from repro.isa.operands import SEGMENT_TLS
+
+
+class TestReg:
+    def test_render(self):
+        assert Reg("eax").render() == "eax"
+
+    def test_equality(self):
+        assert Reg("eax") == Reg("eax")
+        assert Reg("eax") != Reg("ebx")
+
+    def test_hashable(self):
+        assert len({Reg("eax"), Reg("eax"), Reg("ebx")}) == 2
+
+
+class TestImm:
+    def test_positive_render(self):
+        assert Imm(0x10).render() == "0x10"
+
+    def test_negative_render(self):
+        assert Imm(-1).render() == "-0x1"
+
+    def test_range_check_high(self):
+        with pytest.raises(ValueError):
+            Imm(1 << 31)
+
+    def test_range_check_low(self):
+        with pytest.raises(ValueError):
+            Imm(-(1 << 31) - 1)
+
+    def test_boundaries_accepted(self):
+        assert Imm((1 << 31) - 1).value == (1 << 31) - 1
+        assert Imm(-(1 << 31)).value == -(1 << 31)
+
+
+class TestMem:
+    def test_base_only(self):
+        assert Mem(base="ebp").render() == "[ebp]"
+
+    def test_base_positive_disp(self):
+        assert Mem(base="ebp", disp=8).render() == "[ebp+0x8]"
+
+    def test_base_negative_disp(self):
+        assert Mem(base="ebp", disp=-4).render() == "[ebp-0x4]"
+
+    def test_absolute(self):
+        assert Mem(disp=0x1000).render() == "[0x1000]"
+
+    def test_tls_segment(self):
+        rendered = Mem(disp=0, segment=SEGMENT_TLS).render()
+        assert rendered.startswith("gs:")
+
+    def test_bad_segment_rejected(self):
+        with pytest.raises(ValueError):
+            Mem(base="eax", segment="fs")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            Mem(base="eax", index="ebx", scale=3)
+
+    def test_index_without_base_rejected(self):
+        with pytest.raises(ValueError):
+            Mem(index="ebx")
+
+    def test_indexed_render(self):
+        rendered = Mem(base="eax", index="ebx", scale=4, disp=8).render()
+        assert "eax" in rendered and "ebx*4" in rendered
+
+    def test_disp_range_checked(self):
+        with pytest.raises(ValueError):
+            Mem(base="eax", disp=1 << 31)
+
+
+class TestRel:
+    def test_forward(self):
+        assert Rel(0x10).disp == 0x10
+
+    def test_backward(self):
+        assert Rel(-0x10).disp == -0x10
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError):
+            Rel(1 << 31)
+
+
+class TestImportSlot:
+    def test_valid(self):
+        assert ImportSlot(3).slot == 3
+
+    def test_render(self):
+        assert ImportSlot(3).render() == "<plt:3>"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ImportSlot(-1)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            ImportSlot(1 << 16)
+
+
+class TestLabels:
+    def test_label_render(self):
+        assert Label("loop").render() == "loop"
+
+    def test_label_imm_render(self):
+        assert "offset" in LabelImm("loop").render()

@@ -1,0 +1,147 @@
+"""Pipes and sockets: short writes, EOF, connection lifecycle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.pipes import Pipe, PipeError
+from repro.kernel.sockets import Endpoint, Socket, SocketError, SocketTable
+
+
+class TestPipe:
+    def test_roundtrip(self):
+        pipe = Pipe(capacity=16)
+        assert pipe.write(b"hello") == 5
+        assert pipe.read(5) == b"hello"
+
+    def test_short_write_when_nearly_full(self):
+        """The §6.1 Pidgin mechanism: partial writes on a full pipe."""
+        pipe = Pipe(capacity=8)
+        assert pipe.write(b"123456") == 6
+        assert pipe.write(b"abcdef") == 2       # only room for two bytes
+        assert pipe.read(100) == b"123456ab"
+
+    def test_eagain_when_full(self):
+        pipe = Pipe(capacity=4)
+        pipe.write(b"1234")
+        with pytest.raises(PipeError, match="EAGAIN"):
+            pipe.write(b"x")
+
+    def test_epipe_after_reader_close(self):
+        pipe = Pipe()
+        pipe.close_read()
+        with pytest.raises(PipeError, match="EPIPE"):
+            pipe.write(b"x")
+
+    def test_read_empty_open_is_eagain(self):
+        with pytest.raises(PipeError, match="EAGAIN"):
+            Pipe().read(4)
+
+    def test_read_empty_closed_is_eof(self):
+        pipe = Pipe()
+        pipe.close_write()
+        assert pipe.read(4) == b""
+
+    def test_drain_after_writer_close(self):
+        pipe = Pipe()
+        pipe.write(b"tail")
+        pipe.close_write()
+        assert pipe.read(10) == b"tail"
+        assert pipe.read(10) == b""
+
+    @given(data=st.lists(st.binary(min_size=1, max_size=8), max_size=10))
+    @settings(max_examples=50)
+    def test_property_fifo_order(self, data):
+        pipe = Pipe(capacity=1 << 16)
+        for chunk in data:
+            pipe.write(chunk)
+        out = bytearray()
+        while pipe.fill:
+            out += pipe.read(3)
+        assert bytes(out) == b"".join(data)
+
+
+class TestSockets:
+    def _pair(self):
+        table = SocketTable()
+        server = Socket()
+        table.bind(server, 80)
+        table.listen(server)
+        client = Socket()
+        table.connect(client, 80)
+        server_end = table.accept(server)
+        return table, client.endpoint, server_end
+
+    def test_connect_and_exchange(self):
+        _table, client_end, server_end = self._pair()
+        client_end.send(b"GET /")
+        assert server_end.recv(64) == b"GET /"
+        server_end.send(b"200 OK")
+        assert client_end.recv(64) == b"200 OK"
+
+    def test_connect_refused_without_listener(self):
+        table = SocketTable()
+        with pytest.raises(SocketError, match="ECONNREFUSED"):
+            table.connect(Socket(), 9999)
+
+    def test_bind_conflict(self):
+        table = SocketTable()
+        first = Socket()
+        table.bind(first, 80)
+        table.listen(first)
+        with pytest.raises(SocketError, match="EADDRINUSE"):
+            table.bind(Socket(), 80)
+
+    def test_accept_empty_backlog_eagain(self):
+        table = SocketTable()
+        server = Socket()
+        table.bind(server, 80)
+        table.listen(server)
+        with pytest.raises(SocketError, match="EAGAIN"):
+            table.accept(server)
+
+    def test_backlog_limit_timeout(self):
+        table = SocketTable()
+        server = Socket()
+        server.backlog_limit = 1
+        table.bind(server, 80)
+        table.listen(server)
+        table.connect(Socket(), 80)
+        with pytest.raises(SocketError, match="ETIMEDOUT"):
+            table.connect(Socket(), 80)
+
+    def test_double_connect_isconn(self):
+        table, _c, _s = self._pair()
+        client = Socket()
+        table.connect(client, 80)
+        with pytest.raises(SocketError, match="EISCONN"):
+            table.connect(client, 80)
+
+    def test_recv_after_peer_close_is_eof(self):
+        _table, client_end, server_end = self._pair()
+        server_end.close()
+        assert client_end.recv(10) == b""
+
+    def test_send_after_peer_close_resets(self):
+        _table, client_end, server_end = self._pair()
+        server_end.close()
+        with pytest.raises(SocketError, match="ECONNRESET"):
+            client_end.send(b"x")
+
+    def test_send_unconnected(self):
+        with pytest.raises(SocketError, match="ENOTCONN"):
+            Endpoint().send(b"x")
+
+    def test_close_unregisters_listener(self):
+        table = SocketTable()
+        server = Socket()
+        table.bind(server, 80)
+        table.listen(server)
+        table.close(server)
+        with pytest.raises(SocketError, match="ECONNREFUSED"):
+            table.connect(Socket(), 80)
+
+    def test_short_send_on_full_peer_buffer(self):
+        _table, client_end, server_end = self._pair()
+        server_end.capacity = 4
+        assert client_end.send(b"123456") == 4

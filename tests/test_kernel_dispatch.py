@@ -1,0 +1,254 @@
+"""Syscall dispatch through real guest libc calls, plus the kernel image."""
+
+import pytest
+
+from repro.binfmt.image import KIND_KERNEL
+from repro.corpus.libc import libc
+from repro.kernel import (Kernel, ProcessExit, build_kernel_image,
+                          errno_number)
+from repro.kernel.syscalls import SYSCALLS, SYSCALL_BY_NR, spec
+from repro.kernel.vfs import O_CREAT, O_RDWR, O_WRONLY
+from repro.platform import ALL_PLATFORMS, LINUX_X86, SOLARIS_SPARC
+from repro.runtime import Process
+
+
+@pytest.fixture()
+def proc(kernel, libc_linux):
+    p = Process(kernel, LINUX_X86)
+    p.load_program([libc_linux.image])
+    return p
+
+
+def _errno(proc):
+    return proc.libcall("__errno")
+
+
+class TestFileSyscalls:
+    def test_open_write_read_close(self, proc, kernel):
+        path = proc.cstr("/f.txt")
+        fd = proc.libcall("open", path, O_CREAT | O_RDWR, 0o644)
+        buf = proc.scratch_alloc(16)
+        proc.mem_write(buf, b"payload!")
+        assert proc.libcall("write", fd, buf, 8) == 8
+        assert proc.libcall("lseek", fd, 0, 0) == 0
+        out = proc.scratch_alloc(16)
+        assert proc.libcall("read", fd, out, 8) == 8
+        assert proc.mem_read(out, 8) == b"payload!"
+        assert proc.libcall("close", fd) == 0
+        assert kernel.vfs.read_file("/f.txt") == b"payload!"
+
+    def test_open_enoent(self, proc):
+        fd = proc.libcall("open", proc.cstr("/missing"), O_RDWR, 0)
+        assert fd == -1
+        assert _errno(proc) == errno_number("ENOENT")
+
+    def test_close_ebadf(self, proc):
+        assert proc.libcall("close", 123) == -1
+        assert _errno(proc) == errno_number("EBADF")
+
+    def test_read_efault_on_null_buffer(self, proc):
+        fd = proc.libcall("open", proc.cstr("/f"), O_CREAT | O_RDWR, 0o644)
+        assert proc.libcall("read", fd, 0, 16) == -1
+        assert _errno(proc) == errno_number("EFAULT")
+
+    def test_lseek_espipe_on_pipe(self, proc):
+        fds = proc.scratch_alloc(8)
+        assert proc.libcall("pipe", fds) == 0
+        rfd = proc.memory.read_u32(fds)
+        assert proc.libcall("lseek", rfd, 4, 0) == -1
+        assert _errno(proc) == errno_number("ESPIPE")
+
+    def test_unlink_and_stat(self, proc, kernel):
+        kernel.vfs.write_file("/gone", b"abc")
+        statbuf = proc.scratch_alloc(8)
+        assert proc.libcall("stat", proc.cstr("/gone"), statbuf) == 0
+        assert proc.memory.read_u32(statbuf) == 3
+        assert proc.libcall("unlink", proc.cstr("/gone")) == 0
+        assert proc.libcall("stat", proc.cstr("/gone"), statbuf) == -1
+
+    def test_mkdir_rmdir_readdir(self, proc):
+        assert proc.libcall("mkdir", proc.cstr("/d"), 0o755) == 0
+        for name in ("x", "y"):
+            fd = proc.libcall("open", proc.cstr(f"/d/{name}"),
+                              O_CREAT | O_WRONLY, 0o644)
+            proc.libcall("close", fd)
+        dirfd = proc.libcall("opendir", proc.cstr("/d"))
+        assert dirfd >= 0
+        names = []
+        buf = proc.scratch_alloc(64)
+        while True:
+            n = proc.libcall("readdir", dirfd, buf, 64)
+            if n <= 0:
+                break
+            names.append(proc.mem_read(buf, n).rstrip(b"\x00").decode())
+        assert names == ["x", "y"]
+        assert proc.libcall("closedir", dirfd) == 0
+
+    def test_dup_shares_offset(self, proc):
+        fd = proc.libcall("open", proc.cstr("/f"), O_CREAT | O_RDWR, 0o644)
+        dup = proc.libcall("dup", fd)
+        buf = proc.scratch_alloc(4)
+        proc.mem_write(buf, b"abcd")
+        proc.libcall("write", fd, buf, 4)
+        # the duplicated descriptor shares the file offset
+        assert proc.libcall("lseek", dup, 0, 1) == 4
+
+    def test_ftruncate(self, proc, kernel):
+        fd = proc.libcall("open", proc.cstr("/f"), O_CREAT | O_RDWR, 0o644)
+        buf = proc.scratch_alloc(8)
+        proc.mem_write(buf, b"12345678")
+        proc.libcall("write", fd, buf, 8)
+        assert proc.libcall("ftruncate", fd, 3) == 0
+        assert kernel.vfs.read_file("/f") == b"123"
+
+    def test_enospc_via_small_disk(self, libc_linux):
+        kernel = Kernel(disk_capacity=8)
+        proc = Process(kernel, LINUX_X86)
+        proc.load_program([libc_linux.image])
+        fd = proc.libcall("open", proc.cstr("/f"), O_CREAT | O_WRONLY,
+                          0o644)
+        buf = proc.scratch_alloc(16)
+        proc.mem_write(buf, b"0123456789abcdef")
+        assert proc.libcall("write", fd, buf, 16) == 8   # short write
+        assert proc.libcall("write", fd, buf, 16) == -1
+        assert proc.libcall("__errno") == errno_number("ENOSPC")
+
+
+class TestMemorySyscalls:
+    def test_malloc_free(self, proc):
+        ptr = proc.libcall("malloc", 64)
+        assert ptr != 0
+        proc.mem_write_u32(ptr, 0xDEAD)
+        assert proc.memory.read_u32(ptr) == 0xDEAD
+        assert proc.libcall("free", ptr) == 0
+
+    def test_malloc_enomem(self, libc_linux):
+        kernel = Kernel(mem_limit=128)
+        proc = Process(kernel, LINUX_X86)
+        proc.load_program([libc_linux.image])
+        assert proc.libcall("malloc", 64) != 0
+        assert proc.libcall("malloc", 1 << 20) == 0
+        assert proc.libcall("__errno") == errno_number("ENOMEM")
+
+    def test_calloc_multiplies(self, proc):
+        ptr = proc.libcall("calloc", 4, 16)
+        assert ptr != 0
+        assert proc.mem_read(ptr, 64) == b"\x00" * 64
+
+    def test_free_releases_accounting(self, proc):
+        before = proc.kstate.heap_used
+        ptr = proc.libcall("malloc", 1024)
+        assert proc.kstate.heap_used > before
+        proc.libcall("free", ptr)
+        assert proc.kstate.heap_used == before
+
+
+class TestProcessSyscalls:
+    def test_getpid(self, proc):
+        assert proc.libcall("getpid") == proc.kstate.pid
+
+    def test_exit_raises(self, proc):
+        with pytest.raises(ProcessExit) as info:
+            proc.libcall("exit", 3)
+        assert info.value.status == 3
+
+    def test_kill_self(self, proc):
+        with pytest.raises(ProcessExit):
+            proc.libcall("kill", proc.kstate.pid, 9)
+
+    def test_kill_other_esrch(self, proc):
+        assert proc.libcall("kill", 4242, 9) == -1
+
+    def test_sleep_advances_clock(self, proc, kernel):
+        before = kernel.clock_ns
+        assert proc.libcall("sleep", 1000) == 0
+        assert kernel.clock_ns == before + 1000
+
+    def test_modify_ldt_enosys(self, proc):
+        assert proc.libcall("modify_ldt", 0, 0, 0) == -1
+        assert _errno(proc) == errno_number("ENOSYS")
+
+
+class TestSpecConformance:
+    """The runtime may only fail with declared errno values (§3.1's
+    kernel/image agreement)."""
+
+    def test_all_handlers_exist(self):
+        kernel = Kernel()
+        for sc in SYSCALLS:
+            assert hasattr(kernel, f"sys_{sc.name}"), sc.name
+
+    def test_fail_rejects_undeclared(self):
+        kernel = Kernel()
+        from repro.errors import KernelError
+        with pytest.raises(KernelError):
+            kernel._fail("close", "ECONNREFUSED")
+
+    def test_enosys_for_unknown_nr(self, proc, kernel):
+        assert kernel.dispatch(proc, 9999, []) == -errno_number("ENOSYS")
+
+    def test_solaris_close_includes_enolink(self):
+        assert "ENOLINK" in spec("close").errors_for("Solaris")
+        assert "ENOLINK" not in spec("close").errors_for("Linux")
+
+    def test_modify_ldt_documentation_gap(self):
+        # the paper's case study: docs omit ENOMEM
+        sc = spec("modify_ldt")
+        assert "ENOMEM" in sc.errors_for("Linux")
+        assert "ENOMEM" not in sc.documented_errors_for("Linux")
+
+
+class TestKernelImage:
+    @pytest.mark.parametrize("platform", ALL_PLATFORMS,
+                             ids=lambda p: p.name)
+    def test_image_has_all_syscalls(self, platform):
+        image = build_kernel_image(platform)
+        assert image.kind == KIND_KERNEL
+        numbers = {nr for nr, _off in image.syscall_table}
+        assert numbers == set(SYSCALL_BY_NR)
+
+    def test_handlers_are_analyzable_functions(self, kernel_image_linux):
+        table = dict(kernel_image_linux.syscall_table)
+        sym = kernel_image_linux.function_at(table[spec("close").nr])
+        assert sym is not None and sym.name == "sys_close"
+
+
+class TestNewFileSyscalls:
+    def test_rename_via_libc(self, proc, kernel):
+        kernel.vfs.write_file("/old.txt", b"data")
+        assert proc.libcall("rename", proc.cstr("/old.txt"),
+                            proc.cstr("/new.txt")) == 0
+        assert kernel.vfs.read_file("/new.txt") == b"data"
+        assert not kernel.vfs.exists("/old.txt")
+
+    def test_rename_enoent_sets_errno(self, proc):
+        assert proc.libcall("rename", proc.cstr("/ghost"),
+                            proc.cstr("/x")) == -1
+        assert _errno(proc) == errno_number("ENOENT")
+
+    def test_link_via_libc(self, proc, kernel):
+        kernel.vfs.write_file("/a", b"hard")
+        assert proc.libcall("link", proc.cstr("/a"),
+                            proc.cstr("/b")) == 0
+        assert kernel.vfs.read_file("/b") == b"hard"
+
+    def test_link_eexist(self, proc, kernel):
+        kernel.vfs.write_file("/a", b"")
+        kernel.vfs.write_file("/b", b"")
+        assert proc.libcall("link", proc.cstr("/a"),
+                            proc.cstr("/b")) == -1
+        assert _errno(proc) == errno_number("EEXIST")
+
+    def test_access_via_libc(self, proc, kernel):
+        kernel.vfs.write_file("/exists", b"")
+        assert proc.libcall("access", proc.cstr("/exists"), 0) == 0
+        assert proc.libcall("access", proc.cstr("/missing"), 0) == -1
+        assert _errno(proc) == errno_number("ENOENT")
+
+    def test_profiles_cover_new_wrappers(self, libc_profile_linux):
+        for name in ("rename", "link", "access"):
+            fp = libc_profile_linux.function(name)
+            assert -1 in fp.retvals(), name
+            values = {v for se in fp.find(-1).side_effects
+                      for v in se.values}
+            assert -2 in values, name       # ENOENT from the kernel image

@@ -1,0 +1,218 @@
+"""VFS semantics: files, directories, capacity, POSIX error names."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.vfs import (O_APPEND, O_CREAT, O_DIRECTORY, O_EXCL,
+                              O_RDONLY, O_TRUNC, O_WRONLY, Vfs, VfsError)
+
+
+@pytest.fixture()
+def vfs():
+    return Vfs()
+
+
+def _err(callable_, *args):
+    with pytest.raises(VfsError) as info:
+        callable_(*args)
+    return info.value.errno_name
+
+
+class TestOpen:
+    def test_create_and_read_back(self, vfs):
+        vfs.write_file("/a.txt", b"hello")
+        assert vfs.read_file("/a.txt") == b"hello"
+
+    def test_enoent(self, vfs):
+        assert _err(vfs.lookup, "/missing") == "ENOENT"
+
+    def test_create_in_missing_dir(self, vfs):
+        assert _err(vfs.open_node, "/nodir/f", O_CREAT) == "ENOENT"
+
+    def test_excl_on_existing(self, vfs):
+        vfs.write_file("/a", b"")
+        assert _err(vfs.open_node, "/a", O_CREAT | O_EXCL) == "EEXIST"
+
+    def test_open_dir_for_write_is_eisdir(self, vfs):
+        vfs.mkdir("/d")
+        assert _err(vfs.open_node, "/d", O_WRONLY) == "EISDIR"
+
+    def test_o_directory_on_file_is_enotdir(self, vfs):
+        vfs.write_file("/f", b"")
+        assert _err(vfs.open_node, "/f", O_DIRECTORY) == "ENOTDIR"
+
+    def test_trunc_resets_content_and_accounting(self, vfs):
+        vfs.write_file("/f", b"xxxx")
+        used = vfs.used
+        vfs.open_node("/f", O_TRUNC | O_WRONLY)
+        assert vfs.read_file("/f") == b""
+        assert vfs.used == used - 4
+
+    def test_name_too_long(self, vfs):
+        assert _err(vfs.open_node, "/" + "n" * 300, O_CREAT) \
+            == "ENAMETOOLONG"
+
+    def test_path_through_file_is_enotdir(self, vfs):
+        vfs.write_file("/f", b"")
+        assert _err(vfs.lookup, "/f/child") == "ENOTDIR"
+
+
+class TestReadWrite:
+    def test_sparse_extension_zero_fills(self, vfs):
+        node = vfs.open_node("/f", O_CREAT)
+        vfs.write_at(node, 4, b"ab")
+        assert vfs.read_file("/f") == b"\x00\x00\x00\x00ab"
+
+    def test_overwrite_does_not_grow(self, vfs):
+        node = vfs.open_node("/f", O_CREAT)
+        vfs.write_at(node, 0, b"abcd")
+        used = vfs.used
+        vfs.write_at(node, 0, b"efgh")
+        assert vfs.used == used
+
+    def test_read_past_end_empty(self, vfs):
+        node = vfs.open_node("/f", O_CREAT)
+        assert vfs.read_at(node, 100, 10) == b""
+
+    def test_enospc_when_full(self):
+        small = Vfs(capacity=8)
+        node = small.open_node("/f", O_CREAT)
+        small.write_at(node, 0, b"12345678")
+        assert _err(small.write_at, node, 8, b"x") == "ENOSPC"
+
+    def test_partial_write_near_capacity(self):
+        small = Vfs(capacity=10)
+        node = small.open_node("/f", O_CREAT)
+        written = small.write_at(node, 0, b"0123456789abcdef")
+        assert written == 10          # short write, like a full disk
+
+
+class TestDirectories:
+    def test_mkdir_rmdir(self, vfs):
+        vfs.mkdir("/d")
+        assert vfs.exists("/d")
+        vfs.rmdir("/d")
+        assert not vfs.exists("/d")
+
+    def test_mkdir_eexist(self, vfs):
+        vfs.mkdir("/d")
+        assert _err(vfs.mkdir, "/d") == "EEXIST"
+
+    def test_rmdir_enotempty(self, vfs):
+        vfs.mkdir("/d")
+        vfs.write_file("/d/f", b"")
+        assert _err(vfs.rmdir, "/d") == "ENOTEMPTY"
+
+    def test_rmdir_on_file_enotdir(self, vfs):
+        vfs.write_file("/f", b"")
+        assert _err(vfs.rmdir, "/f") == "ENOTDIR"
+
+    def test_unlink_dir_eisdir(self, vfs):
+        vfs.mkdir("/d")
+        assert _err(vfs.unlink, "/d") == "EISDIR"
+
+    def test_unlink_frees_space(self, vfs):
+        vfs.write_file("/f", b"1234")
+        used = vfs.used
+        vfs.unlink("/f")
+        assert vfs.used == used - 4
+
+    def test_listdir_sorted(self, vfs):
+        vfs.mkdir("/d")
+        for name in ("c", "a", "b"):
+            vfs.write_file(f"/d/{name}", b"")
+        assert vfs.listdir(vfs.lookup("/d")) == ["a", "b", "c"]
+
+    def test_stat(self, vfs):
+        vfs.write_file("/f", b"12345")
+        assert vfs.stat("/f") == (5, 0)
+        vfs.mkdir("/d")
+        assert vfs.stat("/d") == (0, 1)
+
+
+@given(chunks=st.lists(st.binary(min_size=1, max_size=64), min_size=1,
+                       max_size=16))
+@settings(max_examples=50)
+def test_property_sequential_writes_concatenate(chunks):
+    vfs = Vfs()
+    node = vfs.open_node("/f", O_CREAT)
+    pos = 0
+    for chunk in chunks:
+        pos += vfs.write_at(node, pos, chunk)
+    assert vfs.read_file("/f") == b"".join(chunks)
+    assert vfs.used == sum(len(c) for c in chunks)
+
+
+class TestLinkRenameAccess:
+    def test_hard_link_shares_content(self, vfs):
+        vfs.write_file("/a", b"shared")
+        vfs.link("/a", "/b")
+        assert vfs.read_file("/b") == b"shared"
+        node = vfs.lookup("/a")
+        assert node is vfs.lookup("/b")
+        assert node.nlink == 2
+
+    def test_unlink_one_name_keeps_data(self, vfs):
+        vfs.write_file("/a", b"keep")
+        used = vfs.used
+        vfs.link("/a", "/b")
+        vfs.unlink("/a")
+        assert vfs.read_file("/b") == b"keep"
+        assert vfs.used == used            # space freed only at nlink 0
+        vfs.unlink("/b")
+        assert vfs.used == used - 4
+
+    def test_link_to_existing_name_eexist(self, vfs):
+        vfs.write_file("/a", b"")
+        vfs.write_file("/b", b"")
+        assert _err(vfs.link, "/a", "/b") == "EEXIST"
+
+    def test_link_directory_eperm(self, vfs):
+        vfs.mkdir("/d")
+        assert _err(vfs.link, "/d", "/d2") == "EPERM"
+
+    def test_rename_moves_file(self, vfs):
+        vfs.write_file("/old", b"content")
+        vfs.rename("/old", "/new")
+        assert not vfs.exists("/old")
+        assert vfs.read_file("/new") == b"content"
+
+    def test_rename_across_directories(self, vfs):
+        vfs.mkdir("/d")
+        vfs.write_file("/f", b"x")
+        vfs.rename("/f", "/d/f")
+        assert vfs.read_file("/d/f") == b"x"
+
+    def test_rename_replaces_file_atomically(self, vfs):
+        vfs.write_file("/src", b"new")
+        vfs.write_file("/dst", b"old!")
+        used = vfs.used
+        vfs.rename("/src", "/dst")
+        assert vfs.read_file("/dst") == b"new"
+        assert vfs.used == used - 4        # the old content is freed
+
+    def test_rename_file_over_dir_eisdir(self, vfs):
+        vfs.write_file("/f", b"")
+        vfs.mkdir("/d")
+        assert _err(vfs.rename, "/f", "/d") == "EISDIR"
+
+    def test_rename_dir_over_nonempty_enotempty(self, vfs):
+        vfs.mkdir("/a")
+        vfs.mkdir("/b")
+        vfs.write_file("/b/x", b"")
+        assert _err(vfs.rename, "/a", "/b") == "ENOTEMPTY"
+
+    def test_rename_missing_enoent(self, vfs):
+        assert _err(vfs.rename, "/ghost", "/x") == "ENOENT"
+
+    def test_rename_onto_itself_noop(self, vfs):
+        vfs.write_file("/f", b"same")
+        vfs.link("/f", "/g")
+        vfs.rename("/f", "/g")           # same inode: POSIX no-op
+        assert vfs.read_file("/g") == b"same"
+
+    def test_access(self, vfs):
+        vfs.write_file("/f", b"")
+        vfs.access("/f")                  # no raise
+        assert _err(vfs.access, "/nope") == "ENOENT"

@@ -1,0 +1,92 @@
+"""Profile diffing: the library-drift hazard of §1/§3.3."""
+
+import pytest
+
+from repro.core.diff import diff_profiles, focus_functions
+from repro.core.profiler import Profiler
+from repro.core.profiles import LibraryProfile
+from repro.kernel import build_kernel_image
+from repro.platform import LINUX_X86, SOLARIS_SPARC
+from repro.toolchain import LibraryBuilder, minc
+
+
+def _version(codes_by_fn):
+    builder = LibraryBuilder("libv.so")
+    for name, codes in codes_by_fn.items():
+        stmts = []
+        for j, code in enumerate(codes):
+            stmts.append(minc.If(
+                minc.Cond("==", minc.Param(0), minc.Const(j + 1)),
+                minc.body(minc.Return(minc.Const(code)))))
+        stmts.append(minc.Return(minc.Param(0)))
+        builder.simple(name, 1, *stmts)
+    image = builder.build(LINUX_X86).image
+    profiler = Profiler(LINUX_X86, {image.soname: image})
+    return profiler.profile_library(image.soname)
+
+
+class TestDiff:
+    def test_no_change(self):
+        v1 = _version({"f": [-9]})
+        v2 = _version({"f": [-9]})
+        diff = diff_profiles(v1, v2)
+        assert diff.is_compatible
+        assert not diff.changed_functions()
+        assert "no fault-surface changes" in diff.render()
+
+    def test_new_error_code_detected(self):
+        """The §3.3 hazard: a new release can return codes callers never
+        learned to handle (close gaining EIO on Linux vs BSD)."""
+        v1 = _version({"close_like": [-9, -4]})
+        v2 = _version({"close_like": [-9, -4, -5]})
+        diff = diff_profiles(v1, v2)
+        assert not diff.is_compatible
+        (delta,) = diff.changed_functions()
+        assert delta.added == {-5}
+        assert "EIO" in delta.render()
+        assert focus_functions(diff) == ["close_like"]
+
+    def test_removed_code_is_compatible(self):
+        v1 = _version({"f": [-9, -5]})
+        v2 = _version({"f": [-9]})
+        diff = diff_profiles(v1, v2)
+        assert diff.is_compatible            # shrinking surface is safe
+        assert diff.changed_functions()[0].removed == {-5}
+
+    def test_function_addition_and_removal(self):
+        v1 = _version({"old_fn": [-1]})
+        v2 = _version({"new_fn": [-1]})
+        diff = diff_profiles(v1, v2)
+        assert diff.added_functions == ["new_fn"]
+        assert diff.removed_functions == ["old_fn"]
+        assert not diff.is_compatible
+        assert "new_fn" in focus_functions(diff)
+
+    def test_cross_platform_close_drift(self, libc_linux, libc_sparc,
+                                        kernel_image_linux,
+                                        kernel_image_sparc):
+        """Linux vs Solaris libc: the diff surfaces ENOLINK exactly."""
+        linux = Profiler(LINUX_X86, {"libc.so.6": libc_linux.image},
+                         kernel_image_linux).profile_library("libc.so.6")
+        solaris = Profiler(SOLARIS_SPARC, {"libc.so.6": libc_sparc.image},
+                           kernel_image_sparc).profile_library("libc.so.6")
+        diff = diff_profiles(linux, solaris)
+        close_delta = next(d for d in diff.deltas if d.name == "close")
+        assert -67 in close_delta.added       # ENOLINK
+        assert "close" in focus_functions(diff)
+
+
+class TestCliDiff:
+    def test_cli_profile_diff(self, tmp_path, capsys):
+        from repro.cli import main
+        v1 = _version({"f": [-9]})
+        v2 = _version({"f": [-9, -5]})
+        old = tmp_path / "old.xml"
+        new = tmp_path / "new.xml"
+        old.write_text(v1.to_xml())
+        new.write_text(v2.to_xml())
+        code = main(["profile-diff", str(old), str(new)])
+        out = capsys.readouterr().out
+        assert code == 1                      # drift found
+        assert "new error codes" in out
+        assert "faultload targets" in out

@@ -1,0 +1,134 @@
+"""CFG construction: blocks, edges, exits, indirection bookkeeping."""
+
+import pytest
+
+from repro.core.profiler import CfgStats, build_cfg
+from repro.core.profiler.cfg import direct_call_targets, import_call_slots
+from repro.isa import X86SIM
+from repro.platform import LINUX_X86
+from repro.toolchain import minc
+
+from .helpers import build_one
+
+
+def _cfg_for(*stmts, nparams=1, extra=None, stats=None):
+    image = build_one("f", nparams, *stmts, extra=extra)
+    entry = image.find_export("f").offset
+    return build_cfg(image, entry, X86SIM, stats=stats), image
+
+
+class TestBlocks:
+    def test_straight_line_single_block_until_branch(self):
+        cfg, _ = _cfg_for(minc.Return(minc.Const(5)))
+        # entry block ends at the jmp-to-epilogue; epilogue is an exit
+        assert len(cfg.exit_blocks()) == 1
+        assert not cfg.incomplete
+
+    def test_if_creates_diamond(self):
+        cfg, _ = _cfg_for(
+            minc.If(minc.Cond("==", minc.Param(0), minc.Const(0)),
+                    minc.body(minc.Return(minc.Const(1))),
+                    minc.body(minc.Return(minc.Const(2)))))
+        exits = cfg.exit_blocks()
+        assert len(exits) == 1                    # shared epilogue
+        preds = cfg.predecessors(exits[0].start)
+        assert len(preds) >= 2                    # both branches reach it
+
+    def test_conditional_block_has_two_successors(self):
+        cfg, _ = _cfg_for(
+            minc.If(minc.Cond("<", minc.Param(0), minc.Const(0)),
+                    minc.body(minc.Return(minc.Const(-1)))),
+            minc.Return(minc.Const(0)))
+        two_way = [b for b in cfg.blocks.values()
+                   if len(b.successors) == 2]
+        assert two_way, "no conditional block found"
+
+    def test_loop_back_edge(self):
+        cfg, _ = _cfg_for(
+            minc.Assign("i", minc.Const(0)),
+            minc.While(minc.Cond("<", minc.Local("i"), minc.Param(0)),
+                       minc.body(minc.Assign(
+                           "i", minc.BinOp("+", minc.Local("i"),
+                                           minc.Const(1))))),
+            minc.Return(minc.Local("i")))
+        # some block must have a successor earlier than itself
+        assert any(succ <= block.start
+                   for block in cfg.blocks.values()
+                   for succ in block.successors)
+
+    def test_every_successor_is_a_block(self):
+        cfg, _ = _cfg_for(
+            minc.If(minc.Cond(">", minc.Param(0), minc.Const(3)),
+                    minc.body(minc.Return(minc.Const(-9)))),
+            minc.Return(minc.Param(0)))
+        for block in cfg.blocks.values():
+            for succ in block.successors:
+                assert succ in cfg.blocks
+
+    def test_instruction_count_positive(self):
+        cfg, _ = _cfg_for(minc.Return(minc.Const(0)))
+        assert cfg.instruction_count() > 0
+        assert cfg.code_size() > 0
+
+
+class TestIndirection:
+    def test_computed_goto_marks_incomplete(self):
+        cfg, _ = _cfg_for(
+            minc.ComputedGoto(minc.Param(0),
+                              (minc.body(minc.Assign("x", minc.Const(1))),
+                               minc.body(minc.Assign("x", minc.Const(2))))),
+            minc.Return(minc.Const(0)))
+        assert cfg.incomplete
+        assert any(b.has_indirect_branch for b in cfg.blocks.values())
+
+    def test_indirect_call_counted_not_incomplete(self):
+        helper = minc.FunctionDef("t", 1,
+                                  (minc.Return(minc.Const(-3)),),
+                                  export=False)
+        stats = CfgStats()
+        cfg, _ = _cfg_for(
+            minc.Return(minc.IndirectCall(minc.FuncAddr("t"),
+                                          (minc.Param(0),))),
+            extra=[helper], stats=stats)
+        assert stats.indirect_calls == 1
+        assert not cfg.incomplete      # indirect *calls* don't cut the CFG
+
+    def test_stats_accumulate(self):
+        stats = CfgStats()
+        _cfg_for(minc.If(minc.Cond("==", minc.Param(0), minc.Const(1)),
+                         minc.body(minc.Return(minc.Const(-1)))),
+                 minc.Return(minc.Const(0)), stats=stats)
+        assert stats.branches >= 1
+        assert stats.indirect_branches == 0
+
+    def test_merge(self):
+        a = CfgStats(branches=2, indirect_branches=1, calls=3,
+                     indirect_calls=1)
+        b = CfgStats(branches=1)
+        a.merge(b)
+        assert a.branches == 3 and a.indirect_calls == 1
+
+
+class TestDependents:
+    def test_direct_call_targets_exclude_pic_thunk(self):
+        helper = minc.FunctionDef("h", 0, (minc.Return(minc.Const(-2)),),
+                                  export=False)
+        cfg, image = _cfg_for(
+            minc.SetErrno(minc.Const(5)),              # PIC thunk inside
+            minc.Return(minc.Call("h", ())),
+            extra=[helper])
+        targets = direct_call_targets(cfg)
+        h_offset = next(s.offset for s in image.all_functions()
+                        if s.name == "h")
+        assert targets == [h_offset]
+
+    def test_import_slots_collected(self):
+        image = build_one("f", 0,
+                          minc.Return(minc.Call("read", (minc.Const(0),
+                                                         minc.Const(0),
+                                                         minc.Const(0)))),
+                          needed=("libc.so.6",))
+        entry = image.find_export("f").offset
+        cfg = build_cfg(image, entry, X86SIM)
+        assert import_call_slots(cfg) == [0]
+        assert image.imports[0] == "read"

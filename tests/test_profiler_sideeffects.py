@@ -1,0 +1,145 @@
+"""Side-effect discovery (§3.2): TLS, globals, output arguments."""
+
+import pytest
+
+from repro.core.profiler import AnalysisContext
+from repro.core.profiles import SE_ARG, SE_GLOBAL, SE_TLS
+from repro.platform import LINUX_X86, SOLARIS_SPARC, WINDOWS_X86
+from repro.toolchain import minc
+
+from .helpers import build_one
+
+
+def _effects_of(*stmts, nparams=1, platform=LINUX_X86, kernel_image=None,
+                globals_=(), retval=None):
+    image = build_one("f", nparams, *stmts, platform=platform,
+                      globals_=globals_)
+    ctx = AnalysisContext(platform, {image.soname: image}, kernel_image)
+    analysis = ctx.analyze_function(image.soname,
+                                    image.find_export("f").offset)
+    if retval is None:
+        effects = [se for e in analysis.entries for se in e.effects]
+    else:
+        effects = [se for e in analysis.entries if e.value == retval
+                   for se in e.effects]
+    return effects, image, analysis
+
+
+class TestTls:
+    def test_constant_errno_store_discovered(self):
+        effects, image, _ = _effects_of(
+            minc.SetErrno(minc.Const(22)),
+            minc.Return(minc.Const(-1)))
+        tls = [se for se in effects if se.kind == SE_TLS]
+        assert tls, "TLS side effect missed"
+        assert tls[0].module == image.soname
+        assert tls[0].offset == image.tls_symbol("errno").offset
+        assert tls[0].values == (22,)
+
+    def test_windows_uses_tls_too(self):
+        effects, image, _ = _effects_of(
+            minc.SetErrno(minc.Const(5)),
+            minc.Return(minc.Const(-1)),
+            platform=WINDOWS_X86)
+        assert any(se.kind == SE_TLS for se in effects)
+
+    def test_effect_attached_to_correct_retval(self):
+        effects, _, _ = _effects_of(
+            minc.If(minc.Cond("==", minc.Param(0), minc.Const(1)),
+                    minc.body(minc.SetErrno(minc.Const(9)),
+                              minc.Return(minc.Const(-1)))),
+            minc.Return(minc.Const(0)),
+            retval=0)
+        assert effects == []     # the 0 return carries no errno effect
+
+
+class TestGlobal:
+    def test_solaris_errno_is_global(self):
+        effects, image, _ = _effects_of(
+            minc.SetErrno(minc.Const(9)),
+            minc.Return(minc.Const(-1)),
+            platform=SOLARIS_SPARC)
+        glob = [se for se in effects if se.kind == SE_GLOBAL]
+        assert glob and glob[0].offset == \
+            image.data_symbol("errno").offset
+        assert glob[0].values == (9,)
+
+    def test_library_global_store(self):
+        effects, image, _ = _effects_of(
+            minc.SetGlobal("last_error", minc.Const(-7)),
+            minc.Return(minc.Const(-1)),
+            globals_=("last_error",))
+        glob = [se for se in effects if se.kind == SE_GLOBAL]
+        assert glob
+        assert glob[0].offset == image.data_symbol("last_error").offset
+        assert glob[0].values == (-7,)
+
+
+class TestOutputArguments:
+    def test_store_through_param_pointer(self):
+        effects, _, _ = _effects_of(
+            minc.StoreParam(1, minc.Const(-5)),
+            minc.Return(minc.Const(-1)),
+            nparams=2)
+        args = [se for se in effects if se.kind == SE_ARG]
+        assert args and args[0].arg_index == 1
+        assert args[0].values == (-5,)
+
+    def test_sparc_out_args_via_home_slots(self):
+        effects, _, _ = _effects_of(
+            minc.StoreParam(1, minc.Const(-8)),
+            minc.Return(minc.Const(-1)),
+            nparams=2, platform=SOLARIS_SPARC)
+        args = [se for se in effects if se.kind == SE_ARG]
+        assert args and args[0].arg_index == 1
+
+
+class TestKernelDerivedValues:
+    def test_syscall_wrapper_errno_values(self, kernel_image_linux):
+        """close's -1 must carry the kernel constants -9/-5/-4 (§3.3)."""
+        from repro.kernel.syscalls import spec
+        effects, image, analysis = _effects_of(
+            minc.SyscallWrapper(spec("close").nr),
+            kernel_image=kernel_image_linux, retval=-1)
+        tls = [se for se in effects if se.kind == SE_TLS]
+        assert tls
+        assert set(tls[0].values) == {-9, -5, -4}
+
+    def test_solaris_adds_enolink(self, kernel_image_sparc):
+        from repro.kernel.syscalls import spec
+        effects, _, _ = _effects_of(
+            minc.SyscallWrapper(spec("close").nr),
+            platform=SOLARIS_SPARC, kernel_image=kernel_image_sparc,
+            retval=-1)
+        channel = [se for se in effects if se.kind == SE_GLOBAL]
+        assert channel and -67 in channel[0].values      # ENOLINK
+
+    def test_no_kernel_image_no_values(self):
+        from repro.kernel.syscalls import spec
+        effects, _, _ = _effects_of(
+            minc.SyscallWrapper(spec("close").nr), retval=-1)
+        tls = [se for se in effects if se.kind == SE_TLS]
+        assert not tls or tls[0].values == ()
+
+
+class TestNoFalseEffects:
+    def test_plain_function_has_none(self):
+        effects, _, _ = _effects_of(
+            minc.Return(minc.BinOp("+", minc.Param(0), minc.Const(1))))
+        assert effects == []
+
+    def test_local_stores_not_reported(self):
+        effects, _, _ = _effects_of(
+            minc.Assign("x", minc.Const(5)),
+            minc.Return(minc.Const(-1)))
+        assert effects == []
+
+    def test_store_mem_through_computed_pointer_not_reported(self):
+        effects, _, _ = _effects_of(
+            minc.StoreMem(minc.BinOp("+", minc.Param(0), minc.Const(4)),
+                          minc.Const(1)),
+            minc.Return(minc.Const(-1)))
+        # pointer arithmetic on a parameter value is not a recognized
+        # side channel location
+        assert all(se.kind == SE_ARG for se in effects) is True \
+            or effects == []

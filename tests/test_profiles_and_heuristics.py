@@ -1,0 +1,179 @@
+"""Fault-profile model, XML format (§3.3) and the optional heuristics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profiler import HeuristicConfig, Profiler, apply_heuristics
+from repro.core.profiles import (SE_ARG, SE_GLOBAL, SE_TLS, ErrorReturn,
+                                 FunctionProfile, LibraryProfile,
+                                 SideEffect, merge_side_effects)
+from repro.errors import ProfilerError
+from repro.platform import LINUX_X86
+from repro.toolchain import minc
+
+from .helpers import build_one
+
+
+def _sample_profile():
+    profile = LibraryProfile(soname="libc.so.6", platform="linux-x86")
+    profile.functions["close"] = FunctionProfile(
+        name="close",
+        error_returns=[
+            ErrorReturn(-1, (SideEffect(SE_TLS, "libc.so.6", offset=0x10,
+                                        values=(-9, -5, -4)),)),
+            ErrorReturn(0),
+        ])
+    profile.functions["ioctl"] = FunctionProfile(
+        name="ioctl",
+        error_returns=[ErrorReturn(-1, (
+            SideEffect(SE_ARG, "libc.so.6", arg_index=2, values=(-5,)),))],
+        indirect_influence=True)
+    return profile
+
+
+class TestXml:
+    def test_paper_shape(self):
+        xml = _sample_profile().to_xml()
+        assert "<profile" in xml
+        assert '<function name="close">' in xml
+        assert '<error-codes retval="-1">' in xml
+        assert 'type="TLS"' in xml
+        assert 'module="libc.so.6"' in xml
+        assert ">-9<" in xml.replace("\n", "").replace(" ", "")
+
+    def test_roundtrip(self):
+        profile = _sample_profile()
+        again = LibraryProfile.from_xml(profile.to_xml())
+        assert again.soname == profile.soname
+        assert set(again.functions) == set(profile.functions)
+        close = again.function("close")
+        assert sorted(close.retvals()) == [-1, 0]
+        effect = close.find(-1).side_effects[0]
+        assert effect.kind == SE_TLS
+        assert set(effect.values) == {-9, -5, -4}
+        assert again.function("ioctl").indirect_influence
+
+    def test_arg_effect_roundtrip(self):
+        again = LibraryProfile.from_xml(_sample_profile().to_xml())
+        effect = again.function("ioctl").find(-1).side_effects[0]
+        assert effect.kind == SE_ARG and effect.arg_index == 2
+
+    def test_bad_xml_rejected(self):
+        with pytest.raises(ProfilerError):
+            LibraryProfile.from_xml("not xml at all <")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ProfilerError):
+            LibraryProfile.from_xml("<plan/>")
+
+    def test_unknown_function_lookup(self):
+        with pytest.raises(ProfilerError):
+            _sample_profile().function("ghost")
+
+    @given(retvals=st.lists(st.integers(-100, 100), min_size=1,
+                            max_size=6, unique=True))
+    @settings(max_examples=40)
+    def test_property_retvals_roundtrip(self, retvals):
+        profile = LibraryProfile(soname="l.so", platform="p")
+        profile.functions["f"] = FunctionProfile(
+            name="f", error_returns=[ErrorReturn(v) for v in retvals])
+        again = LibraryProfile.from_xml(profile.to_xml())
+        assert sorted(again.function("f").retvals()) == sorted(retvals)
+
+
+class TestMergeSideEffects:
+    def test_same_location_unions_values(self):
+        a = SideEffect(SE_TLS, "l.so", offset=0x10, values=(-9,))
+        b = SideEffect(SE_TLS, "l.so", offset=0x10, values=(-5, -9))
+        merged = merge_side_effects([a, b])
+        assert len(merged) == 1
+        assert set(merged[0].values) == {-9, -5}
+
+    def test_distinct_locations_kept(self):
+        a = SideEffect(SE_TLS, "l.so", offset=0x10, values=(-9,))
+        b = SideEffect(SE_GLOBAL, "l.so", offset=0x0, values=(-9,))
+        assert len(merge_side_effects([a, b])) == 2
+
+
+class TestHeuristics:
+    def _profile(self, values, name="f"):
+        profile = LibraryProfile(soname="l.so", platform="p")
+        profile.functions[name] = FunctionProfile(
+            name=name, error_returns=[ErrorReturn(v) for v in values])
+        return profile
+
+    def test_disabled_by_default(self):
+        config = HeuristicConfig.default()
+        assert not config.drop_success_returns
+        assert not config.drop_predicates
+        profile = self._profile([-1, 0])
+        out = apply_heuristics(profile, config, function_sizes={},
+                               function_calls={})
+        assert out.function("f").retvals() == [-1, 0]
+
+    def test_success_filter_drops_zero_when_multiple(self):
+        out = apply_heuristics(
+            self._profile([-1, 0]),
+            HeuristicConfig(drop_success_returns=True),
+            function_sizes={}, function_calls={})
+        assert out.function("f").retvals() == [-1]
+
+    def test_success_filter_keeps_lone_zero(self):
+        """A lone 0 is likely a NULL-pointer error return (§3.1)."""
+        out = apply_heuristics(
+            self._profile([0]),
+            HeuristicConfig(drop_success_returns=True),
+            function_sizes={}, function_calls={})
+        assert out.function("f").retvals() == [0]
+
+    def test_predicate_filter_drops_isfile_style(self):
+        out = apply_heuristics(
+            self._profile([0, 1]),
+            HeuristicConfig(drop_predicates=True),
+            function_sizes={"f": 10}, function_calls={"f": 0})
+        assert out.function("f").retvals() == []
+
+    def test_predicate_filter_spares_big_functions(self):
+        out = apply_heuristics(
+            self._profile([0, 1]),
+            HeuristicConfig(drop_predicates=True),
+            function_sizes={"f": 500}, function_calls={"f": 0})
+        assert out.function("f").retvals() == [0, 1]
+
+    def test_predicate_filter_spares_callers(self):
+        out = apply_heuristics(
+            self._profile([0, 1]),
+            HeuristicConfig(drop_predicates=True),
+            function_sizes={"f": 10}, function_calls={"f": 2})
+        assert out.function("f").retvals() == [0, 1]
+
+
+class TestProfilerFacade:
+    def test_profile_library_unknown_soname(self, libc_linux):
+        profiler = Profiler(LINUX_X86,
+                            {libc_linux.image.soname: libc_linux.image})
+        with pytest.raises(ProfilerError):
+            profiler.profile_library("ghost.so")
+
+    def test_report_populated(self, libc_linux, kernel_image_linux):
+        profiler = Profiler(LINUX_X86,
+                            {libc_linux.image.soname: libc_linux.image},
+                            kernel_image_linux)
+        profiler.profile_library(libc_linux.image.soname)
+        report = profiler.last_report
+        assert report.functions_analyzed == len(libc_linux.image.exports)
+        assert report.seconds > 0
+        assert report.max_hops <= 3       # §6.2: "always 3 or less"
+
+    def test_stripped_library_profiles_identically(
+            self, libc_linux, kernel_image_linux):
+        """§3.1: LFI works on stripped and unstripped binaries."""
+        stripped = libc_linux.image.stripped()
+        p1 = Profiler(LINUX_X86, {"libc.so.6": libc_linux.image},
+                      kernel_image_linux).profile_library("libc.so.6")
+        p2 = Profiler(LINUX_X86, {"libc.so.6": stripped},
+                      kernel_image_linux).profile_library("libc.so.6")
+        for name in p1.functions:
+            assert sorted(p1.function(name).retvals()) == \
+                sorted(p2.function(name).retvals())

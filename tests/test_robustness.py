@@ -1,0 +1,85 @@
+"""The §2 comparative fault-tolerance harness and the hardened Pidgin."""
+
+import pytest
+
+from repro.apps import MiniPidgin
+from repro.core.controller import Controller, TestOutcome
+from repro.core.robustness import (RobustnessReport, compare_robustness,
+                                   format_scoreboard, run_battery)
+from repro.core.scenario import io_faults
+from repro.kernel import Kernel
+from repro.platform import LINUX_X86
+
+HOSTS = [f"buddy{i}.example.org" for i in range(8)]
+
+
+def _factory(hardened):
+    def make(lfi):
+        def session():
+            app = MiniPidgin(Kernel(), LINUX_X86, controller=lfi,
+                             hardened=hardened)
+            app.login_and_chat(HOSTS)
+            return 0
+        return session
+    return make
+
+
+class TestHardenedPidgin:
+    def test_hardened_baseline_identical(self):
+        buggy = MiniPidgin(Kernel(), LINUX_X86)
+        fixed = MiniPidgin(Kernel(), LINUX_X86, hardened=True)
+        assert buggy.login_and_chat(HOSTS) == fixed.login_and_chat(HOSTS)
+
+    def test_hardened_survives_crashing_scenario(self,
+                                                 libc_profiles_linux):
+        """Regression-suite usage (§5.2): the scenario that kills the
+        buggy build must pass on the fixed build."""
+        libc_profile = libc_profiles_linux["libc.so.6"]
+        for seed in range(8):
+            plan = io_faults(libc_profile, probability=0.10, seed=seed)
+            lfi = Controller(LINUX_X86, libc_profiles_linux, plan)
+            buggy_outcome = lfi.run_test(_factory(False)(lfi))
+            if not buggy_outcome.crashed:
+                continue
+            plan2 = io_faults(libc_profile, probability=0.10, seed=seed)
+            lfi2 = Controller(LINUX_X86, libc_profiles_linux, plan2)
+            fixed_outcome = lfi2.run_test(_factory(True)(lfi2))
+            assert not fixed_outcome.crashed
+            return
+        pytest.fail("no crashing scenario found to regress against")
+
+
+class TestRobustnessHarness:
+    def test_report_counts(self):
+        report = RobustnessReport(app="x", outcomes=[
+            TestOutcome("a", "normal"),
+            TestOutcome("b", "SIGABRT"),
+            TestOutcome("c", "error-exit"),
+        ])
+        assert report.sessions == 3
+        assert report.crashes == 1
+        assert report.survival_rate == pytest.approx(2 / 3)
+
+    def test_empty_report_survives(self):
+        assert RobustnessReport(app="x").survival_rate == 1.0
+
+    def test_run_battery(self, libc_profiles_linux):
+        libc_profile = libc_profiles_linux["libc.so.6"]
+        scenarios = [io_faults(libc_profile, probability=0.1, seed=s)
+                     for s in range(3)]
+        report = run_battery("buggy", _factory(False), LINUX_X86,
+                             libc_profiles_linux, scenarios)
+        assert report.sessions == 3
+        assert report.crashes >= 1
+
+    def test_compare_and_format(self, libc_profiles_linux):
+        libc_profile = libc_profiles_linux["libc.so.6"]
+        scenarios = [io_faults(libc_profile, probability=0.1, seed=s)
+                     for s in range(3)]
+        reports = compare_robustness(
+            {"buggy": _factory(False), "fixed": _factory(True)},
+            LINUX_X86, libc_profiles_linux, scenarios)
+        board = format_scoreboard(reports)
+        assert "buggy" in board and "fixed" in board
+        assert reports["fixed"].survival_rate \
+            >= reports["buggy"].survival_rate

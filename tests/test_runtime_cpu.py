@@ -1,0 +1,221 @@
+"""CPU interpreter: flags, control transfer, host functions, shadow stack."""
+
+import pytest
+
+from repro.errors import IllegalInstruction, MemoryFault, RuntimeFault
+from repro.isa import Imm, Label, Mem, Reg, assemble, ins, label
+from repro.kernel import Kernel
+from repro.platform import LINUX_X86
+from repro.runtime import Process
+from repro.runtime.cpu import sgn32
+from repro.binfmt import SharedObject, Symbol
+
+
+def _proc_with_code(items, exports=("f",)):
+    """Assemble raw items into a one-function image and load it."""
+    from repro.isa.assembler import collect_labels
+    text = assemble(items, __import__("repro.isa", fromlist=["X86SIM"]).X86SIM)
+    labels = collect_labels(items)
+    syms = tuple(Symbol(name, labels[name], len(text) - labels[name])
+                 for name in exports)
+    image = SharedObject(soname="libraw.so", machine="x86sim", text=text,
+                         exports=syms)
+    proc = Process(Kernel(), LINUX_X86)
+    proc.load(image)
+    return proc
+
+
+class TestSgn32:
+    def test_positive(self):
+        assert sgn32(5) == 5
+
+    def test_negative_pattern(self):
+        assert sgn32(0xFFFFFFFF) == -1
+        assert sgn32(0x80000000) == -(1 << 31)
+
+    def test_wraps_input(self):
+        assert sgn32((1 << 32) + 7) == 7
+
+
+class TestArithmeticAndFlags:
+    def test_signed_compare_large_values(self):
+        # jl must behave signed: -1 < 1 even though 0xFFFFFFFF > 1 unsigned
+        items = [
+            label("f"),
+            ins("mov", Reg("eax"), Imm(-1)),
+            ins("cmp", Reg("eax"), Imm(1)),
+            ins("jl", Label("less")),
+            ins("mov", Reg("eax"), Imm(0)),
+            ins("ret"),
+            label("less"),
+            ins("mov", Reg("eax"), Imm(1)),
+            ins("ret"),
+        ]
+        proc = _proc_with_code(items)
+        assert proc.libcall("f") == 1
+
+    def test_neg_and_flags(self):
+        items = [
+            label("f"),
+            ins("mov", Reg("eax"), Imm(5)),
+            ins("neg", Reg("eax")),
+            ins("ret"),
+        ]
+        assert _proc_with_code(items).libcall("f") == -5
+
+    def test_imul(self):
+        items = [
+            label("f"),
+            ins("mov", Reg("eax"), Imm(-6)),
+            ins("mov", Reg("ecx"), Imm(7)),
+            ins("imul", Reg("eax"), Reg("ecx")),
+            ins("ret"),
+        ]
+        assert _proc_with_code(items).libcall("f") == -42
+
+    def test_or_minus_one_idiom(self):
+        items = [
+            label("f"),
+            ins("mov", Reg("eax"), Imm(12345)),
+            ins("or", Reg("eax"), Imm(-1)),
+            ins("ret"),
+        ]
+        assert _proc_with_code(items).libcall("f") == -1
+
+    def test_xor_self_zeroes(self):
+        items = [
+            label("f"),
+            ins("mov", Reg("eax"), Imm(77)),
+            ins("xor", Reg("eax"), Reg("eax")),
+            ins("ret"),
+        ]
+        assert _proc_with_code(items).libcall("f") == 0
+
+
+class TestStackAndCalls:
+    def test_push_pop(self):
+        items = [
+            label("f"),
+            ins("push", Imm(11)),
+            ins("push", Imm(22)),
+            ins("pop", Reg("eax")),
+            ins("pop", Reg("ecx")),
+            ins("add", Reg("eax"), Reg("ecx")),
+            ins("ret"),
+        ]
+        assert _proc_with_code(items).libcall("f") == 33
+
+    def test_call_ret_nesting(self):
+        items = [
+            label("f"),
+            ins("call", Label("inner")),
+            ins("add", Reg("eax"), Imm(1)),
+            ins("ret"),
+            label("inner"),
+            ins("mov", Reg("eax"), Imm(41)),
+            ins("ret"),
+        ]
+        assert _proc_with_code(items).libcall("f") == 42
+
+    def test_shadow_stack_balanced_after_call(self):
+        items = [
+            label("f"),
+            ins("call", Label("inner")),
+            ins("ret"),
+            label("inner"),
+            ins("ret"),
+        ]
+        proc = _proc_with_code(items)
+        proc.libcall("f")
+        assert proc.cpu.shadow == []
+
+    def test_leave_restores_frame(self):
+        items = [
+            label("f"),
+            ins("push", Reg("ebp")),
+            ins("mov", Reg("ebp"), Reg("esp")),
+            ins("sub", Reg("esp"), Imm(32)),
+            ins("mov", Reg("eax"), Imm(9)),
+            ins("leave"),
+            ins("ret"),
+        ]
+        proc = _proc_with_code(items)
+        sp_before = proc.cpu.regs["esp"]
+        assert proc.libcall("f") == 9
+        assert proc.cpu.regs["esp"] == sp_before
+
+    def test_indirect_call_through_register(self):
+        from repro.isa import LabelImm
+        from repro.layout import FIRST_MODULE_BASE
+        items = [
+            label("f"),
+            ins("mov", Reg("ecx"), LabelImm("inner")),
+            ins("add", Reg("ecx"), Imm(FIRST_MODULE_BASE)),
+            ins("call", Reg("ecx")),
+            ins("ret"),
+            label("inner"),
+            ins("mov", Reg("eax"), Imm(55)),
+            ins("ret"),
+        ]
+        proc = _proc_with_code(items)
+        assert proc.libcall("f") == 55
+
+
+class TestFaults:
+    def test_wild_jump_faults(self):
+        items = [label("f"), ins("jmp", Reg("eax")), ins("ret")]
+        proc = _proc_with_code(items)
+        proc.cpu.regs["eax"] = 0x12345678
+        with pytest.raises(MemoryFault):
+            proc.libcall("f")
+
+    def test_hlt_is_illegal(self):
+        items = [label("f"), ins("hlt")]
+        with pytest.raises(IllegalInstruction):
+            _proc_with_code(items).libcall("f")
+
+    def test_step_budget(self):
+        items = [label("f"), label("spin"), ins("jmp", Label("spin"))]
+        proc = _proc_with_code(items)
+        with pytest.raises(RuntimeFault, match="budget"):
+            proc.libcall("f", max_steps=1000)
+
+    def test_unknown_interrupt_vector(self):
+        items = [label("f"), ins("int", Imm(0x21)), ins("ret")]
+        with pytest.raises(IllegalInstruction):
+            _proc_with_code(items).libcall("f")
+
+
+class TestHostFunctions:
+    def test_simple_host_returns_value(self):
+        proc = Process(Kernel(), LINUX_X86)
+        proc.register_host("answer", lambda p, cpu: 42)
+        assert proc.libcall("answer") == 42
+
+    def test_host_reads_arguments(self):
+        proc = Process(Kernel(), LINUX_X86)
+        proc.register_host("addtwo",
+                           lambda p, cpu: cpu.host_arg(0) + cpu.host_arg(1))
+        assert proc.libcall("addtwo", 30, 12) == 42
+
+    def test_guest_calls_host_through_plt(self):
+        items = [
+            label("f"),
+            ins("push", Imm(5)),
+            ins("call", __import__("repro.isa",
+                                   fromlist=["ImportSlot"]).ImportSlot(0)),
+            ins("add", Reg("esp"), Imm(4)),
+            ins("ret"),
+        ]
+        from repro.isa import X86SIM
+        from repro.isa.assembler import collect_labels
+        text = assemble(items, X86SIM)
+        image = SharedObject(
+            soname="libraw.so", machine="x86sim", text=text,
+            exports=(Symbol("f", 0, len(text)),),
+            imports=("hostfn",))
+        proc = Process(Kernel(), LINUX_X86)
+        proc.register_host("hostfn",
+                           lambda p, cpu: cpu.host_arg(0) * 2)
+        proc.load(image)
+        assert proc.libcall("f", 0) == 10

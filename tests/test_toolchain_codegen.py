@@ -1,0 +1,236 @@
+"""Code generator semantics, validated by executing compiled code."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodegenError
+from repro.kernel import Kernel
+from repro.platform import LINUX_X86, SOLARIS_SPARC
+from repro.toolchain import GroundTruth, LibraryBuilder, minc
+
+from .helpers import run_one
+
+PLATFORMS = [LINUX_X86, SOLARIS_SPARC]
+SMALL = st.integers(min_value=-10_000, max_value=10_000)
+
+
+@pytest.mark.parametrize("platform", PLATFORMS, ids=lambda p: p.name)
+class TestBothAbis:
+    def test_return_constant(self, platform):
+        result, _ = run_one("f", 0, minc.Return(minc.Const(-42)),
+                            platform=platform)
+        assert result == -42
+
+    def test_return_param(self, platform):
+        result, _ = run_one("f", 2, minc.Return(minc.Param(1)),
+                            args=(7, 13), platform=platform)
+        assert result == 13
+
+    def test_arithmetic(self, platform):
+        expr = minc.BinOp("-", minc.BinOp("*", minc.Param(0),
+                                          minc.Const(3)),
+                          minc.Param(1))
+        result, _ = run_one("f", 2, minc.Return(expr), args=(10, 4),
+                            platform=platform)
+        assert result == 26
+
+    def test_if_else(self, platform):
+        body = (
+            minc.If(minc.Cond("<", minc.Param(0), minc.Const(0)),
+                    minc.body(minc.Return(minc.Const(-1))),
+                    minc.body(minc.Return(minc.Const(1)))),
+        )
+        assert run_one("f", 1, *body, args=(-5,), platform=platform)[0] == -1
+        assert run_one("f", 1, *body, args=(5,), platform=platform)[0] == 1
+
+    def test_while_loop(self, platform):
+        body = (
+            minc.Assign("acc", minc.Const(0)),
+            minc.Assign("i", minc.Const(0)),
+            minc.While(minc.Cond("<", minc.Local("i"), minc.Param(0)),
+                       minc.body(
+                minc.Assign("acc", minc.BinOp("+", minc.Local("acc"),
+                                              minc.Local("i"))),
+                minc.Assign("i", minc.BinOp("+", minc.Local("i"),
+                                            minc.Const(1))))),
+            minc.Return(minc.Local("acc")),
+        )
+        result, _ = run_one("f", 1, *body, args=(5,), platform=platform)
+        assert result == 0 + 1 + 2 + 3 + 4
+
+    def test_internal_call(self, platform):
+        helper = minc.FunctionDef(
+            "helper", 1,
+            (minc.Return(minc.BinOp("+", minc.Param(0), minc.Const(1))),),
+            export=False)
+        from repro.toolchain.builder import FunctionRecord
+        result, _ = run_one(
+            "f", 1,
+            minc.Return(minc.Call("helper", (minc.Param(0),))),
+            args=(41,), platform=platform,
+            extra=[helper])
+        assert result == 42
+
+    def test_neg(self, platform):
+        result, _ = run_one("f", 1, minc.Return(minc.Neg(minc.Param(0))),
+                            args=(17,), platform=platform)
+        assert result == -17
+
+    def test_syscall_wrapper_success(self, platform):
+        from repro.kernel.syscalls import spec
+        result, proc = run_one(
+            "mypid", 0, minc.SyscallWrapper(spec("getpid").nr),
+            platform=platform)
+        assert result == proc.kstate.pid
+
+    def test_syscall_wrapper_error_sets_errno(self, platform):
+        from repro.kernel.syscalls import spec
+        # close(999) -> EBADF: wrapper returns -1, errno = 9
+        result, proc = run_one(
+            "myclose", 1, minc.SyscallWrapper(spec("close").nr),
+            args=(999,), platform=platform)
+        assert result == -1
+        errno_result = proc.libcall("myclose", 999)
+        assert errno_result == -1
+
+    def test_set_and_read_errno(self, platform):
+        result, _ = run_one("f", 0,
+                            minc.SetErrno(minc.Const(55)),
+                            minc.Return(minc.ErrnoRef()),
+                            platform=platform)
+        assert result == 55
+
+    def test_globals(self, platform):
+        body = (
+            minc.SetGlobal("g", minc.Param(0)),
+            minc.Return(minc.BinOp("+", minc.Global("g"), minc.Const(1))),
+        )
+        result, _ = run_one("f", 1, *body, args=(9,), platform=platform,
+                            globals_=("g",))
+        assert result == 10
+
+    def test_store_param_writes_through_pointer(self, platform):
+        result, proc = run_one(
+            "f", 2,
+            minc.StoreParam(1, minc.Const(-5)),
+            minc.Return(minc.Const(-1)),
+            args=(0, 0xA0000100), platform=platform)
+        assert result == -1
+        assert proc.memory.read_i32(0xA0000100) == -5
+
+    def test_deref_and_store_mem(self, platform):
+        body = (
+            minc.StoreMem(minc.Param(0), minc.Const(123)),
+            minc.Return(minc.Deref(minc.Param(0))),
+        )
+        result, _ = run_one("f", 1, *body, args=(0xA0000200,),
+                            platform=platform)
+        assert result == 123
+
+    def test_indirect_call_executes(self, platform):
+        helper = minc.FunctionDef(
+            "target", 1, (minc.Return(minc.Const(-77)),), export=False)
+        result, _ = run_one(
+            "f", 1,
+            minc.Return(minc.IndirectCall(minc.FuncAddr("target"),
+                                          (minc.Param(0),))),
+            args=(1,), platform=platform, extra=[helper])
+        assert result == -77
+
+    def test_computed_goto_selects_branch(self, platform):
+        body = (
+            minc.Assign("out", minc.Const(0)),
+            minc.ComputedGoto(
+                minc.Param(0),
+                (minc.body(minc.Assign("out", minc.Const(10))),
+                 minc.body(minc.Assign("out", minc.Const(20))))),
+            minc.Return(minc.Local("out")),
+        )
+        assert run_one("f", 1, *body, args=(0,),
+                       platform=platform)[0] == 10
+        assert run_one("f", 1, *body, args=(1,),
+                       platform=platform)[0] == 20
+
+    def test_shift_ops(self, platform):
+        result, _ = run_one(
+            "f", 1,
+            minc.Return(minc.BinOp("<<", minc.Param(0), minc.Const(3))),
+            args=(5,), platform=platform)
+        assert result == 40
+
+
+@given(a=SMALL, b=SMALL)
+@settings(max_examples=25, deadline=None)
+def test_property_arithmetic_matches_python(a, b):
+    expr = minc.BinOp("+", minc.BinOp("*", minc.Param(0), minc.Const(3)),
+                      minc.Param(1))
+    result, _ = run_one("f", 2, minc.Return(expr), args=(a, b))
+    assert result == 3 * a + b
+
+
+@given(x=SMALL)
+@settings(max_examples=25, deadline=None)
+def test_property_condition_boundaries(x):
+    body = (
+        minc.If(minc.Cond("<=", minc.Param(0), minc.Const(0)),
+                minc.body(minc.Return(minc.Const(1))),
+                minc.body(minc.Return(minc.Const(2)))),
+    )
+    result, _ = run_one("f", 1, *body, args=(x,))
+    assert result == (1 if x <= 0 else 2)
+
+
+class TestCodegenErrors:
+    def test_unknown_global(self):
+        with pytest.raises(CodegenError):
+            run_one("f", 0, minc.Return(minc.Global("nope")))
+
+    def test_param_out_of_range(self):
+        with pytest.raises(CodegenError):
+            run_one("f", 1, minc.Return(minc.Param(3)))
+
+    def test_local_read_before_assignment(self):
+        with pytest.raises(CodegenError):
+            run_one("f", 0, minc.Return(minc.Local("ghost")))
+
+    def test_funcaddr_of_unknown(self):
+        with pytest.raises(CodegenError):
+            run_one("f", 0,
+                    minc.Return(minc.IndirectCall(minc.FuncAddr("ghost"))))
+
+    def test_computed_goto_needs_targets(self):
+        with pytest.raises(CodegenError):
+            run_one("f", 1,
+                    minc.ComputedGoto(minc.Param(0), ()),
+                    minc.Return(minc.Const(0)))
+
+
+class TestBuilder:
+    def test_duplicate_function_rejected(self):
+        builder = LibraryBuilder("lib.so")
+        builder.simple("f", 0, minc.Return(minc.Const(0)))
+        with pytest.raises(ValueError):
+            builder.simple("f", 0, minc.Return(minc.Const(0)))
+
+    def test_ground_truth_attached(self):
+        builder = LibraryBuilder("lib.so")
+        truth = GroundTruth(error_returns=[-1])
+        builder.simple("f", 0, minc.Return(minc.Const(-1)), truth=truth)
+        built = builder.build(LINUX_X86)
+        assert built.truth_for("f").error_returns == [-1]
+        with pytest.raises(KeyError):
+            built.truth_for("ghost")
+
+    def test_exported_records_filter(self):
+        builder = LibraryBuilder("lib.so")
+        builder.simple("pub", 0, minc.Return(minc.Const(0)))
+        builder.simple("_priv", 0, minc.Return(minc.Const(0)),
+                       export=False)
+        built = builder.build(LINUX_X86)
+        names = [r.definition.name for r in built.exported_records()]
+        assert names == ["pub"]
+
+    def test_hidden_error_returns_in_truth(self):
+        truth = GroundTruth(error_returns=[-1], hidden_error_returns=[-9])
+        assert truth.all_real_error_returns() == [-9, -1]
