@@ -12,6 +12,11 @@ issuing two commands, one for profiling and one for running the tests."
         --probability 0.1 -o plan.xml
     python -m repro run-demo pidgin --plan plan.xml --report report.txt
 
+Systematic campaigns scale over a worker pool and cache profiles::
+
+    python -m repro campaign minidb --jobs 4 --timeout 5 \
+        --store ./profile-cache --summary-json summary.json
+
 Plus binutils-style inspection (``objdump``, ``nm``, ``ldd``) and stub
 source generation.  All artifacts are ordinary files: ``.self`` binaries,
 XML profiles, XML plans, text logs.
@@ -84,12 +89,13 @@ def cmd_profile(args: argparse.Namespace) -> int:
         from .core.store import ProfileStore
         store = ProfileStore(args.store)
         profiles = store.profile_or_load(platform, libraries,
-                                         kernel_image, heuristics)
+                                         kernel_image, heuristics,
+                                         jobs=args.jobs)
         profile = profiles[image.soname]
         origin = "cache" if store.hits else "analysis"
     else:
         profiler = Profiler(platform, libraries, kernel_image, heuristics)
-        profile = profiler.profile_library(image.soname)
+        profile = profiler.profile_library(image.soname, jobs=args.jobs)
         origin = "analysis"
     xml = profile.to_xml()
     if args.output:
@@ -249,6 +255,91 @@ def _demo_miniweb(lfi: Controller, platform):
     return lfi.run_test(session, test_id="miniweb")
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Systematic (function, errno) campaign over a worker pool."""
+    from .corpus.libc import libc
+    from .session import Session
+
+    platform = platform_by_name(args.platform)
+    heuristics = (HeuristicConfig.all_enabled() if args.heuristics
+                  else HeuristicConfig.default())
+    session = Session(platform, app=args.app, jobs=args.jobs,
+                      timeout=args.timeout, backend=args.backend,
+                      store=args.store, heuristics=heuristics)
+    session.load(libc(platform))
+    report = session.campaign(
+        _campaign_factory(args.app, platform),
+        functions=args.function or None,
+        call_ordinals=tuple(args.call_ordinal or [1]),
+        max_codes_per_function=args.max_codes)
+
+    notices = sys.stderr if args.json else sys.stdout
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+        summary = report.summary
+        if summary is not None:
+            print(f"\n{summary.cases} cases in {summary.duration:.2f}s "
+                  f"({summary.cases_per_second:.1f} cases/sec, "
+                  f"jobs={summary.jobs}, backend={summary.backend}, "
+                  f"utilization={summary.worker_utilization:.0%})")
+    if args.report:
+        Path(args.report).write_text(report.to_json() + "\n")
+        print(f"report -> {args.report}", file=notices)
+    if args.summary_json:
+        Path(args.summary_json).write_text(session.summary_json() + "\n")
+        print(f"run summary -> {args.summary_json}", file=notices)
+    return 0 if report.outcome() == "ok" else 1
+
+
+def _campaign_factory(app: str, platform):
+    """Per-case workload factories (smaller than the run-demo ones so
+    exhaustive campaigns stay quick)."""
+    if app == "pidgin":
+        from .apps.minipidgin import MiniPidgin
+
+        def factory(lfi):
+            def run():
+                client = MiniPidgin(Kernel(os_name=platform.os), platform,
+                                    controller=lfi)
+                client.login_and_chat(
+                    [f"buddy{i}.example.org" for i in range(4)])
+                return 0
+            return run
+        return factory
+    if app == "minidb":
+        from .apps.minidb import DbError, MiniDB
+
+        def factory(lfi):
+            def run():
+                db = MiniDB(Kernel(os_name=platform.os), platform,
+                            controller=lfi)
+                try:
+                    db.execute("create table t k v")
+                    for i in range(3):
+                        db.execute(f"insert into t {i} value{i}")
+                    db.execute("select from t where k 1")
+                    db.checkpoint()
+                except DbError:
+                    return 1      # graceful: the engine reported the fault
+                return 0
+            return run
+        return factory
+
+    from .apps.miniweb import MiniWeb
+    from .apps.workloads import ApacheBenchDriver
+
+    def factory(lfi):
+        def run():
+            server = MiniWeb(Kernel(os_name=platform.os), platform,
+                             controller=lfi)
+            result = ApacheBenchDriver(server).run_static(6)
+            return 1 if result.failures else 0
+        return run
+    return factory
+
+
 # -- parser -------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -279,8 +370,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store",
                    help="profile-cache directory (reuse across programs, "
                         "re-analyze only on library updates)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel per-export analysis workers")
     p.add_argument("-o", "--output")
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("campaign",
+                       help="systematic per-(function, errno) fault "
+                            "campaign against a demo app")
+    common(p)
+    p.add_argument("app", choices=("pidgin", "minidb", "miniweb"))
+    p.add_argument("--function", action="append",
+                   help="restrict to these libc functions")
+    p.add_argument("--call-ordinal", action="append", type=int,
+                   help="inject at these call ordinals (default: 1)")
+    p.add_argument("--max-codes", type=int, default=None,
+                   help="cap error codes per function")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel case workers (0 = one per CPU)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-case timeout in seconds (hung cases are "
+                        "reaped and reported as 'hung')")
+    p.add_argument("--backend", choices=("serial", "thread", "process"),
+                   default=None,
+                   help="worker backend (default: auto; process adds "
+                        "crash isolation)")
+    p.add_argument("--store",
+                   help="profile-cache directory")
+    p.add_argument("--heuristics", action="store_true",
+                   help="enable the unsound §3.1 profile filters")
+    p.add_argument("--json", action="store_true",
+                   help="print the campaign report as JSON")
+    p.add_argument("--report", help="write the JSON report here")
+    p.add_argument("--summary-json",
+                   help="write the machine-readable run summary here")
+    p.set_defaults(fn=cmd_campaign)
 
     p = sub.add_parser("generate-plan", help="build a fault scenario")
     p.add_argument("profiles", nargs="+", help="profile XML files")

@@ -17,11 +17,13 @@ into regression suites.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 from ..platform import Platform
-from .controller import Controller, TestOutcome
+from .controller import (REPORT_SCHEMA, STATUS_HUNG, Controller, TestOutcome)
 from .profiles import LibraryProfile
 from .scenario.generate import error_codes_from_profile
 from .scenario.model import INJECT_NTH, ErrorCode, FunctionTrigger, Plan
@@ -60,11 +62,25 @@ class CaseResult:
     case: FaultCase
     outcome: TestOutcome
     fired: bool          # the workload actually reached the injection
+    seconds: float = 0.0  # wall time of this case (filled by the engine)
 
     @property
     def tolerated(self) -> bool:
         return self.fired and not self.outcome.crashed \
             and self.outcome.status != "hung"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "case": self.case.case_id(),
+            "function": self.case.function,
+            "retval": self.case.code.retval,
+            "errno": self.case.code.errno,
+            "call_ordinal": self.case.call_ordinal,
+            "outcome": self.outcome.status,
+            "fired": self.fired,
+            "tolerated": self.tolerated,
+            "duration": round(self.seconds, 6),
+        }
 
 
 @dataclass
@@ -73,6 +89,8 @@ class CampaignReport:
 
     app: str
     results: List[CaseResult] = field(default_factory=list)
+    duration: float = 0.0           # wall-clock seconds of the whole run
+    summary: Any = None             # RunSummary when run via core.exec
 
     def fired(self) -> List[CaseResult]:
         return [r for r in self.results if r.fired]
@@ -80,8 +98,19 @@ class CampaignReport:
     def crashes(self) -> List[CaseResult]:
         return [r for r in self.results if r.fired and r.outcome.crashed]
 
+    def hung(self) -> List[CaseResult]:
+        return [r for r in self.results
+                if r.outcome.status == STATUS_HUNG]
+
     def not_reached(self) -> List[CaseResult]:
         return [r for r in self.results if not r.fired]
+
+    def outcome(self) -> str:
+        if any(r.outcome.crashed for r in self.results):
+            return "crashes"
+        if self.hung():
+            return "hung"
+        return "ok"
 
     @property
     def tolerance_rate(self) -> float:
@@ -105,7 +134,9 @@ class CampaignReport:
             cells = []
             for result in rows:
                 errno = result.case.code.errno or str(result.case.code.retval)
-                if not result.fired:
+                if result.outcome.status == STATUS_HUNG:
+                    mark = "h"          # reaped by the per-case timeout
+                elif not result.fired:
                     mark = "·"          # workload never called it
                 elif result.outcome.crashed:
                     mark = "✗"
@@ -116,8 +147,29 @@ class CampaignReport:
                 cells.append(f"{errno}:{mark}")
             lines.append(f"  {function:<12} " + " ".join(cells))
         lines.append("  legend: ✓ tolerated  e graceful error  "
-                     "✗ crash  · not reached")
+                     "✗ crash  h hung  · not reached")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "kind": "campaign",
+            "app": self.app,
+            "outcome": self.outcome(),
+            "duration": round(self.duration, 6),
+            "cases": len(self.results),
+            "fired": len(self.fired()),
+            "crashes": len(self.crashes()),
+            "hung": len(self.hung()),
+            "not_reached": len(self.not_reached()),
+            "tolerance_rate": round(self.tolerance_rate, 6),
+            "results": [r.to_dict() for r in self.results],
+            "summary": (self.summary.to_dict()
+                        if self.summary is not None else None),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
 
 def enumerate_cases(profiles: Mapping[str, LibraryProfile],
@@ -146,14 +198,21 @@ def run_campaign(app: str,
                  factory: SessionFactory,
                  platform: Platform,
                  profiles: Mapping[str, LibraryProfile],
-                 cases: Iterable[FaultCase]) -> CampaignReport:
-    """Run every fault case as its own monitored test."""
-    report = CampaignReport(app=app)
-    for case in cases:
-        lfi = Controller(platform, dict(profiles), case.plan())
-        session = factory(lfi)
-        outcome = lfi.run_test(session, test_id=case.case_id())
-        report.results.append(CaseResult(
-            case=case, outcome=outcome,
-            fired=lfi.injections > 0))
-    return report
+                 cases: Iterable[FaultCase],
+                 *, jobs: int = 1,
+                 timeout: Optional[float] = None,
+                 backend: Optional[str] = None) -> CampaignReport:
+    """Run every fault case as its own monitored test.
+
+    With the defaults (``jobs=1``, no timeout) cases run inline exactly
+    as a plain loop would.  ``jobs > 1`` fans cases out over a
+    :class:`repro.core.exec.WorkerPool` (``backend`` picks ``"thread"``
+    or ``"process"``; default thread), and ``timeout`` bounds each
+    case's wall time — an overrunning worker is reaped into a
+    ``"hung"`` :class:`CaseResult` instead of stalling the campaign.
+    Result ordering is the case order regardless of worker count.
+    """
+    from .exec.engine import execute_campaign
+
+    return execute_campaign(app, factory, platform, profiles, cases,
+                            jobs=jobs, timeout=timeout, backend=backend)

@@ -1,8 +1,8 @@
 """The LFI controller: stubs, triggers, injection, logging, replay."""
 
-from .controller import (STATUS_ERROR_EXIT, STATUS_HUNG, STATUS_NORMAL,
-                         STATUS_SIGABRT, STATUS_SIGSEGV, Controller,
-                         TestOutcome, TestReport)
+from .controller import (REPORT_SCHEMA, STATUS_CRASHED, STATUS_ERROR_EXIT,
+                         STATUS_HUNG, STATUS_NORMAL, STATUS_SIGABRT,
+                         STATUS_SIGSEGV, Controller, TestOutcome, TestReport)
 from .injector import Injector
 from .logbook import InjectionRecord, Logbook
 from .replay import build_replay_plan, replay_script
@@ -12,7 +12,7 @@ from .triggers import Decision, TriggerEngine
 __all__ = [
     "Controller", "TestOutcome", "TestReport",
     "STATUS_NORMAL", "STATUS_ERROR_EXIT", "STATUS_SIGSEGV", "STATUS_SIGABRT",
-    "STATUS_HUNG",
+    "STATUS_HUNG", "STATUS_CRASHED", "REPORT_SCHEMA",
     "Injector", "TriggerEngine", "Decision",
     "Logbook", "InjectionRecord",
     "build_replay_plan", "replay_script",

@@ -15,9 +15,12 @@ under test, records the log, and emits replay scripts (§5.2).
 
 from __future__ import annotations
 
+import itertools
+import json
 import random
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ...binfmt import SharedObject
 from ...errors import ControllerError, GuestAbort, MemoryFault, RuntimeFault
@@ -39,6 +42,12 @@ STATUS_ERROR_EXIT = "error-exit"
 STATUS_SIGSEGV = "SIGSEGV"
 STATUS_SIGABRT = "SIGABRT"
 STATUS_HUNG = "hung"
+#: A pool worker died before reporting (crash isolation, see core.exec).
+STATUS_CRASHED = "crashed"
+
+#: Schema tag shared by every ``to_dict()``/``to_json()`` report shape
+#: (TestOutcome, TestReport, CampaignReport, RunSummary).
+REPORT_SCHEMA = "repro.report/1"
 
 
 @dataclass
@@ -56,7 +65,23 @@ class TestOutcome:
 
     @property
     def crashed(self) -> bool:
-        return self.status in (STATUS_SIGSEGV, STATUS_SIGABRT)
+        return self.status in (STATUS_SIGSEGV, STATUS_SIGABRT,
+                               STATUS_CRASHED)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "kind": "test",
+            "test_id": self.test_id,
+            "outcome": self.status,
+            "exit_code": self.exit_code,
+            "detail": self.detail,
+            "injections": self.injections,
+            "crashed": self.crashed,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
 
 @dataclass
@@ -67,15 +92,34 @@ class TestReport:
 
     outcomes: List[TestOutcome] = field(default_factory=list)
     log_text: str = ""
+    app: str = ""
+    duration: float = 0.0
 
     def crashes(self) -> List[TestOutcome]:
         return [o for o in self.outcomes if o.crashed]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "kind": "test-report",
+            "app": self.app,
+            "outcome": "crashes" if self.crashes() else "ok",
+            "duration": round(self.duration, 6),
+            "tests": len(self.outcomes),
+            "crashes": len(self.crashes()),
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
 
 class Controller:
     """Drives fault-injection experiments from profiles + a scenario."""
 
-    _instances = 0
+    #: itertools.count is effectively atomic under the GIL, so parallel
+    #: campaign workers can construct controllers concurrently
+    _instances = itertools.count(1)
 
     def __init__(self, platform: Platform,
                  profiles: Dict[str, LibraryProfile],
@@ -91,8 +135,7 @@ class Controller:
         self.injector = Injector(self.engine, self.logbook, self.functions)
         # unique support symbol + soname so controllers can stack in one
         # process, each shim chaining to the next via RTLD_NEXT (§5.1)
-        Controller._instances += 1
-        self._ordinal = Controller._instances
+        self._ordinal = next(Controller._instances)
         self.eval_symbol = f"{EVAL_SYMBOL}_{self._ordinal}"
         self.shim, self.stub_source = synthesize_shim(
             self.functions, platform,
@@ -164,12 +207,14 @@ class Controller:
         return outcome
 
     def run_campaign(self, test_fns: Sequence[Callable[[], Optional[int]]],
-                     ) -> TestReport:
+                     *, app: str = "") -> TestReport:
         """Run a series of monitored tests and aggregate the report."""
-        report = TestReport()
+        started = time.perf_counter()
+        report = TestReport(app=app)
         for fn in test_fns:
             report.outcomes.append(self.run_test(fn))
         report.log_text = self.logbook.render()
+        report.duration = time.perf_counter() - started
         return report
 
     # -- statistics -------------------------------------------------------

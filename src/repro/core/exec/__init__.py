@@ -1,0 +1,13 @@
+"""Parallel execution: worker pools, the campaign engine, run summaries."""
+
+from .engine import RunSummary, execute_campaign, summarize_tasks
+from .pool import (BACKENDS, MAX_THREAD_JOBS, PROCESS, SERIAL, TASK_CRASHED,
+                   TASK_ERROR, TASK_HUNG, TASK_OK, THREAD, RemoteTaskError,
+                   TaskResult, WorkerPool, resolve_jobs)
+
+__all__ = [
+    "WorkerPool", "TaskResult", "RemoteTaskError", "resolve_jobs",
+    "SERIAL", "THREAD", "PROCESS", "BACKENDS", "MAX_THREAD_JOBS",
+    "TASK_OK", "TASK_ERROR", "TASK_HUNG", "TASK_CRASHED",
+    "RunSummary", "execute_campaign", "summarize_tasks",
+]

@@ -1,0 +1,175 @@
+"""The parallel campaign engine and its machine-readable run summary.
+
+§6.2 reports profiling times "on the order of minutes" and §5 campaigns
+enumerate one monitored test per (function, error code) — a fault space
+with no cross-case data flow.  This module fans those cases out over a
+:class:`~repro.core.exec.pool.WorkerPool` while preserving the exact
+result ordering of a serial run, and distills each run into a
+:class:`RunSummary` (cases/sec, cache hits, worker utilization) that
+downstream tooling can parse as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+from ...platform import Platform
+from ..controller import (REPORT_SCHEMA, STATUS_CRASHED, STATUS_HUNG,
+                          Controller, TestOutcome)
+from ..profiles import LibraryProfile
+from .pool import (TASK_CRASHED, TASK_HUNG, TASK_OK, TaskResult, WorkerPool)
+
+
+@dataclass
+class RunSummary:
+    """One engine run, condensed for dashboards and scripts.
+
+    Shares the ``app`` / ``outcome`` / ``duration`` key triple with
+    :class:`~repro.core.campaign.CampaignReport` and
+    :class:`~repro.core.controller.TestReport` so downstream consumers
+    parse a single schema.
+    """
+
+    kind: str                   # "campaign" | "profile"
+    app: str
+    outcome: str                # "ok" | "hung" | "crashes"
+    duration: float             # wall-clock seconds
+    cases: int = 0
+    ok: int = 0
+    errors: int = 0
+    hung: int = 0
+    crashed: int = 0
+    jobs: int = 1
+    backend: str = "serial"
+    timeout: Optional[float] = None
+    cases_per_second: float = 0.0
+    busy_seconds: float = 0.0
+    worker_utilization: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_memory_hits: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "kind": self.kind,
+            "app": self.app,
+            "outcome": self.outcome,
+            "duration": round(self.duration, 6),
+            "cases": self.cases,
+            "ok": self.ok,
+            "errors": self.errors,
+            "hung": self.hung,
+            "crashed": self.crashed,
+            "jobs": self.jobs,
+            "backend": self.backend,
+            "timeout": self.timeout,
+            "cases_per_second": round(self.cases_per_second, 3),
+            "busy_seconds": round(self.busy_seconds, 6),
+            "worker_utilization": round(self.worker_utilization, 4),
+            "cache": {"hits": self.cache_hits,
+                      "misses": self.cache_misses,
+                      "memory_hits": self.cache_memory_hits},
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def summarize_tasks(kind: str, app: str, outcome: str, duration: float,
+                    tasks: List[TaskResult], pool: WorkerPool,
+                    *, cache_hits: int = 0, cache_misses: int = 0,
+                    cache_memory_hits: int = 0) -> RunSummary:
+    """Fold a pool run's task results into a :class:`RunSummary`."""
+    busy = sum(t.seconds for t in tasks)
+    n = len(tasks)
+    utilization = 0.0
+    if duration > 0 and pool.jobs > 0:
+        utilization = min(1.0, busy / (duration * pool.jobs))
+    return RunSummary(
+        kind=kind, app=app, outcome=outcome, duration=duration,
+        cases=n,
+        ok=sum(1 for t in tasks if t.status == TASK_OK),
+        errors=sum(1 for t in tasks if t.status == "error"),
+        hung=sum(1 for t in tasks if t.status == TASK_HUNG),
+        crashed=sum(1 for t in tasks if t.status == TASK_CRASHED),
+        jobs=pool.jobs, backend=pool.backend, timeout=pool.timeout,
+        cases_per_second=(n / duration) if duration > 0 else 0.0,
+        busy_seconds=busy, worker_utilization=utilization,
+        cache_hits=cache_hits, cache_misses=cache_misses,
+        cache_memory_hits=cache_memory_hits)
+
+
+def _case_runner(factory, platform: Platform,
+                 profiles: Mapping[str, LibraryProfile], case):
+    """Run one fault case in isolation; shared by every backend."""
+    from ..campaign import CaseResult
+
+    lfi = Controller(platform, dict(profiles), case.plan())
+    session = factory(lfi)
+    outcome = lfi.run_test(session, test_id=case.case_id())
+    return CaseResult(case=case, outcome=outcome,
+                      fired=lfi.injections > 0)
+
+
+def execute_campaign(app: str,
+                     factory,
+                     platform: Platform,
+                     profiles: Mapping[str, LibraryProfile],
+                     cases: Iterable[Any],
+                     *, jobs: int = 1,
+                     timeout: Optional[float] = None,
+                     backend: Optional[str] = None,
+                     pool: Optional[WorkerPool] = None):
+    """Fan the campaign's fault cases out over a worker pool.
+
+    Results come back in case order regardless of worker count, so a
+    ``jobs=4`` report is ordered identically to a serial one.  A case
+    whose worker exceeds ``timeout`` becomes a ``"hung"``
+    :class:`~repro.core.campaign.CaseResult`; a worker that dies (or a
+    workload that raises outside the monitored guest) becomes a
+    ``"crashed"`` one — neither stalls nor aborts the run.
+    """
+    from ..campaign import CampaignReport, CaseResult
+
+    case_list = list(cases)
+    if pool is None:
+        pool = WorkerPool(jobs=jobs, backend=backend, timeout=timeout)
+    profiles = dict(profiles)
+
+    def run_one(case):
+        return _case_runner(factory, platform, profiles, case)
+
+    started = time.perf_counter()
+    tasks = pool.map(run_one, case_list)
+    duration = time.perf_counter() - started
+
+    results: List[CaseResult] = []
+    for case, task in zip(case_list, tasks):
+        if task.status == TASK_OK:
+            result = task.value
+            result.seconds = task.seconds
+        elif task.status == TASK_HUNG:
+            detail = (f"worker exceeded the {pool.timeout:g}s per-case "
+                      f"timeout" if pool.timeout else "worker hung")
+            result = CaseResult(
+                case=case,
+                outcome=TestOutcome(test_id=case.case_id(),
+                                    status=STATUS_HUNG, detail=detail),
+                fired=True, seconds=task.seconds)
+        else:       # crashed worker, or the harness itself raised
+            result = CaseResult(
+                case=case,
+                outcome=TestOutcome(test_id=case.case_id(),
+                                    status=STATUS_CRASHED,
+                                    detail=str(task.error or "worker died")),
+                fired=True, seconds=task.seconds)
+        results.append(result)
+
+    report = CampaignReport(app=app, results=results, duration=duration)
+    report.summary = summarize_tasks("campaign", app, report.outcome(),
+                                     duration, tasks, pool)
+    return report

@@ -132,6 +132,12 @@ def build_cfg(image: SharedObject, entry: int, abi: Abi,
                 break
             if insn.is_conditional:
                 local_stats.branches += 1
+                # garbage bytes can decode to a conditional jump with a
+                # non-Rel operand; real assembly never emits one
+                if not isinstance(insn.operands[0], Rel):
+                    local_stats.indirect_branches += 1
+                    incomplete = True
+                    break
                 target = decoded.branch_target()
                 leaders.add(target)
                 worklist.append(target)
@@ -175,6 +181,10 @@ def build_cfg(image: SharedObject, entry: int, abi: Abi,
                     block.has_indirect_branch = True
                 break
             if decoded.insn.is_conditional:
+                if not isinstance(decoded.insn.operands[0], Rel):
+                    block.successors = ()
+                    block.has_indirect_branch = True
+                    break
                 block.successors = (decoded.branch_target(), nxt)
                 break
             if nxt in leaders:

@@ -5,13 +5,20 @@ mimics the end-to-end flow: run ``ldd`` over the target's libraries,
 profile each library in the closure, and return the profiles keyed by
 soname — "testers point LFI at a target application and the profiler
 automatically finds which shared libraries the application links to".
+
+Profiling is embarrassingly parallel at per-export granularity (each
+exported function gets its own CFG + reverse constant propagation), so
+``profile_library``/``profile_all`` accept ``jobs``/``pool`` and fan the
+exports out over a :class:`repro.core.exec.WorkerPool`; the assembled
+profile keeps the image's export order either way.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ...binfmt import SharedObject, ldd
 from ...errors import ProfilerError
@@ -33,48 +40,89 @@ class ProfilerReport:
     stats: CfgStats = field(default_factory=CfgStats)
 
 
+@dataclass
+class _ExportAnalysis:
+    """One export's analysis products, ready for profile assembly."""
+
+    name: str
+    profile: FunctionProfile
+    instructions: int
+    calls: int
+    max_hops: int
+
+
+def _renamed_kwarg(legacy: Dict[str, object], old: str, new: str,
+                   owner: str, current):
+    """DeprecationWarning shim for a renamed keyword argument."""
+    if old in legacy:
+        warnings.warn(
+            f"{owner}: keyword argument {old!r} is deprecated; "
+            f"use {new!r}", DeprecationWarning, stacklevel=3)
+        value = legacy.pop(old)
+        if current is None:
+            current = value
+    if legacy:
+        raise TypeError(f"{owner}: unexpected keyword arguments "
+                        f"{sorted(legacy)}")
+    return current
+
+
 class Profiler:
     """Static analyzer producing fault profiles from binaries."""
 
     def __init__(self, platform: Platform,
-                 libraries: Mapping[str, SharedObject],
+                 images: Optional[Mapping[str, SharedObject]] = None,
                  kernel_image: Optional[SharedObject] = None,
                  heuristics: Optional[HeuristicConfig] = None,
                  *, use_edge_constraints: bool = True,
-                 infer_arg_conditions: bool = False) -> None:
+                 infer_arg_conditions: bool = False,
+                 **legacy) -> None:
+        images = _renamed_kwarg(dict(legacy), "libraries", "images",
+                                "Profiler", images)
+        if images is None:
+            raise TypeError("Profiler: missing required argument 'images'")
         self.platform = platform
-        self.libraries = dict(libraries)
+        self.images = dict(images)
         self.kernel_image = kernel_image
         self.heuristics = heuristics or HeuristicConfig.default()
         self.context = AnalysisContext(
-            platform, self.libraries, kernel_image,
+            platform, self.images, kernel_image,
             use_edge_constraints=use_edge_constraints,
             infer_arg_conditions=infer_arg_conditions)
         self.last_report = ProfilerReport()
 
+    @property
+    def libraries(self) -> Dict[str, SharedObject]:
+        """Deprecated alias kept for pre-`images` callers."""
+        return self.images
+
     # -- public API --------------------------------------------------------
 
-    def profile_library(self, soname: str) -> LibraryProfile:
-        """Profile every exported function of one library."""
-        image = self.libraries.get(soname)
+    def profile_library(self, soname: str, *, jobs: int = 1,
+                        pool=None) -> LibraryProfile:
+        """Profile every exported function of one library.
+
+        ``jobs > 1`` (or an explicit ``pool``) analyzes exports on a
+        thread pool; the profile content and ordering are the same as a
+        serial run.
+        """
+        image = self.images.get(soname)
         if image is None:
             raise ProfilerError(f"library {soname!r} not registered")
         started = time.perf_counter()
         report = ProfilerReport()
         profile = LibraryProfile(soname=soname, platform=self.platform.name,
                                  code_bytes=image.code_size())
+        analyses = self._analyze_exports(soname, image, jobs=jobs, pool=pool)
         sizes: Dict[str, int] = {}
         calls: Dict[str, int] = {}
-        for sym in image.exports:
-            analysis = self.context.analyze_function(soname, sym.offset)
-            fp = _to_function_profile(sym.name, analysis)
-            profile.functions[sym.name] = fp
-            cfg = self.context.cfg(image, sym.offset)
-            sizes[sym.name] = cfg.instruction_count()
-            calls[sym.name] = _real_call_count(cfg)
+        for item in analyses:
+            profile.functions[item.name] = item.profile
+            sizes[item.name] = item.instructions
+            calls[item.name] = item.calls
             report.functions_analyzed += 1
-            report.instructions += sizes[sym.name]
-            report.max_hops = max(report.max_hops, analysis.max_hops)
+            report.instructions += item.instructions
+            report.max_hops = max(report.max_hops, item.max_hops)
         profile = apply_heuristics(profile, self.heuristics,
                                    function_sizes=sizes,
                                    function_calls=calls)
@@ -84,10 +132,41 @@ class Profiler:
         self.last_report = report
         return profile
 
-    def profile_all(self) -> Dict[str, LibraryProfile]:
-        """Profile every registered library."""
-        return {soname: self.profile_library(soname)
-                for soname in sorted(self.libraries)}
+    def profile_all(self, *, jobs: int = 1,
+                    pool=None) -> Dict[str, LibraryProfile]:
+        """Profile every registered library (optionally in parallel)."""
+        if pool is None and jobs and jobs > 1:
+            from ..exec.pool import WorkerPool
+            pool = WorkerPool(jobs=jobs, backend="thread")
+        return {soname: self.profile_library(soname, pool=pool)
+                for soname in sorted(self.images)}
+
+    # -- internals ---------------------------------------------------------
+
+    def _analyze_exports(self, soname: str, image: SharedObject,
+                         *, jobs: int = 1, pool=None
+                         ) -> List[_ExportAnalysis]:
+        if pool is None and jobs and jobs > 1:
+            from ..exec.pool import WorkerPool
+            pool = WorkerPool(jobs=jobs, backend="thread")
+        if pool is not None and pool.backend != "serial" \
+                and len(image.exports) > 1:
+            tasks = pool.map(lambda sym: self._analyze_export(soname, sym),
+                             image.exports)
+            return [task.unwrap() for task in tasks]
+        return [self._analyze_export(soname, sym) for sym in image.exports]
+
+    def _analyze_export(self, soname: str, sym) -> _ExportAnalysis:
+        """Analyze one exported function — the unit of parallelism."""
+        image = self.images[soname]
+        analysis = self.context.analyze_function(soname, sym.offset)
+        cfg = self.context.cfg(image, sym.offset)
+        return _ExportAnalysis(
+            name=sym.name,
+            profile=_to_function_profile(sym.name, analysis),
+            instructions=cfg.instruction_count(),
+            calls=_real_call_count(cfg),
+            max_hops=analysis.max_hops)
 
 
 def profile_application(platform: Platform,
@@ -95,7 +174,7 @@ def profile_application(platform: Platform,
                         available: Mapping[str, SharedObject],
                         kernel_image: Optional[SharedObject] = None,
                         heuristics: Optional[HeuristicConfig] = None,
-                        ) -> Dict[str, LibraryProfile]:
+                        *, jobs: int = 1) -> Dict[str, LibraryProfile]:
     """End-to-end §2 flow: discover the closure with ``ldd``, profile all.
 
     ``app_libraries`` are the libraries the application links directly;
@@ -106,7 +185,7 @@ def profile_application(platform: Platform,
         for dep in ldd(lib, available):
             closure.setdefault(dep.soname, dep)
     profiler = Profiler(platform, closure, kernel_image, heuristics)
-    return profiler.profile_all()
+    return profiler.profile_all(jobs=jobs)
 
 
 def _real_call_count(cfg) -> int:

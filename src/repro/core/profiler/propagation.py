@@ -21,6 +21,7 @@ error constants from leaking into its *success* path, while the
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -127,12 +128,23 @@ class AnalysisContext:
         self.stats = CfgStats()
         self._cfgs: Dict[Tuple[str, int], Cfg] = {}
         self._memo: Dict[Tuple[str, int], FunctionAnalysis] = {}
-        self._in_progress: Set[Tuple[str, int]] = set()
+        # cycle detection is per recursive walk, hence per thread: a
+        # parallel profiler analyzing export A on one thread must not
+        # make export B's walk on another thread think it is recursing
+        self._local = threading.local()
         self._kernel_consts: Dict[int, Tuple[int, ...]] = {}
         self._export_index: Dict[str, Tuple[str, int]] = {}
         for soname, image in self.libraries.items():
             for sym in image.exports:
                 self._export_index.setdefault(sym.name, (soname, sym.offset))
+
+    @property
+    def _in_progress(self) -> Set[Tuple[str, int]]:
+        """This thread's active-walk set (cycle detection)."""
+        active = getattr(self._local, "in_progress", None)
+        if active is None:
+            active = self._local.in_progress = set()
+        return active
 
     # -- kernel image ------------------------------------------------------
 
@@ -171,17 +183,18 @@ class AnalysisContext:
         memoized = self._memo.get(key)
         if memoized is not None:
             return memoized
-        if key in self._in_progress or hops > MAX_HOPS:
+        in_progress = self._in_progress
+        if key in in_progress or hops > MAX_HOPS:
             # recursion cycle or depth cap: contribute nothing
             return FunctionAnalysis(truncated=True)
         image = self.libraries.get(soname)
         if image is None:
             return FunctionAnalysis(truncated=True)
-        self._in_progress.add(key)
+        in_progress.add(key)
         try:
             analysis = _Walker(self, image, entry, hops).analyze()
         finally:
-            self._in_progress.discard(key)
+            in_progress.discard(key)
         self._attach_side_effects(image, entry, analysis)
         self._memo[key] = analysis
         return analysis

@@ -1,0 +1,254 @@
+"""The ``Session`` facade — LFI's two-command workflow as one object.
+
+The paper's §6.1 pitch is "issuing two commands, one for profiling and
+one for running the tests".  ``Session`` is that pitch as an API: it
+owns the platform, the loaded images, the (optionally store-backed)
+profiles, and the worker-pool knobs, and exposes the whole flow as a
+fluent chain::
+
+    from repro import Session, libc, LINUX_X86
+
+    report = (Session(LINUX_X86, jobs=4, timeout=5.0, store="cache/")
+              .load(libc(LINUX_X86))
+              .profile()
+              .campaign(my_workload_factory, functions=["close", "read"]))
+
+Every stage records a :class:`~repro.core.exec.RunSummary`;
+``summary_json()`` emits the machine-readable run summary (cases/sec,
+cache hits, worker utilization) for dashboards and CI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from .binfmt import SharedObject
+from .core.campaign import (CampaignReport, FaultCase, enumerate_cases,
+                            run_campaign)
+from .core.controller import Controller
+from .core.exec.engine import RunSummary
+from .core.exec.pool import resolve_jobs
+from .core.profiler import HeuristicConfig, Profiler
+from .core.profiles import LibraryProfile
+from .core.scenario.model import Plan
+from .core.store import ProfileStore
+from .errors import ReproError
+from .kernel import build_kernel_image
+from .platform import LINUX_X86, Platform, platform_by_name
+
+#: Anything ``load`` understands: an image, a built library (anything
+#: with an ``.image``), a path to a ``.self`` file, a soname->image
+#: mapping, or an iterable of those.
+Loadable = Union[SharedObject, str, Path, Mapping[str, SharedObject],
+                 Iterable[Any]]
+
+#: Sentinel: build the platform's kernel image on first profile().
+_AUTO = "auto"
+
+
+class Session:
+    """Single entry point tying profiling and campaigns together.
+
+    Parameters
+    ----------
+    platform:
+        A :class:`Platform` or its name (``"linux-x86"``, ...).
+    app:
+        Label stamped on reports and run summaries.
+    store:
+        Optional profile cache — a directory path or a
+        :class:`ProfileStore`.  Fresh profiles are reused across
+        sessions and processes; a warm store makes ``profile()``
+        orders of magnitude faster.
+    jobs, timeout, backend:
+        Worker-pool configuration used by both ``profile()``
+        (per-export fan-out) and ``campaign()`` (per-case fan-out with
+        crash isolation).  ``backend=None`` auto-selects.
+    heuristics:
+        §3.1 profile filters; part of the store's cache key.
+    kernel_image:
+        Kernel image for syscall analysis; ``"auto"`` (default) builds
+        the platform's kernel lazily, ``None`` disables kernel
+        recursion.
+    """
+
+    def __init__(self, platform: Union[Platform, str] = LINUX_X86,
+                 *, app: str = "session",
+                 store: Union[ProfileStore, str, Path, None] = None,
+                 jobs: int = 1,
+                 timeout: Optional[float] = None,
+                 backend: Optional[str] = None,
+                 heuristics: Optional[HeuristicConfig] = None,
+                 kernel_image: Union[SharedObject, None, str] = _AUTO) -> None:
+        self.platform = (platform_by_name(platform)
+                         if isinstance(platform, str) else platform)
+        self.app = app
+        self.jobs = jobs
+        self.timeout = timeout
+        self.backend = backend
+        self.heuristics = heuristics
+        self.store = (ProfileStore(store)
+                      if isinstance(store, (str, Path)) else store)
+        self._kernel_image = kernel_image
+        self.images: Dict[str, SharedObject] = {}
+        self._profiles: Optional[Dict[str, LibraryProfile]] = None
+        self.summaries: List[RunSummary] = []
+
+    # -- loading -----------------------------------------------------------
+
+    def load(self, *sources: Loadable) -> "Session":
+        """Register library images; returns the session for chaining."""
+        for source in sources:
+            self._load_one(source)
+        self._profiles = None       # new images invalidate old profiles
+        return self
+
+    def _load_one(self, source: Any) -> None:
+        image = getattr(source, "image", None)      # BuiltLibrary et al.
+        if isinstance(image, SharedObject):
+            source = image
+        if isinstance(source, SharedObject):
+            self.images[source.soname] = source
+        elif isinstance(source, (str, Path)):
+            loaded = SharedObject.from_bytes(Path(source).read_bytes())
+            self.images[loaded.soname] = loaded
+        elif isinstance(source, Mapping):
+            for img in source.values():
+                self._load_one(img)
+        elif isinstance(source, Iterable):
+            for item in source:
+                self._load_one(item)
+        else:
+            raise TypeError(f"Session.load: cannot load {source!r}")
+
+    @property
+    def kernel_image(self) -> Optional[SharedObject]:
+        if self._kernel_image == _AUTO:
+            self._kernel_image = build_kernel_image(self.platform)
+        return self._kernel_image
+
+    # -- profiling ---------------------------------------------------------
+
+    def profile(self, *, force: bool = False) -> "Session":
+        """Profile every loaded image (store-backed when configured).
+
+        Idempotent: an already-profiled session returns immediately
+        unless ``force``.  Returns the session for chaining; the result
+        is available as :attr:`profiles`.
+        """
+        if self._profiles is not None and not force:
+            return self
+        if not self.images:
+            raise ReproError("Session.profile: no images loaded; "
+                             "call load() first")
+        started = time.perf_counter()
+        if self.store is not None:
+            hits0, misses0 = self.store.hits, self.store.misses
+            memory0 = self.store.memory_hits
+            self._profiles = self.store.profile_or_load(
+                self.platform, self.images, self.kernel_image,
+                self.heuristics, jobs=self.jobs)
+            cache = (self.store.hits - hits0, self.store.misses - misses0,
+                     self.store.memory_hits - memory0)
+        else:
+            profiler = Profiler(self.platform, self.images,
+                                self.kernel_image, self.heuristics)
+            self._profiles = profiler.profile_all(jobs=self.jobs)
+            cache = (0, len(self.images), 0)
+        duration = time.perf_counter() - started
+        exports = sum(len(img.exports) for img in self.images.values())
+        self.summaries.append(RunSummary(
+            kind="profile", app=self.app, outcome="ok", duration=duration,
+            cases=exports, ok=exports,
+            jobs=resolve_jobs(self.jobs), backend=self.backend or "thread",
+            timeout=self.timeout,
+            cases_per_second=(exports / duration) if duration > 0 else 0.0,
+            cache_hits=cache[0], cache_misses=cache[1],
+            cache_memory_hits=cache[2]))
+        return self
+
+    @property
+    def profiles(self) -> Dict[str, LibraryProfile]:
+        """Profiles keyed by soname, computed on first access."""
+        if self._profiles is None:
+            self.profile()
+        return self._profiles
+
+    # -- campaigns ---------------------------------------------------------
+
+    def cases(self, *, functions: Optional[Sequence[str]] = None,
+              call_ordinals: Sequence[int] = (1,),
+              max_codes_per_function: Optional[int] = None
+              ) -> List[FaultCase]:
+        """Enumerate the systematic (function, error code) fault space."""
+        return enumerate_cases(self.profiles, functions=functions,
+                               call_ordinals=call_ordinals,
+                               max_codes_per_function=max_codes_per_function)
+
+    def campaign(self, factory, *, app: Optional[str] = None,
+                 functions: Optional[Sequence[str]] = None,
+                 call_ordinals: Sequence[int] = (1,),
+                 max_codes_per_function: Optional[int] = None,
+                 cases: Optional[Iterable[FaultCase]] = None
+                 ) -> CampaignReport:
+        """Run a systematic fault campaign over the profiled space.
+
+        ``factory`` receives each case's :class:`Controller` and returns
+        the workload callable to monitor (the §5 developer-provided
+        script).  Profiling happens automatically if it has not yet.
+        The report's ordering matches the case order regardless of
+        ``jobs``; its :class:`RunSummary` is appended to
+        :attr:`summaries`.
+        """
+        if cases is None:
+            cases = self.cases(functions=functions,
+                               call_ordinals=call_ordinals,
+                               max_codes_per_function=max_codes_per_function)
+        report = run_campaign(app or self.app, factory, self.platform,
+                              self.profiles, cases, jobs=self.jobs,
+                              timeout=self.timeout, backend=self.backend)
+        if self.store is not None and report.summary is not None:
+            report.summary.cache_hits = self.store.hits
+            report.summary.cache_misses = self.store.misses
+            report.summary.cache_memory_hits = self.store.memory_hits
+        if report.summary is not None:
+            self.summaries.append(report.summary)
+        return report
+
+    def controller(self, plan: Plan, *, seed: Optional[int] = None
+                   ) -> Controller:
+        """A :class:`Controller` over this session's profiles."""
+        return Controller(self.platform, self.profiles, plan, seed=seed)
+
+    # -- run summary -------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """Machine-readable summary of everything this session ran."""
+        outcome = "ok"
+        for stage in self.summaries:
+            if stage.outcome != "ok":
+                outcome = stage.outcome
+        return {
+            "schema": "repro.run-summary/1",
+            "app": self.app,
+            "outcome": outcome,
+            "duration": round(sum(s.duration for s in self.summaries), 6),
+            "platform": self.platform.name,
+            "jobs": resolve_jobs(self.jobs, self.backend or "thread"),
+            "backend": self.backend,
+            "timeout": self.timeout,
+            "stages": [s.to_dict() for s in self.summaries],
+        }
+
+    def summary_json(self) -> str:
+        return json.dumps(self.summary(), indent=2, sort_keys=True)
+
+    def __repr__(self) -> str:     # pragma: no cover
+        profiled = (len(self._profiles) if self._profiles is not None
+                    else 0)
+        return (f"Session(platform={self.platform.name!r}, "
+                f"images={len(self.images)}, profiles={profiled}, "
+                f"jobs={self.jobs})")

@@ -1,5 +1,7 @@
 """The command-line interface: the paper's two-command workflow on disk."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -153,3 +155,59 @@ class TestRunDemo:
               "--function", "fsync", "-o", str(plan)])
         code = main(["run-demo", "minidb", "--plan", str(plan)])
         assert code in (0, 1)
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def store_dir(self, tmp_path_factory):
+        # shared across the class so only the first test pays for the
+        # libc profile; the others exercise the cache-hit path
+        return tmp_path_factory.mktemp("campaign-store")
+
+    def test_campaign_with_jobs_and_summary(self, store_dir, tmp_path,
+                                            capsys):
+        summary_path = tmp_path / "summary.json"
+        code = main(["campaign", "minidb",
+                     "--function", "open", "--function", "read",
+                     "--max-codes", "2", "--jobs", "2",
+                     "--timeout", "30",
+                     "--store", str(store_dir),
+                     "--summary-json", str(summary_path)])
+        assert code in (0, 1)
+        out = capsys.readouterr().out
+        assert "systematic campaign for minidb" in out
+        assert "cases/sec" in out
+        summary = json.loads(summary_path.read_text())
+        assert summary["schema"] == "repro.run-summary/1"
+        assert summary["jobs"] == 2
+        assert [s["kind"] for s in summary["stages"]] \
+            == ["profile", "campaign"]
+        assert summary["stages"][1]["cases"] == 4
+
+    def test_campaign_json_is_machine_readable(self, store_dir, capsys):
+        code = main(["campaign", "minidb", "--function", "close",
+                     "--max-codes", "1", "--store", str(store_dir),
+                     "--json"])
+        assert code in (0, 1)
+        report = json.loads(capsys.readouterr().out)
+        assert report["kind"] == "campaign"
+        assert report["app"] == "minidb"
+        assert len(report["results"]) == 1
+
+    def test_campaign_report_file(self, store_dir, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main(["campaign", "miniweb", "--function", "close",
+                     "--max-codes", "1", "--store", str(store_dir),
+                     "--report", str(report_path)])
+        assert code in (0, 1)
+        report = json.loads(report_path.read_text())
+        assert report["app"] == "miniweb"
+        assert report["schema"] == "repro.report/1"
+
+    def test_profile_jobs_flag(self, sysroot, tmp_path):
+        out = tmp_path / "libc.xml"
+        assert main(["profile", str(sysroot / "libc.so.6.self"),
+                     "--kernel", str(sysroot / "kernel.self"),
+                     "--jobs", "2", "-o", str(out)]) == 0
+        profile = LibraryProfile.from_xml(out.read_text())
+        assert profile.soname == "libc.so.6"

@@ -1,0 +1,140 @@
+"""The parallel campaign engine: determinism, reaping, summaries."""
+
+import threading
+
+from repro.core.campaign import enumerate_cases, run_campaign
+from repro.core.controller import STATUS_HUNG
+from repro.kernel import Kernel, O_CREAT, O_RDWR
+from repro.platform import LINUX_X86
+
+
+def _copytool_factory(libc_image):
+    """The file-copy workload from the campaign tests: deterministic
+    status per (function, errno) case."""
+    def factory(lfi):
+        def session():
+            proc = lfi.make_process(Kernel(), [libc_image])
+            fd = proc.libcall("open", proc.cstr("/f"),
+                              O_CREAT | O_RDWR, 0o644)
+            buf = proc.scratch_alloc(4)
+            proc.mem_write(buf, b"data")
+            proc.libcall("write", fd, buf, 4)
+            rc = proc.libcall("close", fd)
+            return 1 if rc != 0 else 0
+        return session
+    return factory
+
+
+class TestDeterministicOrdering:
+    def test_jobs4_report_identical_to_serial(self, libc_linux,
+                                              libc_profiles_linux):
+        """The tentpole guarantee: a parallel campaign is ordered and
+        scored byte-for-byte like a serial one."""
+        factory = _copytool_factory(libc_linux.image)
+        cases = enumerate_cases(libc_profiles_linux,
+                                functions=["open", "close"])
+        assert len(cases) > 4
+
+        serial = run_campaign("copytool", factory, LINUX_X86,
+                              libc_profiles_linux, cases)
+        parallel = run_campaign("copytool", factory, LINUX_X86,
+                                libc_profiles_linux, cases,
+                                jobs=4, backend="thread")
+
+        def fingerprint(report):
+            return [(r.case.case_id(), r.outcome.status, r.fired)
+                    for r in report.results]
+
+        assert fingerprint(parallel) == fingerprint(serial)
+        assert parallel.render() == serial.render()
+
+    def test_serial_path_unchanged_without_jobs(self, libc_linux,
+                                                libc_profiles_linux):
+        """jobs=1 and no timeout keeps the plain inline loop."""
+        factory = _copytool_factory(libc_linux.image)
+        cases = enumerate_cases(libc_profiles_linux, functions=["close"],
+                                max_codes_per_function=2)
+        report = run_campaign("copytool", factory, LINUX_X86,
+                              libc_profiles_linux, cases)
+        assert report.summary is not None
+        assert report.summary.backend == "serial"
+        assert report.summary.jobs == 1
+
+
+class TestHungWorkloads:
+    def test_hanging_case_reaped_by_per_case_timeout(
+            self, libc_linux, libc_profiles_linux):
+        release = threading.Event()
+        try:
+            def factory(lfi):
+                errno = lfi.plan.triggers[0].codes[0].errno
+
+                def session():
+                    if errno == "EIO":       # this one case deadlocks
+                        release.wait(30)
+                        return 0
+                    proc = lfi.make_process(Kernel(), [libc_linux.image])
+                    rc = proc.libcall("close", 3)
+                    return 1 if rc != 0 else 0
+                return session
+
+            cases = enumerate_cases(libc_profiles_linux,
+                                    functions=["close"])
+            assert any(c.code.errno == "EIO" for c in cases)
+            report = run_campaign("deadlocker", factory, LINUX_X86,
+                                  libc_profiles_linux, cases,
+                                  jobs=2, timeout=0.3)
+
+            by_errno = {r.case.code.errno: r for r in report.results}
+            assert by_errno["EIO"].outcome.status == STATUS_HUNG
+            assert "timeout" in by_errno["EIO"].outcome.detail
+            others = [r for r in report.results
+                      if r.case.code.errno != "EIO"]
+            assert others and all(r.outcome.status != STATUS_HUNG
+                                  for r in others)
+            assert report.outcome() == "hung"
+            assert len(report.hung()) == 1
+            assert "h" in report.render()
+        finally:
+            release.set()
+
+
+class TestRunSummary:
+    def test_campaign_report_carries_summary(self, libc_linux,
+                                             libc_profiles_linux):
+        factory = _copytool_factory(libc_linux.image)
+        cases = enumerate_cases(libc_profiles_linux, functions=["close"])
+        report = run_campaign("copytool", factory, LINUX_X86,
+                              libc_profiles_linux, cases,
+                              jobs=2, backend="thread")
+        summary = report.summary
+        assert summary.kind == "campaign"
+        assert summary.app == "copytool"
+        assert summary.cases == len(cases)
+        assert summary.ok == len(cases)
+        assert summary.cases_per_second > 0
+        assert 0.0 <= summary.worker_utilization <= 1.0
+        assert summary.jobs == 2 and summary.backend == "thread"
+
+    def test_summary_serializes_with_shared_keys(self, libc_linux,
+                                                 libc_profiles_linux):
+        factory = _copytool_factory(libc_linux.image)
+        cases = enumerate_cases(libc_profiles_linux, functions=["close"],
+                                max_codes_per_function=1)
+        report = run_campaign("copytool", factory, LINUX_X86,
+                              libc_profiles_linux, cases, jobs=2)
+        data = report.summary.to_dict()
+        assert data["schema"] == "repro.report/1"
+        for key in ("app", "outcome", "duration", "cases_per_second",
+                    "worker_utilization", "cache"):
+            assert key in data
+
+    def test_per_case_durations_recorded(self, libc_linux,
+                                         libc_profiles_linux):
+        factory = _copytool_factory(libc_linux.image)
+        cases = enumerate_cases(libc_profiles_linux, functions=["close"],
+                                max_codes_per_function=2)
+        report = run_campaign("copytool", factory, LINUX_X86,
+                              libc_profiles_linux, cases, jobs=2)
+        assert all(r.seconds >= 0 for r in report.results)
+        assert report.duration > 0

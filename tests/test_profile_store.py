@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.store import ProfileStore, image_digest
+from repro.core.profiler import HeuristicConfig, Profiler
+from repro.core.store import (ProfileStore, heuristics_digest, image_digest)
 from repro.platform import LINUX_X86
 from repro.toolchain import LibraryBuilder, minc
 
@@ -83,3 +84,79 @@ class TestStore:
 
     def test_load_missing_returns_none(self, tmp_path):
         assert ProfileStore(tmp_path).load("ghost.so") is None
+
+
+class TestHeuristicsInvalidation:
+    """Regression: flipping a §3.1 filter must re-profile (the filters
+    change profile content, so a stale cache would silently serve
+    profiles computed under the wrong configuration)."""
+
+    def test_digest_distinguishes_configs(self):
+        assert heuristics_digest(HeuristicConfig.default()) \
+            != heuristics_digest(HeuristicConfig.all_enabled())
+        assert heuristics_digest(None) \
+            == heuristics_digest(HeuristicConfig.default())
+
+    def test_heuristics_change_invalidates(self, tmp_path):
+        image = _library()
+        libs = {image.soname: image}
+        store = ProfileStore(tmp_path)
+        store.profile_or_load(LINUX_X86, libs,
+                              heuristics=HeuristicConfig.default())
+        assert store.misses == 1
+        # same library + kernel, different filter config -> stale
+        store.profile_or_load(LINUX_X86, libs,
+                              heuristics=HeuristicConfig.all_enabled())
+        assert store.misses == 2
+        # and back again: the manifest tracks the latest config only
+        store.profile_or_load(LINUX_X86, libs,
+                              heuristics=HeuristicConfig.all_enabled())
+        assert store.misses == 2 and store.hits >= 1
+
+    def test_is_fresh_checks_heuristics(self, tmp_path):
+        image = _library()
+        store = ProfileStore(tmp_path)
+        store.profile_or_load(LINUX_X86, {image.soname: image})
+        assert store.is_fresh(image)
+        assert not store.is_fresh(
+            image, heuristics=HeuristicConfig.all_enabled())
+
+
+class TestCacheSkipsProfiler:
+    """Satellite: the cache-hit path must never invoke the profiler."""
+
+    def _forbid_profiling(self, monkeypatch):
+        def explode(self, *args, **kwargs):
+            raise AssertionError("profiler ran on the cache-hit path")
+        monkeypatch.setattr(Profiler, "profile_library", explode)
+
+    def test_disk_hit_skips_profiler(self, tmp_path, monkeypatch):
+        image = _library()
+        ProfileStore(tmp_path).profile_or_load(LINUX_X86,
+                                               {image.soname: image})
+        ProfileStore.clear_memory_cache()       # force the disk path
+        self._forbid_profiling(monkeypatch)
+        store = ProfileStore(tmp_path)
+        profiles = store.profile_or_load(LINUX_X86,
+                                         {image.soname: image})
+        assert store.hits == 1 and store.misses == 0
+        assert -9 in profiles[image.soname].function("f").retvals()
+
+    def test_memory_hit_skips_profiler_and_xml(self, tmp_path,
+                                               monkeypatch):
+        image = _library()
+        store = ProfileStore(tmp_path)
+        first = store.profile_or_load(LINUX_X86, {image.soname: image})
+        self._forbid_profiling(monkeypatch)
+        second = store.profile_or_load(LINUX_X86, {image.soname: image})
+        assert store.memory_hits == 1
+        # the memory layer serves the very same object, no XML roundtrip
+        assert second[image.soname] is first[image.soname]
+
+    def test_memory_cache_can_be_disabled(self, tmp_path):
+        image = _library()
+        store = ProfileStore(tmp_path, memory_cache=False)
+        store.profile_or_load(LINUX_X86, {image.soname: image})
+        store.profile_or_load(LINUX_X86, {image.soname: image})
+        assert store.memory_hits == 0
+        assert store.hits == 1                  # served from disk instead
