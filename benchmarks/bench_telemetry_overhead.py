@@ -1,0 +1,99 @@
+"""Telemetry overhead: the no-op default must be (nearly) free.
+
+The observability layer (repro.obs) guards its hot paths with null
+objects — ``NULL_TELEMETRY``'s event log, registry and tracer absorb
+every call in a single no-op method.  Two claims:
+
+* The null objects cost so little per call that even a generous
+  per-case call budget (far above what the engine actually issues)
+  stays under 5% of the time a single campaign case takes.  This is
+  the <5% overhead guarantee for the uninstrumented default, measured
+  directly rather than as the difference of two noisy wall-clock runs.
+* Turning telemetry fully on (in-memory events, live metrics) must not
+  blow the campaign up — a regression guard, not a precision claim.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cli import _campaign_factory
+from repro.core.campaign import enumerate_cases, run_campaign
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs.tracing import NULL_TRACER
+from repro.platform import LINUX_X86
+
+from _benchutil import print_table
+
+_FUNCTIONS = ["open", "read", "write", "close"]
+# far above reality: a case emits a handful of events and a few dozen
+# metric updates, not 500 telemetry touches
+_CALLS_PER_CASE = 500
+_NULL_ROUNDS = 20_000
+
+
+def _null_op_seconds():
+    """Per-call cost of one emit + inc + observe + trace round trip
+    against the null objects, averaged over many rounds."""
+    events = NULL_TELEMETRY.events
+    counter = NULL_TELEMETRY.metrics.counter("repro_bench_total",
+                                             labelnames=("function",))
+    histogram = NULL_TELEMETRY.metrics.histogram("repro_bench_seconds")
+    tracer = NULL_TELEMETRY.tracer
+    started = time.perf_counter()
+    for _ in range(_NULL_ROUNDS):
+        events.emit("injection", function="close", errno="EIO", call=1)
+        counter.inc(function="close")
+        histogram.observe(0.001)
+        with tracer.trace("case", case="close@1"):
+            pass
+    elapsed = time.perf_counter() - started
+    return elapsed / (_NULL_ROUNDS * 4)
+
+
+def _campaign_seconds(profiles, cases, telemetry=None):
+    factory = _campaign_factory("minidb", LINUX_X86)
+    started = time.perf_counter()
+    run_campaign("minidb", factory, LINUX_X86, profiles, cases,
+                 telemetry=telemetry)
+    return time.perf_counter() - started
+
+
+def _arms(profiles):
+    cases = enumerate_cases(profiles, functions=_FUNCTIONS)
+    _campaign_seconds(profiles, cases)            # warm-up
+    default = min(_campaign_seconds(profiles, cases) for _ in range(3))
+    enabled = min(_campaign_seconds(profiles, cases,
+                                    telemetry=Telemetry(tracer=NULL_TRACER))
+                  for _ in range(3))
+    return cases, _null_op_seconds(), default, enabled
+
+
+def test_null_telemetry_overhead_under_5_percent(benchmark,
+                                                 libc_profiles_linux):
+    cases, per_op, default, enabled = benchmark.pedantic(
+        _arms, args=(libc_profiles_linux,), rounds=1, iterations=1)
+
+    per_case = default / len(cases)
+    null_cost = per_op * _CALLS_PER_CASE
+    overhead = null_cost / per_case
+    print_table(
+        f"telemetry overhead — serial campaign ({len(cases)} cases)",
+        "measurement                              value",
+        [f"null telemetry op                {per_op * 1e9:10.1f} ns",
+         f"per-case budget ({_CALLS_PER_CASE} null ops)   "
+         f"{null_cost * 1e6:10.2f} us",
+         f"per-case runtime (default)       {per_case * 1e6:10.2f} us",
+         f"null overhead per case           {overhead:10.2%}",
+         f"campaign, default telemetry      {default * 1e3:10.2f} ms",
+         f"campaign, telemetry enabled      {enabled * 1e3:10.2f} ms"
+         f"   ({enabled / default:.3f}x)"])
+
+    assert overhead < 0.05, \
+        f"no-op telemetry costs {overhead:.1%} of a case " \
+        f"({null_cost * 1e6:.1f}us of {per_case * 1e6:.1f}us)"
+    # live in-memory telemetry should stay cheap too — a generous
+    # regression guard against accidental hot-path work
+    assert enabled <= default * 1.5, \
+        f"enabled telemetry cost exploded: {enabled:.4f}s " \
+        f"vs default {default:.4f}s"

@@ -44,6 +44,10 @@ The lower-level pieces remain public and composable:
 * ``repro.core.campaign`` — systematic (function, errno) campaigns.
 * ``repro.core.store.ProfileStore`` — the profile cache by itself.
 * ``repro.core.exec`` — the worker pool / parallel engine underneath.
+* ``repro.obs`` — structured events, metrics, spans.  Pass
+  ``telemetry=Telemetry.to_file("run.jsonl")`` to :class:`Session` and
+  inspect the run with ``repro stats run.jsonl``; the default is a
+  no-op context with no measurable overhead (see docs/OBSERVABILITY.md).
 
 See DESIGN.md for the system inventory, docs/API.md for the reference,
 and EXPERIMENTS.md for the paper-vs-measured results of every table and
@@ -60,6 +64,8 @@ from .core.scenario import (Plan, exhaustive_plan, plan_from_xml,
 from .core.store import ProfileStore
 from .corpus import build_libc, libc
 from .kernel import Kernel, build_kernel_image
+from .obs import (EventLog, MetricsRegistry, NULL_TELEMETRY, SpanTracer,
+                  Telemetry)
 from .platform import (ALL_PLATFORMS, LINUX_X86, SOLARIS_SPARC, WINDOWS_X86,
                        Platform, platform_by_name)
 from .runtime import Process
@@ -72,6 +78,8 @@ __all__ = [
     "Profiler", "profile_application", "HeuristicConfig", "LibraryProfile",
     "Controller", "TestOutcome", "TestReport", "REPORT_SCHEMA",
     "ProfileStore", "WorkerPool", "RunSummary",
+    "Telemetry", "NULL_TELEMETRY", "EventLog", "MetricsRegistry",
+    "SpanTracer",
     "Plan", "random_plan", "exhaustive_plan", "plan_to_xml", "plan_from_xml",
     "Kernel", "Process", "build_kernel_image",
     "libc", "build_libc",

@@ -25,6 +25,8 @@ XML profiles, XML plans, text logs.
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -38,7 +40,45 @@ from .core.scenario import (exhaustive_plan, io_faults, plan_from_xml,
                             plan_to_xml, random_plan)
 from .errors import ReproError
 from .kernel import Kernel, build_kernel_image
+from .obs import (EventLogHandler, FileSink, NULL_TELEMETRY, StderrSink,
+                  Telemetry)
 from .platform import LINUX_X86, platform_by_name
+
+
+def _telemetry_from_args(args: argparse.Namespace) -> Telemetry:
+    """The run's telemetry context, from the global flags.
+
+    Plain runs stay on the no-op context (zero overhead); ``--log-json``
+    streams structured events to a JSONL file and ``--verbose`` renders
+    every event (down to debug) on stderr.  Both may be combined.
+    """
+    sinks = []
+    if getattr(args, "log_json", None):
+        sinks.append(FileSink(args.log_json))
+    if getattr(args, "verbose", False):
+        sinks.append(StderrSink(min_severity="debug"))
+    if not sinks and not getattr(args, "trace_out", None):
+        return NULL_TELEMETRY
+    return Telemetry(sinks=sinks)
+
+
+def _notice(args: argparse.Namespace, message: str, **fields) -> None:
+    """Informational diagnostics: event log and/or stderr, never stdout."""
+    tele = getattr(args, "telemetry", NULL_TELEMETRY)
+    if tele.enabled:
+        tele.events.emit("cli", message=message, **fields)
+    if getattr(args, "quiet", False) or getattr(args, "verbose", False):
+        return          # verbose: the stderr sink already rendered it
+    print(message, file=sys.stderr)
+
+
+def _error(args: argparse.Namespace, message: str) -> None:
+    """Error diagnostics: always stderr (callers return nonzero)."""
+    tele = getattr(args, "telemetry", NULL_TELEMETRY)
+    if tele.enabled:
+        tele.events.emit("cli", severity="error", message=message)
+    if not getattr(args, "verbose", False):
+        print(f"error: {message}", file=sys.stderr)
 
 
 def _load_image(path: str) -> SharedObject:
@@ -69,8 +109,9 @@ def cmd_build_corpus(args: argparse.Namespace) -> int:
         name = (f"{image.soname}.self" if image.kind != "kernel"
                 else "kernel.self")
         (out / name).write_bytes(image.to_bytes())
-        print(f"wrote {out / name}  ({len(image.exports)} exports, "
-              f"{image.code_size()} bytes of code)")
+        _notice(args, f"wrote {out / name}  ({len(image.exports)} exports, "
+                      f"{image.code_size()} bytes of code)",
+                path=str(out / name), exports=len(image.exports))
     return 0
 
 
@@ -85,24 +126,28 @@ def cmd_profile(args: argparse.Namespace) -> int:
     kernel_image = _load_image(args.kernel) if args.kernel else None
     heuristics = (HeuristicConfig.all_enabled() if args.heuristics
                   else HeuristicConfig.default())
+    telemetry = getattr(args, "telemetry", NULL_TELEMETRY)
     if args.store:
         from .core.store import ProfileStore
-        store = ProfileStore(args.store)
+        store = ProfileStore(args.store, telemetry=telemetry)
         profiles = store.profile_or_load(platform, libraries,
                                          kernel_image, heuristics,
                                          jobs=args.jobs)
         profile = profiles[image.soname]
         origin = "cache" if store.hits else "analysis"
     else:
-        profiler = Profiler(platform, libraries, kernel_image, heuristics)
+        profiler = Profiler(platform, libraries, kernel_image, heuristics,
+                            telemetry=telemetry)
         profile = profiler.profile_library(image.soname, jobs=args.jobs)
         origin = "analysis"
     xml = profile.to_xml()
     if args.output:
         Path(args.output).write_text(xml)
-        print(f"profiled {image.soname}: "
-              f"{len(profile.functions)} functions via {origin} "
-              f"-> {args.output}")
+        _notice(args, f"profiled {image.soname}: "
+                      f"{len(profile.functions)} functions via {origin} "
+                      f"-> {args.output}",
+                soname=image.soname, functions=len(profile.functions),
+                origin=origin)
     else:
         print(xml)
     return 0
@@ -119,16 +164,16 @@ def cmd_generate_plan(args: argparse.Namespace) -> int:
     else:   # io preset
         libc_profile = profiles.get("libc.so.6")
         if libc_profile is None:
-            print("error: the io preset needs a libc profile",
-                  file=sys.stderr)
+            _error(args, "the io preset needs a libc profile")
             return 2
         plan = io_faults(libc_profile, probability=args.probability,
                          seed=args.seed)
     xml = plan_to_xml(plan)
     if args.output:
         Path(args.output).write_text(xml)
-        print(f"{plan.trigger_count()} triggers over "
-              f"{len(plan.functions())} functions -> {args.output}")
+        _notice(args, f"{plan.trigger_count()} triggers over "
+                      f"{len(plan.functions())} functions -> {args.output}",
+                triggers=plan.trigger_count())
     else:
         print(xml)
     return 0
@@ -140,8 +185,8 @@ def cmd_stub_source(args: argparse.Namespace) -> int:
     source = generate_c_source(plan.functions(), platform)
     if args.output:
         Path(args.output).write_text(source)
-        print(f"stub source for {len(plan.functions())} functions -> "
-              f"{args.output}")
+        _notice(args, f"stub source for {len(plan.functions())} "
+                      f"functions -> {args.output}")
     else:
         print(source)
     return 0
@@ -195,7 +240,8 @@ def cmd_run_demo(args: argparse.Namespace) -> int:
     profiles: Dict[str, LibraryProfile] = {}
     if args.profiles:
         profiles = _load_profiles(args.profiles)
-    lfi = Controller(platform, profiles, plan, seed=args.seed)
+    lfi = Controller(platform, profiles, plan, seed=args.seed,
+                     telemetry=getattr(args, "telemetry", NULL_TELEMETRY))
 
     if args.app == "pidgin":
         outcome = _demo_pidgin(lfi, platform)
@@ -210,10 +256,10 @@ def cmd_run_demo(args: argparse.Namespace) -> int:
           f"{lfi.evaluations}")
     if args.report:
         Path(args.report).write_text(lfi.logbook.render() + "\n")
-        print(f"log -> {args.report}")
+        _notice(args, f"log -> {args.report}")
     if args.replay_out:
         Path(args.replay_out).write_text(outcome.replay_xml)
-        print(f"replay script -> {args.replay_out}")
+        _notice(args, f"replay script -> {args.replay_out}")
     return 1 if outcome.crashed else 0
 
 
@@ -263,9 +309,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     platform = platform_by_name(args.platform)
     heuristics = (HeuristicConfig.all_enabled() if args.heuristics
                   else HeuristicConfig.default())
+    telemetry = getattr(args, "telemetry", NULL_TELEMETRY)
     session = Session(platform, app=args.app, jobs=args.jobs,
                       timeout=args.timeout, backend=args.backend,
-                      store=args.store, heuristics=heuristics)
+                      store=args.store, heuristics=heuristics,
+                      telemetry=telemetry)
     session.load(libc(platform))
     report = session.campaign(
         _campaign_factory(args.app, platform),
@@ -273,7 +321,6 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         call_ordinals=tuple(args.call_ordinal or [1]),
         max_codes_per_function=args.max_codes)
 
-    notices = sys.stderr if args.json else sys.stdout
     if args.json:
         print(report.to_json())
     else:
@@ -286,11 +333,61 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                   f"utilization={summary.worker_utilization:.0%})")
     if args.report:
         Path(args.report).write_text(report.to_json() + "\n")
-        print(f"report -> {args.report}", file=notices)
+        _notice(args, f"report -> {args.report}")
     if args.summary_json:
         Path(args.summary_json).write_text(session.summary_json() + "\n")
-        print(f"run summary -> {args.summary_json}", file=notices)
+        _notice(args, f"run summary -> {args.summary_json}")
+    if getattr(args, "trace_out", None):
+        spans = telemetry.tracer.to_dicts() if telemetry.enabled else []
+        from .obs.tracing import TRACE_SCHEMA
+        Path(args.trace_out).write_text(json.dumps(
+            {"schema": TRACE_SCHEMA, "spans": spans},
+            indent=2, sort_keys=True) + "\n")
+        _notice(args, f"span tree -> {args.trace_out}")
     return 0 if report.outcome() == "ok" else 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Reconstruct run statistics from a ``--log-json`` event stream."""
+    from .obs.events import read_events, summarize_events
+    from .obs.metrics import MetricsRegistry
+    from .obs.tracing import render_span_dicts
+
+    events = read_events(args.events)
+    if not events:
+        _error(args, f"no repro events found in {args.events}")
+        return 1
+    summary = summarize_events(events)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    kinds = ", ".join(f"{k}={n}" for k, n in sorted(summary["kinds"].items()))
+    print(f"{summary['events']} events ({kinds})")
+    if summary["cases"]:
+        outcomes = ", ".join(f"{k}={n}" for k, n
+                             in sorted(summary["outcomes"].items()))
+        print(f"cases: {summary['cases']} ({outcomes})")
+    if summary["injections"]:
+        print("injections by function:")
+        for function, count in sorted(summary["injections"].items()):
+            per = summary["injections_by_errno"].get(function, {})
+            detail = ", ".join(f"{errno}={n}"
+                               for errno, n in sorted(per.items()))
+            print(f"  {function:<16} {count:>4}  ({detail})")
+    cache = summary["cache"]
+    if cache["hits"] or cache["misses"]:
+        ratio = cache["hit_ratio"]
+        print(f"profile cache: {cache['hits']} hits, "
+              f"{cache['misses']} misses"
+              + (f" ({ratio:.0%} hit ratio)" if ratio is not None else ""))
+    if args.spans:
+        rendered = render_span_dicts(summary["spans"])
+        if rendered:
+            print("spans:")
+            print(rendered)
+    if args.metrics and summary["metrics"]:
+        print(MetricsRegistry.restore(summary["metrics"]).render_text())
+    return 0
 
 
 def _campaign_factory(app: str, platform):
@@ -347,6 +444,16 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="LFI library-level fault injector (DSN'09 "
                     "reproduction)")
+    # global observability flags live on the root parser only: defining
+    # them on subparsers too would reset the root's values (argparse
+    # applies subparser defaults last)
+    parser.add_argument("--log-json", metavar="PATH",
+                        help="stream structured JSONL events to PATH "
+                             "(inspect with 'repro stats PATH')")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="render every event (down to debug) on stderr")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress informational diagnostics on stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p):
@@ -404,7 +511,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report", help="write the JSON report here")
     p.add_argument("--summary-json",
                    help="write the machine-readable run summary here")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write the run's span tree here as JSON")
     p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser("stats",
+                       help="reconstruct run statistics from a "
+                            "--log-json event stream")
+    p.add_argument("events", help="JSONL event file from --log-json")
+    p.add_argument("--json", action="store_true",
+                   help="print the reconstructed summary as JSON")
+    p.add_argument("--metrics", action="store_true",
+                   help="render the final metrics snapshot "
+                        "(Prometheus text format)")
+    p.add_argument("--spans", action="store_true",
+                   help="render the recorded span trees")
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("generate-plan", help="build a fault scenario")
     p.add_argument("profiles", nargs="+", help="profile XML files")
@@ -462,16 +584,28 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    args.telemetry = _telemetry_from_args(args)
+    handler = None
+    if args.telemetry.enabled:
+        # bridge stdlib logging into the same structured event stream
+        handler = EventLogHandler(args.telemetry.events)
+        logging.getLogger().addHandler(handler)
     try:
         return args.fn(args)
     except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _error(args, str(exc))
         return 2
     except BrokenPipeError:
         return 0      # e.g. `repro objdump ... | head`
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _error(args, str(exc))
         return 1
+    finally:
+        if handler is not None:
+            logging.getLogger().removeHandler(handler)
+        if args.telemetry.enabled:
+            args.telemetry.finalize()
+            args.telemetry.close()
 
 
 if __name__ == "__main__":   # pragma: no cover

@@ -63,6 +63,13 @@ class CaseResult:
     outcome: TestOutcome
     fired: bool          # the workload actually reached the injection
     seconds: float = 0.0  # wall time of this case (filled by the engine)
+    #: Worker-side telemetry, captured when a telemetry context is
+    #: attached: serialized events, a metrics snapshot, and the worker
+    #: that ran the case.  Plain dicts/strings so they cross the
+    #: process-backend pickle boundary.
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    worker: str = ""
 
     @property
     def tolerated(self) -> bool:
@@ -80,6 +87,7 @@ class CaseResult:
             "fired": self.fired,
             "tolerated": self.tolerated,
             "duration": round(self.seconds, 6),
+            "worker": self.worker,
         }
 
 
@@ -201,7 +209,8 @@ def run_campaign(app: str,
                  cases: Iterable[FaultCase],
                  *, jobs: int = 1,
                  timeout: Optional[float] = None,
-                 backend: Optional[str] = None) -> CampaignReport:
+                 backend: Optional[str] = None,
+                 telemetry=None) -> CampaignReport:
     """Run every fault case as its own monitored test.
 
     With the defaults (``jobs=1``, no timeout) cases run inline exactly
@@ -215,4 +224,5 @@ def run_campaign(app: str,
     from .exec.engine import execute_campaign
 
     return execute_campaign(app, factory, platform, profiles, cases,
-                            jobs=jobs, timeout=timeout, backend=backend)
+                            jobs=jobs, timeout=timeout, backend=backend,
+                            telemetry=telemetry)

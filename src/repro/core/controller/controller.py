@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ...binfmt import SharedObject
 from ...errors import ControllerError, GuestAbort, MemoryFault, RuntimeFault
 from ...kernel import Kernel, ProcessExit
+from ...obs.telemetry import as_telemetry
 from ...platform import PRELOAD, Platform
 from ...runtime import Process
 from ..profiles import LibraryProfile
@@ -124,7 +125,8 @@ class Controller:
     def __init__(self, platform: Platform,
                  profiles: Dict[str, LibraryProfile],
                  plan: Plan,
-                 *, seed: Optional[int] = None) -> None:
+                 *, seed: Optional[int] = None,
+                 telemetry=None) -> None:
         self.platform = platform
         self.profiles = dict(profiles)
         self.plan = plan
@@ -132,7 +134,9 @@ class Controller:
         self.engine = TriggerEngine(plan, random.Random(rng_seed))
         self.logbook = Logbook()
         self.functions = plan.functions()
-        self.injector = Injector(self.engine, self.logbook, self.functions)
+        self.telemetry = as_telemetry(telemetry)
+        self.injector = Injector(self.engine, self.logbook, self.functions,
+                                 telemetry=self.telemetry)
         # unique support symbol + soname so controllers can stack in one
         # process, each shim chaining to the next via RTLD_NEXT (§5.1)
         self._ordinal = next(Controller._instances)
@@ -204,6 +208,11 @@ class Controller:
             injections=injected,
             replay_xml=replay_script(self.logbook.for_test(tid),
                                      name=f"replay-{tid}"))
+        if self.telemetry.enabled:
+            self.telemetry.events.emit(
+                "test", test=tid, status=status, exit_code=exit_code,
+                injections=injected,
+                evaluations=self.engine.evaluations)
         return outcome
 
     def run_campaign(self, test_fns: Sequence[Callable[[], Optional[int]]],

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...errors import ControllerError, LoaderError
 from ...kernel.errno import errno_number
+from ...obs.telemetry import NULL_TELEMETRY, as_telemetry
 from ...platform import CHANNEL_GLOBAL, CHANNEL_TLS
 from ..profiles import LibraryProfile
 from .logbook import InjectionRecord, Logbook
@@ -31,7 +32,8 @@ class Injector:
     """Binds a TriggerEngine to a process as the __lfi_eval host."""
 
     def __init__(self, engine: TriggerEngine, logbook: Logbook,
-                 functions: Sequence[str]) -> None:
+                 functions: Sequence[str],
+                 telemetry=None) -> None:
         self.engine = engine
         self.logbook = logbook
         self.functions = list(functions)
@@ -40,6 +42,19 @@ class Injector:
         self.injection_count = 0
         self.passthrough_count = 0
         self._original_cache: Dict[int, Dict[str, int]] = {}
+        self.telemetry = as_telemetry(telemetry)
+        # instruments are created once here so the per-call hot path is
+        # a plain method call (a no-op one under NULL_TELEMETRY)
+        metrics = self.telemetry.metrics
+        self._injections_metric = metrics.counter(
+            "repro_injections_total", "Faults injected into return values",
+            ("function", "errno"))
+        self._passthrough_metric = metrics.counter(
+            "repro_passthrough_firings_total",
+            "Triggers that fired but let the original run", ("function",))
+        self._evaluations_metric = metrics.counter(
+            "repro_trigger_evaluations_total",
+            "Trigger predicate evaluations", ("function",))
 
     # -- host entry point ---------------------------------------------------
 
@@ -57,7 +72,11 @@ class Injector:
                   if self.engine.needs_frames else ())
         args = (self._read_args(proc, cpu, sp)
                 if self.engine.needs_args else ())
+        evals_before = self.engine.evaluations
         call_number, decision = self.engine.on_call(function, frames, args)
+        evaluated = self.engine.evaluations - evals_before
+        if evaluated:
+            self._evaluations_metric.inc(evaluated, function=function)
         if decision is not None and not frames:
             frames = self._caller_frames(proc, caller_ret)   # for the log
 
@@ -67,6 +86,7 @@ class Injector:
         if decision is not None and decision.injects_return:
             self._log(decision, function, call_number, frames)
             self.injection_count += 1
+            self._record_injection(decision, function, call_number)
             self._apply_side_effects(proc, function, decision)
             cpu.regs[abi.return_register] = decision.code.retval & 0xFFFFFFFF
             self._pop_shadow(cpu, 2)
@@ -76,6 +96,10 @@ class Injector:
         if decision is not None:
             self.passthrough_count += 1
             self._log(decision, function, call_number, frames)
+            self._passthrough_metric.inc(function=function)
+            self.telemetry.events.emit(
+                "passthrough", severity="debug", function=function,
+                call=call_number, test=self.test_id)
         # pass through: restore the stack and jmp to the original
         original = self._resolve_original(proc, function)
         self._pop_shadow(cpu, 1)
@@ -84,6 +108,18 @@ class Injector:
         cpu.force_transfer(original, sp + 8)
 
     # -- helpers ------------------------------------------------------------
+
+    def _record_injection(self, decision: Decision, function: str,
+                          call_number: int) -> None:
+        """The injection audit trail: one counter bump + one event."""
+        code = decision.code
+        errno = (code.errno or "") if code else ""
+        self._injections_metric.inc(function=function, errno=errno)
+        self.telemetry.events.emit(
+            "injection", function=function,
+            errno=(code.errno if code else None),
+            retval=(code.retval if code else None),
+            call=call_number, test=self.test_id)
 
     def _resolve_original(self, proc, function: str) -> int:
         if self.shim_module_index is None:

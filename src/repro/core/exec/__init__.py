@@ -1,6 +1,7 @@
 """Parallel execution: worker pools, the campaign engine, run summaries."""
 
-from .engine import RunSummary, execute_campaign, summarize_tasks
+from .engine import (RunSummary, execute_campaign, record_tasks,
+                     summarize_tasks)
 from .pool import (BACKENDS, MAX_THREAD_JOBS, PROCESS, SERIAL, TASK_CRASHED,
                    TASK_ERROR, TASK_HUNG, TASK_OK, THREAD, RemoteTaskError,
                    TaskResult, WorkerPool, resolve_jobs)
@@ -9,5 +10,5 @@ __all__ = [
     "WorkerPool", "TaskResult", "RemoteTaskError", "resolve_jobs",
     "SERIAL", "THREAD", "PROCESS", "BACKENDS", "MAX_THREAD_JOBS",
     "TASK_OK", "TASK_ERROR", "TASK_HUNG", "TASK_CRASHED",
-    "RunSummary", "execute_campaign", "summarize_tasks",
+    "RunSummary", "execute_campaign", "summarize_tasks", "record_tasks",
 ]

@@ -7,15 +7,30 @@ with no cross-case data flow.  This module fans those cases out over a
 result ordering of a serial run, and distills each run into a
 :class:`RunSummary` (cases/sec, cache hits, worker utilization) that
 downstream tooling can parse as JSON.
+
+Counters live in a :class:`~repro.obs.metrics.MetricsRegistry` — the
+summary is *derived* from the registry (``RunSummary.from_metrics``)
+rather than hand-maintained, so the JSON summary, the Prometheus
+exposition and ``repro stats`` all read the same numbers.
+
+With a telemetry context attached, workers capture their controllers'
+injection events and metrics in-memory and ship them back with each
+:class:`CaseResult`; the engine re-emits them *in case order*, so the
+JSONL event stream is deterministic whatever the backend or job count.
 """
 
 from __future__ import annotations
 
 import json
+import multiprocessing
+import os
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
 
+from ...obs.metrics import MetricsRegistry
+from ...obs.telemetry import NULL_TELEMETRY, Telemetry, as_telemetry
 from ...platform import Platform
 from ..controller import (REPORT_SCHEMA, STATUS_CRASHED, STATUS_HUNG,
                           Controller, TestOutcome)
@@ -52,6 +67,38 @@ class RunSummary:
     cache_misses: int = 0
     cache_memory_hits: int = 0
 
+    @classmethod
+    def from_metrics(cls, kind: str, app: str, outcome: str,
+                     duration: float, registry: MetricsRegistry,
+                     *, jobs: int = 1, backend: str = "serial",
+                     timeout: Optional[float] = None,
+                     cache_hits: int = 0, cache_misses: int = 0,
+                     cache_memory_hits: int = 0) -> "RunSummary":
+        """Derive the summary from a run's metrics registry.
+
+        The registry (see :func:`record_tasks`) is the single source of
+        truth for the per-status counts, busy time and utilization; this
+        constructor only adds run identity and the wall clock.
+        """
+        cases = registry.counter("repro_cases_total",
+                                 labelnames=("status",))
+        seconds = registry.histogram("repro_case_seconds")
+        utilization = registry.gauge("repro_worker_utilization")
+        n = int(cases.total())
+        return cls(
+            kind=kind, app=app, outcome=outcome, duration=duration,
+            cases=n,
+            ok=int(cases.value(status=TASK_OK)),
+            errors=int(cases.value(status="error")),
+            hung=int(cases.value(status=TASK_HUNG)),
+            crashed=int(cases.value(status=TASK_CRASHED)),
+            jobs=jobs, backend=backend, timeout=timeout,
+            cases_per_second=(n / duration) if duration > 0 else 0.0,
+            busy_seconds=seconds.total_sum(),
+            worker_utilization=utilization.value(),
+            cache_hits=cache_hits, cache_misses=cache_misses,
+            cache_memory_hits=cache_memory_hits)
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "schema": REPORT_SCHEMA,
@@ -79,40 +126,88 @@ class RunSummary:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
 
+def record_tasks(registry: MetricsRegistry, tasks: List[TaskResult],
+                 pool: WorkerPool, duration: float) -> None:
+    """Record one pool run's task results into a metrics registry."""
+    cases = registry.counter("repro_cases_total",
+                             "Campaign cases by final status", ("status",))
+    seconds = registry.histogram("repro_case_seconds",
+                                 "Per-case wall time")
+    waits = registry.histogram("repro_case_queue_wait_seconds",
+                               "Per-case queue wait")
+    utilization = registry.gauge("repro_worker_utilization",
+                                 "busy / (duration * jobs) of this run")
+    busy = 0.0
+    for task in tasks:
+        cases.inc(status=task.status)
+        seconds.observe(task.seconds)
+        waits.observe(task.waited)
+        busy += task.seconds
+    if duration > 0 and pool.jobs > 0:
+        utilization.set(min(1.0, busy / (duration * pool.jobs)))
+
+
 def summarize_tasks(kind: str, app: str, outcome: str, duration: float,
                     tasks: List[TaskResult], pool: WorkerPool,
                     *, cache_hits: int = 0, cache_misses: int = 0,
-                    cache_memory_hits: int = 0) -> RunSummary:
-    """Fold a pool run's task results into a :class:`RunSummary`."""
-    busy = sum(t.seconds for t in tasks)
-    n = len(tasks)
-    utilization = 0.0
-    if duration > 0 and pool.jobs > 0:
-        utilization = min(1.0, busy / (duration * pool.jobs))
-    return RunSummary(
-        kind=kind, app=app, outcome=outcome, duration=duration,
-        cases=n,
-        ok=sum(1 for t in tasks if t.status == TASK_OK),
-        errors=sum(1 for t in tasks if t.status == "error"),
-        hung=sum(1 for t in tasks if t.status == TASK_HUNG),
-        crashed=sum(1 for t in tasks if t.status == TASK_CRASHED),
+                    cache_memory_hits: int = 0,
+                    registry: Optional[MetricsRegistry] = None
+                    ) -> RunSummary:
+    """Fold a pool run's task results into a :class:`RunSummary`.
+
+    The tasks are recorded into ``registry`` (a fresh one when not
+    given) and the summary is derived back out of it — one source of
+    truth for counts, busy time and utilization.
+    """
+    if registry is None:
+        registry = MetricsRegistry()
+    record_tasks(registry, tasks, pool, duration)
+    return RunSummary.from_metrics(
+        kind, app, outcome, duration, registry,
         jobs=pool.jobs, backend=pool.backend, timeout=pool.timeout,
-        cases_per_second=(n / duration) if duration > 0 else 0.0,
-        busy_seconds=busy, worker_utilization=utilization,
         cache_hits=cache_hits, cache_misses=cache_misses,
         cache_memory_hits=cache_memory_hits)
 
 
+def _worker_label() -> str:
+    """Who am I: the pool thread, a forked worker, or the main thread."""
+    parent = getattr(multiprocessing, "parent_process", None)
+    if parent is not None and parent() is not None:
+        return f"proc-{os.getpid()}"
+    name = threading.current_thread().name
+    return name if name.startswith("repro-pool") else "main"
+
+
 def _case_runner(factory, platform: Platform,
-                 profiles: Mapping[str, LibraryProfile], case):
-    """Run one fault case in isolation; shared by every backend."""
+                 profiles: Mapping[str, LibraryProfile], case,
+                 capture: bool = False):
+    """Run one fault case in isolation; shared by every backend.
+
+    With ``capture``, the controller gets a private in-memory telemetry
+    context whose events and metrics travel back on the result (they
+    pickle, so this works across the process backend too).
+    """
     from ..campaign import CaseResult
 
-    lfi = Controller(platform, dict(profiles), case.plan())
+    case_telemetry = None
+    sink = None
+    if capture:
+        from ...obs.events import EventLog, MemorySink
+        from ...obs.tracing import NULL_TRACER
+        sink = MemorySink()
+        case_telemetry = Telemetry(events=EventLog(sinks=[sink]),
+                                   tracer=NULL_TRACER)
+    lfi = Controller(platform, dict(profiles), case.plan(),
+                     telemetry=case_telemetry)
     session = factory(lfi)
     outcome = lfi.run_test(session, test_id=case.case_id())
-    return CaseResult(case=case, outcome=outcome,
-                      fired=lfi.injections > 0)
+    result = CaseResult(case=case, outcome=outcome,
+                        fired=lfi.injections > 0)
+    if capture:
+        result.events = [event.to_dict() for event in sink.events]
+        result.metrics = case_telemetry.metrics.snapshot()
+        result.worker = _worker_label()
+    return result
 
 
 def execute_campaign(app: str,
@@ -123,7 +218,8 @@ def execute_campaign(app: str,
                      *, jobs: int = 1,
                      timeout: Optional[float] = None,
                      backend: Optional[str] = None,
-                     pool: Optional[WorkerPool] = None):
+                     pool: Optional[WorkerPool] = None,
+                     telemetry=None):
     """Fan the campaign's fault cases out over a worker pool.
 
     Results come back in case order regardless of worker count, so a
@@ -132,17 +228,31 @@ def execute_campaign(app: str,
     :class:`~repro.core.campaign.CaseResult`; a worker that dies (or a
     workload that raises outside the monitored guest) becomes a
     ``"crashed"`` one — neither stalls nor aborts the run.
+
+    With ``telemetry`` attached, every case's injection events are
+    re-emitted into the shared event log in case order (tagged with the
+    case id and the worker that ran it), worker-side metrics are merged
+    into the shared registry, and pool/queue statistics are recorded.
     """
     from ..campaign import CampaignReport, CaseResult
 
+    tele = as_telemetry(telemetry)
     case_list = list(cases)
     if pool is None:
-        pool = WorkerPool(jobs=jobs, backend=backend, timeout=timeout)
+        pool = WorkerPool(jobs=jobs, backend=backend, timeout=timeout,
+                          metrics=tele.metrics)
+    elif tele.enabled and not pool.metrics.enabled:
+        pool.metrics = tele.metrics
     profiles = dict(profiles)
+    capture = tele.enabled
 
     def run_one(case):
-        return _case_runner(factory, platform, profiles, case)
+        return _case_runner(factory, platform, profiles, case, capture)
 
+    if tele.enabled:
+        tele.events.emit("campaign.start", app=app, cases=len(case_list),
+                         jobs=pool.jobs, backend=pool.backend,
+                         timeout=pool.timeout)
     started = time.perf_counter()
     tasks = pool.map(run_one, case_list)
     duration = time.perf_counter() - started
@@ -167,9 +277,42 @@ def execute_campaign(app: str,
                                     status=STATUS_CRASHED,
                                     detail=str(task.error or "worker died")),
                 fired=True, seconds=task.seconds)
+        if tele.enabled:
+            _replay_case_telemetry(tele, case, result)
         results.append(result)
 
     report = CampaignReport(app=app, results=results, duration=duration)
+    run_registry = MetricsRegistry()
     report.summary = summarize_tasks("campaign", app, report.outcome(),
-                                     duration, tasks, pool)
+                                     duration, tasks, pool,
+                                     registry=run_registry)
+    if tele.enabled:
+        tele.metrics.merge(run_registry.snapshot())
+        tele.events.emit("campaign.end", app=app, outcome=report.outcome(),
+                         duration=round(duration, 6),
+                         cases=len(results))
     return report
+
+
+def _replay_case_telemetry(tele: Telemetry, case, result) -> None:
+    """Re-emit one case's captured worker-side telemetry, in order.
+
+    Each captured event is re-sequenced into the parent log (tagged
+    with the case id and worker); worker-side counters — per-function
+    injections, trigger evaluations — merge into the parent registry.
+    """
+    worker = getattr(result, "worker", "") or "lost"
+    for event in getattr(result, "events", ()):
+        fields = dict(event.get("fields", {}),
+                      case=case.case_id(), worker=worker)
+        tele.events.emit(event.get("kind", "event"),
+                         severity=event.get("severity", "info"), **fields)
+    metrics = getattr(result, "metrics", None)
+    if metrics:
+        tele.metrics.merge(metrics)
+    tele.events.emit(
+        "case", case=case.case_id(), function=case.function,
+        errno=case.code.errno, retval=case.code.retval,
+        ordinal=case.call_ordinal, status=result.outcome.status,
+        fired=result.fired, seconds=round(result.seconds, 6),
+        worker=worker)

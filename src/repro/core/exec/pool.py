@@ -89,6 +89,7 @@ class TaskResult:
     value: Any = None
     error: Optional[BaseException] = None
     seconds: float = 0.0
+    waited: float = 0.0         # queue wait: map() start -> task start
 
     @property
     def ok(self) -> bool:
@@ -107,7 +108,7 @@ class _Task:
     """Internal per-item bookkeeping for the threaded dispatcher."""
 
     __slots__ = ("index", "item", "status", "value", "error", "seconds",
-                 "started_at", "done", "reaped")
+                 "waited", "started_at", "done", "reaped")
 
     def __init__(self, index: int, item: Any) -> None:
         self.index = index
@@ -116,6 +117,7 @@ class _Task:
         self.value: Any = None
         self.error: Optional[BaseException] = None
         self.seconds = 0.0
+        self.waited = 0.0
         self.started_at: Optional[float] = None
         self.done = threading.Event()
         self.reaped = False
@@ -123,7 +125,7 @@ class _Task:
     def as_result(self) -> TaskResult:
         return TaskResult(index=self.index, status=self.status,
                           value=self.value, error=self.error,
-                          seconds=self.seconds)
+                          seconds=self.seconds, waited=self.waited)
 
 
 def _subprocess_main(conn, fn, item) -> None:
@@ -153,7 +155,8 @@ class WorkerPool:
 
     def __init__(self, jobs: int = 1, backend: Optional[str] = None,
                  timeout: Optional[float] = None,
-                 mp_context: str = "fork") -> None:
+                 mp_context: str = "fork",
+                 metrics=None) -> None:
         if backend is None:
             backend = SERIAL if (jobs <= 1 and timeout is None) else THREAD
         if backend not in BACKENDS:
@@ -163,6 +166,10 @@ class WorkerPool:
         self.jobs = resolve_jobs(jobs, backend)
         self.timeout = timeout
         self.mp_context = mp_context
+        if metrics is None:
+            from ...obs.metrics import NULL_REGISTRY
+            metrics = NULL_REGISTRY
+        self.metrics = metrics
 
     # -- public API --------------------------------------------------------
 
@@ -172,24 +179,59 @@ class WorkerPool:
         items = list(items)
         if not items:
             return []
+        started = time.monotonic()
         if self.backend == SERIAL:
-            return self._map_serial(fn, items)
-        if self.backend == PROCESS:
-            return self._map_threaded(
+            results = self._map_serial(fn, items)
+        elif self.backend == PROCESS:
+            results = self._map_threaded(
                 lambda item: self._invoke_subprocess(fn, item), items,
                 reap_timeout=None)     # the subprocess join enforces it
-        return self._map_threaded(lambda item: _invoke_inline(fn, item),
-                                  items, reap_timeout=self.timeout)
+        else:
+            results = self._map_threaded(
+                lambda item: _invoke_inline(fn, item), items,
+                reap_timeout=self.timeout)
+        if self.metrics.enabled:
+            self._record_metrics(results, time.monotonic() - started)
+        return results
+
+    def _record_metrics(self, results: List[TaskResult],
+                        elapsed: float) -> None:
+        """Pool-level telemetry: status counters, wait/duration
+        histograms, a utilization gauge."""
+        tasks_total = self.metrics.counter(
+            "repro_pool_tasks_total", "Pooled tasks by final status",
+            ("backend", "status"))
+        task_seconds = self.metrics.histogram(
+            "repro_pool_task_seconds", "Per-task execution time",
+            ("backend",))
+        queue_wait = self.metrics.histogram(
+            "repro_pool_queue_wait_seconds",
+            "Time tasks waited for a worker slot", ("backend",))
+        utilization = self.metrics.gauge(
+            "repro_pool_worker_utilization",
+            "busy-seconds / (elapsed * jobs) of the last map()",
+            ("backend",))
+        busy = 0.0
+        for result in results:
+            tasks_total.inc(backend=self.backend, status=result.status)
+            task_seconds.observe(result.seconds, backend=self.backend)
+            queue_wait.observe(result.waited, backend=self.backend)
+            busy += result.seconds
+        if elapsed > 0 and self.jobs > 0:
+            utilization.set(min(1.0, busy / (elapsed * self.jobs)),
+                            backend=self.backend)
 
     # -- serial backend ----------------------------------------------------
 
     def _map_serial(self, fn, items: Sequence[Any]) -> List[TaskResult]:
         results = []
+        t0 = time.monotonic()
         for index, item in enumerate(items):
             started = time.monotonic()
             status, payload = _invoke_inline(fn, item)
             result = TaskResult(index=index, status=status,
-                                seconds=time.monotonic() - started)
+                                seconds=time.monotonic() - started,
+                                waited=started - t0)
             if status == TASK_OK:
                 result.value = payload
             else:
@@ -204,6 +246,7 @@ class WorkerPool:
         tasks = [_Task(i, item) for i, item in enumerate(items)]
         lock = threading.Lock()
         slots = threading.Semaphore(self.jobs)
+        t0 = time.monotonic()
 
         def reap_expired() -> None:
             """Declare overdue in-flight tasks hung; free their slots."""
@@ -240,6 +283,7 @@ class WorkerPool:
                 while not slots.acquire(timeout=_TICK):
                     reap_expired()
             task.started_at = time.monotonic()
+            task.waited = task.started_at - t0
             threading.Thread(target=worker, args=(task,), daemon=True,
                              name=f"repro-pool-{task.index}").start()
 

@@ -22,6 +22,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from ...binfmt import SharedObject, ldd
 from ...errors import ProfilerError
+from ...obs.telemetry import as_telemetry
 from ...platform import Platform
 from ..profiles import ErrorReturn, FunctionProfile, LibraryProfile
 from .cfg import CfgStats
@@ -76,6 +77,7 @@ class Profiler:
                  heuristics: Optional[HeuristicConfig] = None,
                  *, use_edge_constraints: bool = True,
                  infer_arg_conditions: bool = False,
+                 telemetry=None,
                  **legacy) -> None:
         images = _renamed_kwarg(dict(legacy), "libraries", "images",
                                 "Profiler", images)
@@ -85,6 +87,7 @@ class Profiler:
         self.images = dict(images)
         self.kernel_image = kernel_image
         self.heuristics = heuristics or HeuristicConfig.default()
+        self.telemetry = as_telemetry(telemetry)
         self.context = AnalysisContext(
             platform, self.images, kernel_image,
             use_edge_constraints=use_edge_constraints,
@@ -113,24 +116,65 @@ class Profiler:
         report = ProfilerReport()
         profile = LibraryProfile(soname=soname, platform=self.platform.name,
                                  code_bytes=image.code_size())
-        analyses = self._analyze_exports(soname, image, jobs=jobs, pool=pool)
-        sizes: Dict[str, int] = {}
-        calls: Dict[str, int] = {}
-        for item in analyses:
-            profile.functions[item.name] = item.profile
-            sizes[item.name] = item.instructions
-            calls[item.name] = item.calls
-            report.functions_analyzed += 1
-            report.instructions += item.instructions
-            report.max_hops = max(report.max_hops, item.max_hops)
-        profile = apply_heuristics(profile, self.heuristics,
-                                   function_sizes=sizes,
-                                   function_calls=calls)
-        profile.profiling_seconds = time.perf_counter() - started
-        report.seconds = profile.profiling_seconds
-        report.stats = self.context.stats
-        self.last_report = report
+        with self.telemetry.tracer.trace(f"profile:{soname}",
+                                         soname=soname) as span:
+            analyses = self._analyze_exports(soname, image, jobs=jobs,
+                                             pool=pool, parent_span=span)
+            sizes: Dict[str, int] = {}
+            calls: Dict[str, int] = {}
+            hops = self.telemetry.metrics.histogram(
+                "repro_propagation_hops",
+                "Reverse-propagation call-chain depth per export",
+                buckets=(0, 1, 2, 3, 5, 8, 13))
+            for item in analyses:
+                profile.functions[item.name] = item.profile
+                sizes[item.name] = item.instructions
+                calls[item.name] = item.calls
+                report.functions_analyzed += 1
+                report.instructions += item.instructions
+                report.max_hops = max(report.max_hops, item.max_hops)
+                hops.observe(item.max_hops)
+            profile = apply_heuristics(profile, self.heuristics,
+                                       function_sizes=sizes,
+                                       function_calls=calls)
+            profile.profiling_seconds = time.perf_counter() - started
+            report.seconds = profile.profiling_seconds
+            report.stats = self.context.stats
+            self.last_report = report
+            span.set(functions=report.functions_analyzed,
+                     instructions=report.instructions)
+        self._record_profile(soname, report)
         return profile
+
+    def _record_profile(self, soname: str, report: ProfilerReport) -> None:
+        """Library-level telemetry after one profile run."""
+        tele = self.telemetry
+        if not tele.enabled:
+            return
+        metrics = tele.metrics
+        metrics.counter("repro_profiler_functions_total",
+                        "Exported functions analyzed").inc(
+            report.functions_analyzed)
+        metrics.counter("repro_profiler_instructions_total",
+                        "Instructions decoded into CFGs").inc(
+            report.instructions)
+        stats = report.stats
+        branches = metrics.counter(
+            "repro_cfg_branches_total", "CFG branch edges discovered",
+            ("indirection",))
+        branches.inc(stats.branches - stats.indirect_branches,
+                     indirection="direct")
+        branches.inc(stats.indirect_branches, indirection="indirect")
+        cfg_calls = metrics.counter(
+            "repro_cfg_calls_total", "CFG call sites discovered",
+            ("indirection",))
+        cfg_calls.inc(stats.calls - stats.indirect_calls,
+                      indirection="direct")
+        cfg_calls.inc(stats.indirect_calls, indirection="indirect")
+        tele.events.emit("profile", soname=soname,
+                         functions=report.functions_analyzed,
+                         instructions=report.instructions,
+                         seconds=round(report.seconds, 6))
 
     def profile_all(self, *, jobs: int = 1,
                     pool=None) -> Dict[str, LibraryProfile]:
@@ -144,23 +188,45 @@ class Profiler:
     # -- internals ---------------------------------------------------------
 
     def _analyze_exports(self, soname: str, image: SharedObject,
-                         *, jobs: int = 1, pool=None
+                         *, jobs: int = 1, pool=None, parent_span=None
                          ) -> List[_ExportAnalysis]:
         if pool is None and jobs and jobs > 1:
             from ..exec.pool import WorkerPool
             pool = WorkerPool(jobs=jobs, backend="thread")
         if pool is not None and pool.backend != "serial" \
                 and len(image.exports) > 1:
-            tasks = pool.map(lambda sym: self._analyze_export(soname, sym),
-                             image.exports)
+            tasks = pool.map(
+                lambda sym: self._analyze_export(soname, sym,
+                                                 parent_span=parent_span),
+                image.exports)
             return [task.unwrap() for task in tasks]
-        return [self._analyze_export(soname, sym) for sym in image.exports]
+        return [self._analyze_export(soname, sym, parent_span=parent_span)
+                for sym in image.exports]
 
-    def _analyze_export(self, soname: str, sym) -> _ExportAnalysis:
-        """Analyze one exported function — the unit of parallelism."""
+    def _analyze_export(self, soname: str, sym,
+                        parent_span=None) -> _ExportAnalysis:
+        """Analyze one exported function — the unit of parallelism.
+
+        The parent span is passed explicitly: on a thread pool the
+        library span lives on another thread's stack, so implicit
+        (thread-local) parenting would misfile these spans as roots.
+        """
         image = self.images[soname]
-        analysis = self.context.analyze_function(soname, sym.offset)
-        cfg = self.context.cfg(image, sym.offset)
+        with self.telemetry.tracer.trace(f"export:{sym.name}",
+                                         parent=parent_span,
+                                         soname=soname) as span:
+            analysis = self.context.analyze_function(soname, sym.offset)
+            cfg = self.context.cfg(image, sym.offset)
+            nodes = len(cfg.blocks)
+            edges = sum(len(b.successors) for b in cfg.blocks.values())
+            metrics = self.telemetry.metrics
+            metrics.counter("repro_cfg_nodes_total",
+                            "Basic blocks across analyzed CFGs").inc(nodes)
+            metrics.counter("repro_cfg_edges_total",
+                            "Successor edges across analyzed CFGs").inc(edges)
+            span.set(instructions=cfg.instruction_count(),
+                     error_returns=len(analysis.entries),
+                     hops=analysis.max_hops)
         return _ExportAnalysis(
             name=sym.name,
             profile=_to_function_profile(sym.name, analysis),

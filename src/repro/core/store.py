@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple
 
 from ..binfmt import SharedObject
+from ..obs.telemetry import as_telemetry
 from ..platform import Platform
 from .profiler import HeuristicConfig, Profiler
 from .profiles import LibraryProfile
@@ -111,7 +112,8 @@ class ProfileStore:
     #: repeated same-process campaigns reuse profiles across stores.
     _memory = _LruCache(capacity=64)
 
-    def __init__(self, root, *, memory_cache: bool = True) -> None:
+    def __init__(self, root, *, memory_cache: bool = True,
+                 telemetry=None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._manifest: Dict[str, Dict[str, str]] = {}
@@ -119,6 +121,7 @@ class ProfileStore:
         self.hits = 0
         self.misses = 0
         self.memory_hits = 0
+        self.telemetry = as_telemetry(telemetry)
         self._load_manifest()
 
     @classmethod
@@ -204,6 +207,16 @@ class ProfileStore:
                 "profile_or_load: missing required argument 'images'")
         kernel_digest = image_digest(kernel_image) if kernel_image else ""
         heur_digest = heuristics_digest(heuristics)
+        tele = self.telemetry
+        hit_metric = tele.metrics.counter(
+            "repro_profile_store_hits_total",
+            "Profile cache hits by serving layer", ("layer",))
+        miss_metric = tele.metrics.counter(
+            "repro_profile_store_misses_total",
+            "Profile cache misses (re-analysis runs)")
+        invalidations = tele.metrics.counter(
+            "repro_profile_store_invalidations_total",
+            "Cached profiles discarded because their inputs changed")
         out: Dict[str, LibraryProfile] = {}
         stale: Dict[str, SharedObject] = {}
         for soname, image in images.items():
@@ -212,6 +225,7 @@ class ProfileStore:
             if cached is not None:
                 self.hits += 1
                 self.memory_hits += 1
+                hit_metric.inc(layer="memory")
                 out[soname] = cached
                 if not self.is_fresh(image, kernel_digest, heuristics):
                     # keep the on-disk layer authoritative too
@@ -221,10 +235,16 @@ class ProfileStore:
                 disk = self.load(soname)
                 if disk is not None:
                     self.hits += 1
+                    hit_metric.inc(layer="disk")
                     out[soname] = disk
                     if self._memory_enabled:
                         self._memory.put(key, disk)
                     continue
+            if soname in self._manifest:
+                # there *was* a profile, but image/kernel/heuristics moved
+                invalidations.inc()
+                tele.events.emit("cache.invalidate", severity="debug",
+                                 soname=soname)
             stale[soname] = image
         if stale:
             # dependencies of stale libraries must be loadable by the
@@ -234,15 +254,23 @@ class ProfileStore:
                 from .exec.pool import WorkerPool
                 pool = WorkerPool(jobs=jobs, backend="thread")
             profiler = Profiler(platform, dict(images), kernel_image,
-                                heuristics)
+                                heuristics, telemetry=tele if tele.enabled
+                                else None)
             for soname in sorted(stale):
                 self.misses += 1
+                miss_metric.inc()
                 profile = profiler.profile_library(soname, pool=pool)
                 self.save(profile, stale[soname], kernel_digest, heuristics)
                 out[soname] = profile
                 if self._memory_enabled:
                     self._memory.put((image_digest(stale[soname]),
                                       kernel_digest, heur_digest), profile)
+        if tele.enabled:
+            tele.events.emit(
+                "cache.lookup", severity="debug",
+                libraries=len(images), stale=len(stale),
+                hits=self.hits, misses=self.misses,
+                memory_hits=self.memory_hits)
         return out
 
 

@@ -1,0 +1,49 @@
+"""Clock objects for deterministic telemetry.
+
+Every timestamp in the telemetry layer — event ``ts`` fields, span
+start/end times — comes from a clock *object* rather than a direct
+``time.monotonic()`` call.  Production code uses :class:`MonotonicClock`;
+tests inject a :class:`ManualClock` so event streams and span trees are
+bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Interface: anything with a ``now() -> float`` method."""
+
+    def now(self) -> float:     # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """The real thing: ``time.monotonic()``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class ManualClock(Clock):
+    """A clock that only moves when told to (or by a fixed ``step``).
+
+    With ``step > 0`` every ``now()`` call returns the current time and
+    then advances by ``step`` — consecutive events get distinct,
+    deterministic timestamps without any explicit ``advance`` calls.
+    """
+
+    def __init__(self, start: float = 0.0, *, step: float = 0.0) -> None:
+        self._now = float(start)
+        self.step = float(step)
+
+    def now(self) -> float:
+        current = self._now
+        self._now += self.step
+        return current
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("ManualClock.advance: cannot go backwards")
+        self._now += seconds

@@ -103,3 +103,28 @@ class Tracer:
         if self.truncated:
             lines.append(f"... truncated at {self.limit} instructions")
         return "\n".join(lines)
+
+    # -- observability bridge ------------------------------------------------
+
+    def to_events(self, log, *, severity: str = "debug",
+                  last: Optional[int] = None) -> int:
+        """Emit the recorded trace into an :class:`~repro.obs.EventLog`.
+
+        One ``"instruction"`` event per entry, on the same JSONL stream
+        as injection and campaign events — so an execution trace and
+        the faults injected during it line up in one file.  Returns the
+        number of events emitted (plus one ``"trace.truncated"``
+        warning when the instruction limit was hit).
+        """
+        entries = self.entries if last is None else self.entries[-last:]
+        for entry in entries:
+            log.emit("instruction", severity=severity,
+                     index=entry.index, addr=f"{entry.addr:#010x}",
+                     text=entry.text, module=entry.module,
+                     symbol=entry.symbol)
+        emitted = len(entries)
+        if self.truncated:
+            log.emit("trace.truncated", severity="warning",
+                     limit=self.limit)
+            emitted += 1
+        return emitted

@@ -37,6 +37,7 @@ from .core.scenario.model import Plan
 from .core.store import ProfileStore
 from .errors import ReproError
 from .kernel import build_kernel_image
+from .obs.telemetry import as_telemetry
 from .platform import LINUX_X86, Platform, platform_by_name
 
 #: Anything ``load`` understands: an image, a built library (anything
@@ -73,6 +74,13 @@ class Session:
         Kernel image for syscall analysis; ``"auto"`` (default) builds
         the platform's kernel lazily, ``None`` disables kernel
         recursion.
+    telemetry:
+        ``None`` (default) keeps observability at zero cost via the
+        no-op context; ``True`` creates a fresh in-memory
+        :class:`~repro.obs.Telemetry`; an explicit ``Telemetry`` (e.g.
+        ``Telemetry.to_file("run.jsonl")``) streams structured events,
+        metrics and spans for the whole session.  Inspect with
+        :meth:`telemetry`.
     """
 
     def __init__(self, platform: Union[Platform, str] = LINUX_X86,
@@ -82,7 +90,8 @@ class Session:
                  timeout: Optional[float] = None,
                  backend: Optional[str] = None,
                  heuristics: Optional[HeuristicConfig] = None,
-                 kernel_image: Union[SharedObject, None, str] = _AUTO) -> None:
+                 kernel_image: Union[SharedObject, None, str] = _AUTO,
+                 telemetry=None) -> None:
         self.platform = (platform_by_name(platform)
                          if isinstance(platform, str) else platform)
         self.app = app
@@ -90,8 +99,12 @@ class Session:
         self.timeout = timeout
         self.backend = backend
         self.heuristics = heuristics
+        self.obs = as_telemetry(telemetry)
         self.store = (ProfileStore(store)
                       if isinstance(store, (str, Path)) else store)
+        if self.store is not None and self.obs.enabled \
+                and not self.store.telemetry.enabled:
+            self.store.telemetry = self.obs
         self._kernel_image = kernel_image
         self.images: Dict[str, SharedObject] = {}
         self._profiles: Optional[Dict[str, LibraryProfile]] = None
@@ -101,9 +114,14 @@ class Session:
 
     def load(self, *sources: Loadable) -> "Session":
         """Register library images; returns the session for chaining."""
-        for source in sources:
-            self._load_one(source)
-        self._profiles = None       # new images invalidate old profiles
+        with self.obs.tracer.trace("session.load") as span:
+            for source in sources:
+                self._load_one(source)
+            self._profiles = None   # new images invalidate old profiles
+            span.set(images=len(self.images))
+        if self.obs.enabled:
+            self.obs.events.emit("session.load", app=self.app,
+                                 images=sorted(self.images))
         return self
 
     def _load_one(self, source: Any) -> None:
@@ -145,21 +163,27 @@ class Session:
             raise ReproError("Session.profile: no images loaded; "
                              "call load() first")
         started = time.perf_counter()
-        if self.store is not None:
-            hits0, misses0 = self.store.hits, self.store.misses
-            memory0 = self.store.memory_hits
-            self._profiles = self.store.profile_or_load(
-                self.platform, self.images, self.kernel_image,
-                self.heuristics, jobs=self.jobs)
-            cache = (self.store.hits - hits0, self.store.misses - misses0,
-                     self.store.memory_hits - memory0)
-        else:
-            profiler = Profiler(self.platform, self.images,
-                                self.kernel_image, self.heuristics)
-            self._profiles = profiler.profile_all(jobs=self.jobs)
-            cache = (0, len(self.images), 0)
-        duration = time.perf_counter() - started
-        exports = sum(len(img.exports) for img in self.images.values())
+        with self.obs.tracer.trace("session.profile",
+                                   app=self.app) as span:
+            if self.store is not None:
+                hits0, misses0 = self.store.hits, self.store.misses
+                memory0 = self.store.memory_hits
+                self._profiles = self.store.profile_or_load(
+                    self.platform, self.images, self.kernel_image,
+                    self.heuristics, jobs=self.jobs)
+                cache = (self.store.hits - hits0,
+                         self.store.misses - misses0,
+                         self.store.memory_hits - memory0)
+            else:
+                profiler = Profiler(self.platform, self.images,
+                                    self.kernel_image, self.heuristics,
+                                    telemetry=self.obs)
+                self._profiles = profiler.profile_all(jobs=self.jobs)
+                cache = (0, len(self.images), 0)
+            duration = time.perf_counter() - started
+            exports = sum(len(img.exports) for img in self.images.values())
+            span.set(libraries=len(self.images), exports=exports,
+                     cache_hits=cache[0], cache_misses=cache[1])
         self.summaries.append(RunSummary(
             kind="profile", app=self.app, outcome="ok", duration=duration,
             cases=exports, ok=exports,
@@ -168,6 +192,12 @@ class Session:
             cases_per_second=(exports / duration) if duration > 0 else 0.0,
             cache_hits=cache[0], cache_misses=cache[1],
             cache_memory_hits=cache[2]))
+        if self.obs.enabled:
+            self.obs.events.emit(
+                "session.profile", app=self.app,
+                libraries=len(self.images), exports=exports,
+                seconds=round(duration, 6),
+                cache_hits=cache[0], cache_misses=cache[1])
         return self
 
     @property
@@ -203,13 +233,17 @@ class Session:
         ``jobs``; its :class:`RunSummary` is appended to
         :attr:`summaries`.
         """
-        if cases is None:
-            cases = self.cases(functions=functions,
-                               call_ordinals=call_ordinals,
-                               max_codes_per_function=max_codes_per_function)
-        report = run_campaign(app or self.app, factory, self.platform,
-                              self.profiles, cases, jobs=self.jobs,
-                              timeout=self.timeout, backend=self.backend)
+        with self.obs.tracer.trace("session.campaign",
+                                   app=app or self.app) as span:
+            if cases is None:
+                cases = self.cases(
+                    functions=functions, call_ordinals=call_ordinals,
+                    max_codes_per_function=max_codes_per_function)
+            report = run_campaign(app or self.app, factory, self.platform,
+                                  self.profiles, cases, jobs=self.jobs,
+                                  timeout=self.timeout, backend=self.backend,
+                                  telemetry=self.obs)
+            span.set(cases=len(report.results), outcome=report.outcome())
         if self.store is not None and report.summary is not None:
             report.summary.cache_hits = self.store.hits
             report.summary.cache_misses = self.store.misses
@@ -221,9 +255,18 @@ class Session:
     def controller(self, plan: Plan, *, seed: Optional[int] = None
                    ) -> Controller:
         """A :class:`Controller` over this session's profiles."""
-        return Controller(self.platform, self.profiles, plan, seed=seed)
+        return Controller(self.platform, self.profiles, plan, seed=seed,
+                          telemetry=self.obs)
 
     # -- run summary -------------------------------------------------------
+
+    def telemetry(self) -> Dict[str, Any]:
+        """Combined observability snapshot: events, metrics, spans.
+
+        Empty (but schema-stable) when the session runs with the
+        default no-op telemetry context.
+        """
+        return self.obs.snapshot()
 
     def summary(self) -> Dict[str, Any]:
         """Machine-readable summary of everything this session ran."""

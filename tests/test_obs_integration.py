@@ -1,0 +1,252 @@
+"""Observability end-to-end: instrumented campaigns, the stats round
+trip, cross-backend event determinism, nested Session span trees."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.campaign import enumerate_cases, run_campaign
+from repro.core.exec import RunSummary
+from repro.core.store import ProfileStore
+from repro.kernel import Kernel
+from repro.obs import (EventLog, MemorySink, Telemetry)
+from repro.obs.events import read_events, summarize_events
+from repro.obs.tracing import NULL_TRACER
+from repro.platform import LINUX_X86
+from repro.session import Session
+
+
+def _close_copy_factory(libc_image):
+    """A workload that open/write/closes a file and reports errors."""
+    O_CREAT, O_RDWR = 0o100, 0o2
+
+    def factory(lfi):
+        def session():
+            proc = lfi.make_process(Kernel(), [libc_image])
+            fd = proc.libcall("open", proc.cstr("/f"), O_CREAT | O_RDWR,
+                              0o644)
+            buf = proc.scratch_alloc(4)
+            proc.mem_write(buf, b"data")
+            proc.libcall("write", fd, buf, 4)
+            rc = proc.libcall("close", fd)
+            return 1 if rc != 0 else 0
+        return session
+    return factory
+
+
+def _run_instrumented(libc_linux, profiles, *, jobs, backend):
+    sink = MemorySink()
+    telemetry = Telemetry(events=EventLog(sinks=[sink]), tracer=NULL_TRACER)
+    cases = enumerate_cases(profiles, functions=["close", "write"],
+                            max_codes_per_function=2)
+    report = run_campaign("copytool", _close_copy_factory(libc_linux.image),
+                          LINUX_X86, profiles, cases, jobs=jobs,
+                          backend=backend, telemetry=telemetry)
+    return report, telemetry, sink
+
+
+def _event_signature(sink):
+    """The backend-independent portion of the emitted stream."""
+    signature = []
+    for event in sink.events:
+        fields = event.fields
+        signature.append((
+            event.kind,
+            fields.get("function"), fields.get("errno"),
+            fields.get("call"), fields.get("case"),
+            fields.get("status"), fields.get("test"),
+        ))
+    return signature
+
+
+class TestDeterministicOrdering:
+    @pytest.mark.parametrize("jobs,backend", [(1, "serial"),
+                                              (3, "thread"),
+                                              (2, "process")])
+    def test_backends_emit_identical_event_sequences(
+            self, libc_linux, libc_profiles_linux, jobs, backend):
+        serial_report, _, serial_sink = _run_instrumented(
+            libc_linux, libc_profiles_linux, jobs=1, backend="serial")
+        report, _, sink = _run_instrumented(
+            libc_linux, libc_profiles_linux, jobs=jobs, backend=backend)
+        assert _event_signature(sink) == _event_signature(serial_sink)
+        assert [r.case.case_id() for r in report.results] \
+            == [r.case.case_id() for r in serial_report.results]
+
+    def test_injection_events_carry_audit_fields(self, libc_linux,
+                                                 libc_profiles_linux):
+        _, _, sink = _run_instrumented(libc_linux, libc_profiles_linux,
+                                       jobs=2, backend="thread")
+        injections = [e for e in sink.events if e.kind == "injection"]
+        assert injections
+        for event in injections:
+            assert event.fields["function"] in ("close", "write")
+            assert event.fields["errno"]
+            assert event.fields["call"] >= 1
+            assert event.fields["worker"]        # which worker ran it
+            assert event.fields["case"]          # which campaign cell
+
+    def test_worker_metrics_merge_into_parent(self, libc_linux,
+                                              libc_profiles_linux):
+        report, telemetry, _ = _run_instrumented(
+            libc_linux, libc_profiles_linux, jobs=2, backend="thread")
+        counter = telemetry.metrics.counter(
+            "repro_injections_total", labelnames=("function", "errno"))
+        assert counter.total() == len(report.fired())
+        evaluations = telemetry.metrics.counter(
+            "repro_trigger_evaluations_total", labelnames=("function",))
+        assert evaluations.total() >= counter.total()
+
+
+class TestRunSummaryFromMetrics:
+    def test_summary_counts_come_from_the_registry(self, libc_linux,
+                                                   libc_profiles_linux):
+        report, _, _ = _run_instrumented(libc_linux, libc_profiles_linux,
+                                         jobs=2, backend="thread")
+        summary = report.summary
+        assert isinstance(summary, RunSummary)
+        assert summary.cases == len(report.results)
+        assert summary.ok + summary.errors + summary.hung \
+            + summary.crashed == summary.cases
+        assert summary.busy_seconds >= 0.0
+        assert 0.0 <= summary.worker_utilization <= 1.0
+
+
+class TestSessionSpans:
+    def test_campaign_nests_lazy_profile_span(self, libc_linux):
+        session = Session(LINUX_X86, app="spans", telemetry=True)
+        session.load(libc_linux)
+        session.campaign(_close_copy_factory(libc_linux.image),
+                         functions=["close"], max_codes_per_function=1)
+        roots = {span["name"]: span for span in session.obs.tracer.to_dicts()}
+        assert set(roots) == {"session.load", "session.campaign"}
+        campaign = roots["session.campaign"]
+        (profile,) = [c for c in campaign["children"]
+                      if c["name"] == "session.profile"]
+        library_span = profile["children"][0]
+        assert library_span["name"] == "profile:libc.so.6"
+        assert any(c["name"] == "export:close"
+                   for c in library_span["children"])
+
+    def test_profile_then_campaign_are_sibling_roots(self, libc_linux):
+        session = Session(LINUX_X86, app="spans", telemetry=True)
+        session.load(libc_linux).profile()
+        session.campaign(_close_copy_factory(libc_linux.image),
+                         functions=["close"], max_codes_per_function=1)
+        names = [span["name"] for span in session.obs.tracer.to_dicts()]
+        assert names == ["session.load", "session.profile",
+                         "session.campaign"]
+
+    def test_telemetry_method_reports_snapshot(self, libc_linux):
+        session = Session(LINUX_X86, telemetry=True)
+        session.load(libc_linux).profile()
+        snap = session.telemetry()
+        assert snap["schema"] == "repro.telemetry/1"
+        assert snap["events"] > 0
+        assert "repro_profiler_functions_total" in snap["metrics"]
+        disabled = Session(LINUX_X86)
+        assert disabled.telemetry()["events"] == 0
+
+
+class TestStoreCounters:
+    def test_hit_miss_invalidation_metrics(self, libc_linux,
+                                           kernel_image_linux, tmp_path):
+        telemetry = Telemetry()
+        store = ProfileStore(tmp_path / "cache", memory_cache=False,
+                             telemetry=telemetry)
+        images = {libc_linux.image.soname: libc_linux.image}
+        store.profile_or_load(LINUX_X86, images, kernel_image_linux)
+        store.profile_or_load(LINUX_X86, images, kernel_image_linux)
+        # changing the kernel digest invalidates the stored profile
+        store.profile_or_load(LINUX_X86, images, None)
+        hits = telemetry.metrics.counter("repro_profile_store_hits_total",
+                                         labelnames=("layer",))
+        misses = telemetry.metrics.counter(
+            "repro_profile_store_misses_total")
+        invalidations = telemetry.metrics.counter(
+            "repro_profile_store_invalidations_total")
+        assert hits.value(layer="disk") == 1
+        assert misses.value() == 2
+        assert invalidations.value() == 1
+
+
+class TestCliRoundTrip:
+    def test_stats_reconstructs_campaign_from_jsonl_alone(self, tmp_path,
+                                                          capsys):
+        log = tmp_path / "run.jsonl"
+        code = main(["--log-json", str(log),
+                     "campaign", "minidb",
+                     "--function", "open", "--function", "close",
+                     "--max-codes", "2", "--jobs", "2",
+                     "--store", str(tmp_path / "cache")])
+        assert code in (0, 1)
+        capsys.readouterr()
+
+        events = read_events(log)
+        summary = summarize_events(events)
+        # every injection carries the audit quadruple
+        injections = [e for e in events if e["kind"] == "injection"]
+        assert injections
+        for event in injections:
+            fields = event["fields"]
+            assert fields["function"] in ("open", "close")
+            assert fields["errno"]
+            assert fields["call"] >= 1
+            assert fields["worker"]
+        assert summary["injections"] == {"open": 2, "close": 2}
+        assert summary["cache"]["misses"] == 1
+        # the span tree made it into the stream via finalize()
+        root_names = {span["name"] for span in summary["spans"]}
+        assert "session.campaign" in root_names
+
+        assert main(["stats", str(log), "--spans", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "injections by function" in out
+        assert "session.campaign" in out
+        assert "repro_injections_total" in out
+        assert "# TYPE repro_injections_total counter" in out
+
+    def test_stats_json_mode(self, tmp_path, capsys):
+        log = tmp_path / "run.jsonl"
+        main(["--log-json", str(log), "campaign", "minidb",
+              "--function", "close", "--max-codes", "1",
+              "--store", str(tmp_path / "cache")])
+        capsys.readouterr()
+        assert main(["stats", str(log), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["injections"] == {"close": 1}
+
+    def test_trace_out_writes_span_tree(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        code = main(["campaign", "minidb", "--function", "close",
+                     "--max-codes", "1", "--store", str(tmp_path / "cache"),
+                     "--trace-out", str(trace)])
+        assert code in (0, 1)
+        capsys.readouterr()
+        tree = json.loads(trace.read_text())
+        assert tree["schema"] == "repro.trace/1"
+        assert {span["name"] for span in tree["spans"]} \
+            == {"session.load", "session.campaign"}
+
+    def test_errors_go_to_stderr_with_nonzero_exit(self, capsys):
+        code = main(["profile", "/does/not/exist.self"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.out == ""
+        assert "error:" in captured.err
+
+    def test_stats_on_missing_events_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["stats", str(empty)]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "error:" in captured.err
+
+    def test_quiet_suppresses_diagnostics(self, tmp_path, capsys):
+        out = tmp_path / "corpus"
+        assert main(["-q", "build-corpus", "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""

@@ -1,0 +1,171 @@
+"""The metrics registry: instruments, snapshots, the text exposition."""
+
+import pytest
+
+from repro.obs.metrics import (DEFAULT_BUCKETS, MetricsRegistry,
+                               NULL_REGISTRY, NullRegistry)
+
+
+class TestCounter:
+    def test_inc_and_totals(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_things_total", "Things",
+                                   ("kind",))
+        counter.inc(kind="a")
+        counter.inc(2, kind="a")
+        counter.inc(kind="b")
+        assert counter.value(kind="a") == 3
+        assert counter.value(kind="b") == 1
+        assert counter.total() == 4
+
+    def test_counters_only_go_up(self):
+        counter = MetricsRegistry().counter("repro_x_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_unknown_label_rejected(self):
+        counter = MetricsRegistry().counter("repro_x_total",
+                                            labelnames=("kind",))
+        with pytest.raises(ValueError):
+            counter.inc(flavor="wrong")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("repro_depth")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value() == 6
+
+
+class TestHistogramBuckets:
+    def test_boundary_value_lands_in_its_bucket(self):
+        """The Prometheus le rule: an observation equal to a bound
+        belongs to that bound's bucket, not the next one."""
+        hist = MetricsRegistry().histogram("repro_h", buckets=(1, 5, 10))
+        hist.observe(1.0)        # == first bound -> bucket "1"
+        hist.observe(1.0001)     # just above     -> bucket "5"
+        hist.observe(10.0)       # == last bound  -> bucket "10"
+        hist.observe(10.5)       # above all      -> "+Inf"
+        (values,) = hist._snapshot_values()
+        assert values["buckets"] == {"1": 1, "5": 1, "10": 1, "+Inf": 1}
+        assert values["count"] == 4
+        assert values["sum"] == pytest.approx(22.5001)
+
+    def test_bounds_are_sorted_and_unique(self):
+        hist = MetricsRegistry().histogram("repro_h", buckets=(5, 1, 10))
+        assert hist.buckets == (1.0, 5.0, 10.0)
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("repro_dup", buckets=(1, 1))
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("repro_none", buckets=())
+
+    def test_default_buckets_cover_seconds(self):
+        assert DEFAULT_BUCKETS[0] == 0.001
+        assert DEFAULT_BUCKETS[-1] == 60.0
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", "X")
+        b = registry.counter("repro_x_total")
+        assert a is b
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(TypeError):
+            registry.gauge("repro_x_total")
+
+    def test_labelnames_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", labelnames=("a",))
+        with pytest.raises(TypeError):
+            registry.counter("repro_x_total", labelnames=("b",))
+
+
+class TestSnapshotRestoreMerge:
+    def _populate(self, registry):
+        registry.counter("repro_cases_total", "Cases",
+                         ("status",)).inc(3, status="ok")
+        registry.gauge("repro_util", "Utilization").set(0.5)
+        registry.histogram("repro_case_seconds", "Seconds",
+                           buckets=(0.1, 1.0)).observe(0.05)
+
+    def test_snapshot_restore_round_trip(self):
+        registry = MetricsRegistry()
+        self._populate(registry)
+        snap = registry.snapshot()
+        again = MetricsRegistry.restore(snap)
+        assert again.snapshot() == snap
+
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        self._populate(a)
+        self._populate(b)
+        b.gauge("repro_util").set(0.9)
+        a.merge(b.snapshot())
+        assert a.counter("repro_cases_total",
+                         labelnames=("status",)).value(status="ok") == 6
+        hist = a.histogram("repro_case_seconds", buckets=(0.1, 1.0))
+        assert hist.count() == 2
+        assert a.gauge("repro_util").value() == 0.9   # gauges: last wins
+
+    def test_merge_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge({"x": {"type": "mystery"}})
+
+
+class TestRenderText:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_injections_total", "Injections performed",
+                         ("function", "errno")).inc(
+            2, function="close", errno="EIO")
+        registry.gauge("repro_util", "Worker utilization").set(0.25)
+        text = registry.render_text()
+        assert "# HELP repro_injections_total Injections performed" in text
+        assert "# TYPE repro_injections_total counter" in text
+        assert ('repro_injections_total{errno="EIO",function="close"} 2'
+                in text)
+        assert "# TYPE repro_util gauge" in text
+        assert "repro_util 0.25" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_h", "H", buckets=(1, 5))
+        for value in (0.5, 0.7, 3.0, 99.0):
+            hist.observe(value)
+        text = registry.render_text()
+        assert 'repro_h_bucket{le="1"} 2' in text
+        assert 'repro_h_bucket{le="5"} 3' in text
+        assert 'repro_h_bucket{le="+Inf"} 4' in text
+        assert "repro_h_sum 103.2" in text
+        assert "repro_h_count 4" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", labelnames=("path",)).inc(
+            path='say "hi"\n')
+        assert r'path="say \"hi\"\n"' in registry.render_text()
+
+
+class TestNullRegistry:
+    def test_instruments_absorb_everything(self):
+        counter = NULL_REGISTRY.counter("repro_x_total", "X", ("a",))
+        counter.inc(5, a="yes")
+        assert counter.value(a="yes") == 0.0
+        hist = NULL_REGISTRY.histogram("repro_h")
+        hist.observe(1.0)
+        assert hist.count() == 0
+        NULL_REGISTRY.gauge("repro_g").set(9)
+
+    def test_disabled_and_empty(self):
+        assert not NULL_REGISTRY.enabled
+        assert NULL_REGISTRY.snapshot() == {}
+        assert NULL_REGISTRY.render_text() == ""
+        assert isinstance(NULL_REGISTRY, NullRegistry)
