@@ -22,6 +22,7 @@ files exactly like on-disk ``.so``/``.dll`` objects.
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
@@ -192,6 +193,26 @@ class SharedObject:
                    data_symbols=data_symbols, tls_symbols=tls_symbols,
                    imports=imports, needed=needed, tls_size=tls_size,
                    entry=entry, syscall_table=syscall_table)
+
+
+def image_digest(image: SharedObject) -> str:
+    """Content hash identifying one exact library build.
+
+    Both the profile store and the shared code cache key on this, so one
+    exact image maps to one profile and one decoded/translated copy of
+    its code.  Memoized on the image object: campaigns hash the same
+    immutable images once per process, not once per cache lookup.  (The
+    dataclass is frozen, hence ``object.__setattr__`` — a plain
+    assignment would raise ``FrozenInstanceError``.)
+    """
+    cached = getattr(image, "_repro_digest", None)
+    if cached is None:
+        cached = hashlib.sha256(image.to_bytes()).hexdigest()
+        try:
+            object.__setattr__(image, "_repro_digest", cached)
+        except (AttributeError, TypeError):    # exotic types with __slots__
+            pass
+    return cached
 
 
 # -- serialization helpers ----------------------------------------------

@@ -70,6 +70,9 @@ class CaseResult:
     events: List[Dict[str, Any]] = field(default_factory=list)
     metrics: Dict[str, Any] = field(default_factory=dict)
     worker: str = ""
+    #: guest instructions this case executed (deterministic per case —
+    #: identical across backends and interpreter paths)
+    instructions: int = 0
 
     @property
     def tolerated(self) -> bool:
@@ -88,6 +91,7 @@ class CaseResult:
             "tolerated": self.tolerated,
             "duration": round(self.seconds, 6),
             "worker": self.worker,
+            "instructions": self.instructions,
         }
 
 

@@ -146,12 +146,16 @@ class Controller:
             soname=f"liblfi_shim{self._ordinal}.so",
             eval_symbol=self.eval_symbol)
         self._test_counter = 0
+        #: every process this controller interposed on, for aggregate
+        #: execution statistics (campaign MIPS accounting)
+        self.processes: List[Process] = []
 
     # -- interposition ------------------------------------------------------
 
     def attach(self, proc: Process,
                libraries: Sequence[SharedObject]) -> None:
         """Interpose the shim and load the application's libraries."""
+        self.processes.append(proc)
         proc.register_host(self.eval_symbol, self.injector.eval_host,
                            raw=True)
         if self.platform.interposition == PRELOAD:
@@ -235,3 +239,8 @@ class Controller:
     @property
     def evaluations(self) -> int:
         return self.engine.evaluations
+
+    @property
+    def instructions_executed(self) -> int:
+        """Guest instructions run by every attached process."""
+        return sum(p.cpu.instructions_executed for p in self.processes)

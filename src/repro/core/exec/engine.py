@@ -34,8 +34,10 @@ from ...obs.telemetry import NULL_TELEMETRY, Telemetry, as_telemetry
 from ...platform import Platform
 from ..controller import (REPORT_SCHEMA, STATUS_CRASHED, STATUS_HUNG,
                           Controller, TestOutcome)
+from ...runtime import CODE_CACHE
 from ..profiles import LibraryProfile
-from .pool import (TASK_CRASHED, TASK_HUNG, TASK_OK, TaskResult, WorkerPool)
+from .pool import (PROCESS, TASK_CRASHED, TASK_HUNG, TASK_OK, TaskResult,
+                   WorkerPool)
 
 
 @dataclass
@@ -202,7 +204,8 @@ def _case_runner(factory, platform: Platform,
     session = factory(lfi)
     outcome = lfi.run_test(session, test_id=case.case_id())
     result = CaseResult(case=case, outcome=outcome,
-                        fired=lfi.injections > 0)
+                        fired=lfi.injections > 0,
+                        instructions=lfi.instructions_executed)
     if capture:
         result.events = [event.to_dict() for event in sink.events]
         result.metrics = case_telemetry.metrics.snapshot()
@@ -249,10 +252,19 @@ def execute_campaign(app: str,
     def run_one(case):
         return _case_runner(factory, platform, profiles, case, capture)
 
+    if pool.backend == PROCESS and case_list and pool.warmup is None:
+        # prime the shared code cache in the parent: the first case
+        # decodes and block-compiles every image, and each forked child
+        # then inherits the warm cache instead of re-translating
+        def _warm_first(case=case_list[0]):
+            _case_runner(factory, platform, profiles, case, False)
+        pool.warmup = _warm_first
+
     if tele.enabled:
         tele.events.emit("campaign.start", app=app, cases=len(case_list),
                          jobs=pool.jobs, backend=pool.backend,
                          timeout=pool.timeout)
+    cache_before = CODE_CACHE.stats()
     started = time.perf_counter()
     tasks = pool.map(run_one, case_list)
     duration = time.perf_counter() - started
@@ -287,11 +299,51 @@ def execute_campaign(app: str,
                                      duration, tasks, pool,
                                      registry=run_registry)
     if tele.enabled:
+        _record_execution_metrics(tele, results, cache_before)
         tele.metrics.merge(run_registry.snapshot())
         tele.events.emit("campaign.end", app=app, outcome=report.outcome(),
                          duration=round(duration, 6),
                          cases=len(results))
     return report
+
+
+def _record_execution_metrics(tele: Telemetry, results,
+                              cache_before: Mapping[str, int]) -> None:
+    """Guest-execution counters for the run: instruction totals, a
+    per-case MIPS gauge, and this process's shared-code-cache activity.
+
+    The cache deltas cover the parent process only — under the process
+    backend the forked children's compilations die with them (which is
+    exactly what the pre-fork warmup minimizes).
+    """
+    instructions = tele.metrics.counter(
+        "repro_instructions_total",
+        "Guest instructions executed by campaign cases")
+    mips = tele.metrics.gauge(
+        "repro_case_mips",
+        "Guest MIPS (instructions / wall second / 1e6) per case",
+        ("case",))
+    for result in results:
+        if result.instructions:
+            instructions.inc(result.instructions)
+            if result.seconds > 0:
+                mips.set(result.instructions / result.seconds / 1e6,
+                         case=result.case.case_id())
+    cache_now = CODE_CACHE.stats()
+    compiled = cache_now["blocks_compiled"] - \
+        cache_before.get("blocks_compiled", 0)
+    hits = (cache_now["template_hits"] + cache_now["module_hits"]) - \
+        (cache_before.get("template_hits", 0)
+         + cache_before.get("module_hits", 0))
+    if compiled:
+        tele.metrics.counter(
+            "repro_blocks_compiled_total",
+            "Basic blocks translated to closures").inc(compiled)
+    if hits:
+        tele.metrics.counter(
+            "repro_block_cache_hits_total",
+            "Shared code cache hits (templates bound + modules reused)"
+        ).inc(hits)
 
 
 def _replay_case_telemetry(tele: Telemetry, case, result) -> None:
@@ -315,4 +367,5 @@ def _replay_case_telemetry(tele: Telemetry, case, result) -> None:
         errno=case.code.errno, retval=case.code.retval,
         ordinal=case.call_ordinal, status=result.outcome.status,
         fired=result.fired, seconds=round(result.seconds, 6),
-        worker=worker)
+        worker=worker,
+        instructions=getattr(result, "instructions", 0))

@@ -170,6 +170,11 @@ class WorkerPool:
             from ...obs.metrics import NULL_REGISTRY
             metrics = NULL_REGISTRY
         self.metrics = metrics
+        #: optional pre-fork hook (process backend only): called once at
+        #: the start of ``map`` so forked children inherit warm caches —
+        #: e.g. the shared code cache's decoded images and compiled
+        #: blocks (see core.exec.engine)
+        self.warmup: Optional[Callable[[], None]] = None
 
     # -- public API --------------------------------------------------------
 
@@ -179,6 +184,11 @@ class WorkerPool:
         items = list(items)
         if not items:
             return []
+        if self.backend == PROCESS and self.warmup is not None:
+            try:
+                self.warmup()
+            except Exception:
+                pass        # warmup is best-effort cache priming
         started = time.monotonic()
         if self.backend == SERIAL:
             results = self._map_serial(fn, items)

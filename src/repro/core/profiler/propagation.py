@@ -61,10 +61,19 @@ def _satisfies(value: int, constraints: Sequence[Constraint]) -> bool:
     return True
 
 
+_MASK32 = 0xFFFFFFFF
+
+
+def _sgn32(value: int) -> int:
+    """Reinterpret a 32-bit pattern as signed, as the emulator does."""
+    value &= _MASK32
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
 def _apply_transforms(value: int, transforms: Sequence[Transform]) -> int:
     # transforms are collected innermost-last during the backward scan;
-    # execution order is the reverse
-    for op, imm in reversed(list(transforms)):
+    # execution order is the reverse (tuples reverse directly — no copy)
+    for op, imm in reversed(transforms):
         if op == "add":
             value = value + imm
         elif op == "sub":
@@ -74,9 +83,12 @@ def _apply_transforms(value: int, transforms: Sequence[Transform]) -> int:
         elif op == "imul":
             value = value * imm
         elif op == "shl":
-            value = value << (imm & 31)
+            # Cpu.step shifts the 32-bit pattern and masks the result
+            value = _sgn32((value & _MASK32) << (imm & 31))
         elif op == "shr":
-            value = value >> (imm & 31)
+            # logical right shift of the 32-bit pattern (-1 >> 1 is
+            # 0x7fffffff in the emulator, not -1)
+            value = _sgn32((value & _MASK32) >> (imm & 31))
     return value
 
 

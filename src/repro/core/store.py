@@ -31,32 +31,18 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple
 
-from ..binfmt import SharedObject
+from ..binfmt import SharedObject, image_digest
 from ..obs.telemetry import as_telemetry
 from ..platform import Platform
 from .profiler import HeuristicConfig, Profiler
 from .profiles import LibraryProfile
 
+__all__ = ["ProfileStore", "image_digest", "heuristics_digest", "CacheKey"]
+
 _MANIFEST = "manifest.json"
 
 #: (image digest, kernel digest, heuristics digest) — one exact profile.
 CacheKey = Tuple[str, str, str]
-
-
-def image_digest(image: SharedObject) -> str:
-    """Content hash identifying one exact library build.
-
-    Memoized on the image object: campaigns hash the same immutable
-    images once per process, not once per store lookup.
-    """
-    cached = getattr(image, "_repro_digest", None)
-    if cached is None:
-        cached = hashlib.sha256(image.to_bytes()).hexdigest()
-        try:
-            image._repro_digest = cached
-        except AttributeError:      # exotic image types with __slots__
-            pass
-    return cached
 
 
 def heuristics_digest(config: Optional[HeuristicConfig]) -> str:

@@ -11,15 +11,15 @@ from .assembler import LabelDef, assemble, collect_labels, label, program_size
 from .disassembler import disassemble, format_listing
 from .encoder import (decode_instruction, decode_range, encode_instruction,
                       encode_program, measure)
-from .instructions import (CONDITIONAL_BRANCHES, CONTROL_FLOW, TERMINATORS,
-                           Decoded, Instruction, ins)
+from .instructions import (CONDITIONAL_BRANCHES, CONTROL_FLOW, JCC_TAKEN,
+                           TERMINATORS, Decoded, Instruction, ins)
 from .operands import (SEGMENT_TLS, Imm, ImportSlot, Label, LabelImm, Mem,
                        Operand, Reg, Rel)
 
 __all__ = [
     "Abi", "X86SIM", "SPARCSIM", "WORD", "abi_for",
     "Instruction", "Decoded", "ins",
-    "CONDITIONAL_BRANCHES", "CONTROL_FLOW", "TERMINATORS",
+    "CONDITIONAL_BRANCHES", "CONTROL_FLOW", "JCC_TAKEN", "TERMINATORS",
     "Reg", "Imm", "Mem", "Rel", "ImportSlot", "Label", "LabelImm", "Operand",
     "SEGMENT_TLS",
     "assemble", "label", "LabelDef", "collect_labels", "program_size",

@@ -60,6 +60,22 @@ ARITY_OF = {name: arity for name, arity in MNEMONICS}
 CONDITIONAL_BRANCHES = frozenset(
     {"jz", "jnz", "js", "jns", "jl", "jle", "jg", "jge"})
 
+#: jcc mnemonic -> taken-predicate over the (ZF, SF) flag pair.  The
+#: single source of branch semantics: the per-instruction interpreter
+#: indexes it on every conditional jump and the block compiler bakes the
+#: predicate into fused compare-and-branch closures.  (Signed compares
+#: set SF from the *un-wrapped* difference, so jl ≡ js and jge ≡ jns.)
+JCC_TAKEN = {
+    "jz": lambda zf, sf: zf,
+    "jnz": lambda zf, sf: not zf,
+    "js": lambda zf, sf: sf,
+    "jns": lambda zf, sf: not sf,
+    "jl": lambda zf, sf: sf,
+    "jge": lambda zf, sf: not sf,
+    "jle": lambda zf, sf: sf or zf,
+    "jg": lambda zf, sf: not sf and not zf,
+}
+
 #: Instructions that never fall through to the next instruction.
 TERMINATORS = frozenset({"jmp", "ret", "hlt"})
 

@@ -38,6 +38,11 @@ TLS_BLOCK_SPACING = 0x10000
 #: call has completed.
 RETURN_SENTINEL = 0xFFFFFFF0
 
+#: Host-function pseudo-addresses are handed out from here; no module or
+#: guest data ever maps this high, so an address >= this base can only
+#: mean "a Python callable bound into the symbol space".
+HOST_REGION_BASE = 0xF0000000
+
 
 def module_base(index: int) -> int:
     """Load base for the ``index``-th module loaded into a process."""

@@ -1,13 +1,17 @@
 """Guest runtime: memory, CPU interpreter, dynamic linker, processes."""
 
-from .cpu import Cpu, HostFunction, ShadowFrame, sgn32
+from .blocks import BlockTemplate, compile_block
+from .codecache import CODE_CACHE, ModuleCode, SharedCodeCache
+from .cpu import Cpu, HostFunction, RegisterFile, ShadowFrame, sgn32
 from .memory import MASK32, Memory
 from .process import LoadedModule, Process
 from .trace import TraceEntry, Tracer
 
 __all__ = [
     "Memory", "MASK32",
-    "Cpu", "HostFunction", "ShadowFrame", "sgn32",
+    "Cpu", "HostFunction", "RegisterFile", "ShadowFrame", "sgn32",
     "Process", "LoadedModule",
     "Tracer", "TraceEntry",
+    "BlockTemplate", "compile_block",
+    "SharedCodeCache", "ModuleCode", "CODE_CACHE",
 ]

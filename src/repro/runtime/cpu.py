@@ -9,18 +9,39 @@ Executes predecoded SELF machine code against a :class:`Memory`, with:
   synthesized interception stubs hand control to the LFI controller and
   then either return an injected value or tail-jump to the original
   (§5.1's ``jmp [original_fn_ptr]``).
+
+Two execution paths share one semantics:
+
+* the **block path** (default) runs basic blocks translated into lists
+  of specialized closures (see :mod:`repro.runtime.blocks`), compiled
+  once per entry address and cached on the CPU;
+* the **step path** decodes-and-branches one instruction at a time.  It
+  is selected automatically whenever a tracer is attached (so traces
+  stay exact, one hook call per instruction), when the remaining step
+  budget is smaller than the next block, or when an address has no
+  compilable block.
+
+Both paths produce identical register/memory/flag state, identical
+``instructions_executed`` counts and identical faults — the block
+compiler is an optimization, never an observable behavior change.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import IllegalInstruction, MemoryFault, RuntimeFault
-from ..isa import Imm, ImportSlot, Mem, Reg, Rel
-from ..isa.instructions import Instruction
+from ..isa import Imm, ImportSlot, Mem, Reg
+from ..isa.instructions import JCC_TAKEN, Instruction
 from ..layout import RETURN_SENTINEL
 from .memory import MASK32, Memory
+
+#: Conditional-branch predicates over (ZF, SF), hoisted to module level —
+#: the interpreter used to build this dict anew on every conditional
+#: jump.  Defined next to the mnemonic table in ``isa.instructions`` so
+#: the block compiler fuses with exactly the same semantics.
+_JCC_TAKEN = JCC_TAKEN
 
 
 def sgn32(value: int) -> int:
@@ -50,21 +71,105 @@ class _RunComplete(Exception):
     """Internal: control returned to the host-call sentinel."""
 
 
+class RegisterFile:
+    """The ABI registers: a fixed list behind a dict-like name view.
+
+    The block compiler resolves names to indices once and its closures
+    index :attr:`values` directly; host functions, triggers, syscall
+    glue and tests keep the familiar ``regs["eax"]`` access.  The
+    ``values`` list is identity-stable for the CPU's lifetime — compiled
+    closures capture the list object itself.
+    """
+
+    __slots__ = ("values", "_names", "_index")
+
+    def __init__(self, names) -> None:
+        self._names = tuple(names)
+        self._index = {name: i for i, name in enumerate(self._names)}
+        self.values = [0] * len(self._names)
+
+    def index(self, name: str) -> int:
+        """ABI-resolved position of ``name`` in :attr:`values`."""
+        return self._index[name]
+
+    def __getitem__(self, name: str) -> int:
+        return self.values[self._index[name]]
+
+    def __setitem__(self, name: str, value: int) -> None:
+        self.values[self._index[name]] = value
+
+    def __contains__(self, name) -> bool:
+        return name in self._index
+
+    def __iter__(self):
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def keys(self) -> Tuple[str, ...]:
+        return self._names
+
+    def items(self):
+        return zip(self._names, self.values)
+
+    def get(self, name: str, default=None):
+        i = self._index.get(name)
+        return default if i is None else self.values[i]
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(zip(self._names, self.values))
+
+    def __repr__(self) -> str:
+        inside = ", ".join(f"{n}={v:#x}" for n, v in self.items())
+        return f"RegisterFile({inside})"
+
+
+class _BindContext:
+    """Per-CPU state handed to block binders (see ``blocks.py``).
+
+    Binders pull these into closure cells once, so the per-instruction
+    hot path is LOAD_DEREF + a list index instead of repeated attribute
+    chains through cpu/proc/memory.
+    """
+
+    __slots__ = ("cpu", "proc", "values", "mem", "read_u32", "write_u32",
+                 "hosts")
+
+    def __init__(self, cpu: "Cpu") -> None:
+        self.cpu = cpu
+        self.proc = cpu.proc
+        self.values = cpu.regs.values
+        self.mem = cpu.mem
+        self.read_u32 = cpu.mem.read_u32
+        self.write_u32 = cpu.mem.write_u32
+        self.hosts = cpu.proc.host_functions
+
+
 class Cpu:
     """One virtual CPU bound to a process."""
+
+    #: Class-wide default for the block-compiled fast path.  Campaign
+    #: workers inherit it across fork/thread boundaries; tests flip it
+    #: (or the per-instance attribute) to force the step path.
+    use_blocks: bool = True
 
     def __init__(self, proc) -> None:
         self.proc = proc
         self.abi = proc.abi
         self.mem: Memory = proc.memory
-        self.regs = {name: 0 for name in self.abi.registers}
+        self.regs = RegisterFile(self.abi.registers)
         self.zf = False
         self.sf = False
         self.eip = 0
         self.shadow: List[ShadowFrame] = []
         self.instructions_executed = 0
-        #: optional per-instruction hook: fn(addr, instruction)
+        #: optional per-instruction hook: fn(addr, instruction);
+        #: attaching one automatically selects the exact step path
         self.tracer = None
+        #: entry address -> bound block (or None for "not compilable")
+        self._blocks: Dict[int, object] = {}
+        self._bindctx = _BindContext(self)
 
     # -- operand plumbing ---------------------------------------------------
 
@@ -198,7 +303,12 @@ class Cpu:
         self.instructions_executed += 1
         if self.tracer is not None:
             self.tracer(self.eip, insn)
-        next_eip = self.eip + size
+        self._execute(insn, self.eip + size, target)
+
+    def _execute(self, insn: Instruction, next_eip: int,
+                 target: Optional[int]) -> None:
+        """Decode-and-branch one instruction (also the generic fallback
+        for operand shapes the block compiler leaves alone)."""
         m = insn.mnemonic
         ops = insn.operands
 
@@ -256,15 +366,8 @@ class Cpu:
             if host is not None:
                 self._invoke_host(host)
             return
-        elif m in ("jz", "jnz", "js", "jns", "jl", "jle", "jg", "jge"):
-            taken = {
-                "jz": self.zf, "jnz": not self.zf,
-                "js": self.sf, "jns": not self.sf,
-                "jl": self.sf, "jge": not self.sf,
-                "jle": self.sf or self.zf,
-                "jg": not self.sf and not self.zf,
-            }[m]
-            if taken:
+        elif m in _JCC_TAKEN:
+            if _JCC_TAKEN[m](self.zf, self.sf):
                 self.eip = target
                 return
         elif m == "call":
@@ -311,17 +414,102 @@ class Cpu:
         result = self.proc.kernel.dispatch(self.proc, nr, args)
         self.regs[self.abi.return_register] = result & MASK32
 
+    # -- the block fast path -------------------------------------------------
+
+    def _compile_block(self, addr: int):
+        """Bind the shared template at ``addr`` to this CPU (or record
+        that the address has no compilable block)."""
+        template = self.proc.block_template(addr)
+        if template is None:
+            self._blocks[addr] = None
+            return None
+        rt = self._bindctx
+        block = _BoundBlock(template, tuple(b(rt) for b in template.binders))
+        self._blocks[addr] = block
+        return block
+
+    def _run_block(self, block: "_BoundBlock") -> None:
+        """Execute one bound block with exact accounting.
+
+        The step path increments ``instructions_executed`` *before*
+        executing, so a faulting instruction is counted; ``cum[idx]``
+        (guest instructions before closure ``idx``, fused pairs weigh 2)
+        plus one reproduces that here.  Data closures never touch
+        ``eip`` (it is dead until the next transfer), so on a fault it
+        is restored to the faulting instruction's address — the state
+        the step path would be in.  The control closure, always last,
+        manages ``eip`` itself.
+        """
+        idx = 0
+        try:
+            for idx, op in enumerate(block.ops):
+                op()
+        except _RunComplete:
+            self.instructions_executed += block.count
+            raise
+        except Exception:
+            self.instructions_executed += block.cum[idx] + 1
+            if idx != block.ctl_index:
+                self.eip = block.addrs[idx]
+            raise
+        self.instructions_executed += block.count
+        if block.fallthrough is not None:
+            self.eip = block.fallthrough
+
     def run(self, entry: int, *, max_steps: int = 20_000_000) -> None:
         """Run from ``entry`` until control returns to the sentinel."""
         self.eip = entry
         budget = max_steps
+        blocks = self._blocks
+        unset = _UNSET
         try:
             while True:
-                self.step()
-                budget -= 1
-                if budget <= 0:
-                    raise RuntimeFault(
-                        f"step budget exhausted at {self.eip:#x}",
-                        eip=self.eip)
+                if self.tracer is not None or not self.use_blocks:
+                    self.step()
+                    budget -= 1
+                    if budget <= 0:
+                        raise RuntimeFault(
+                            f"step budget exhausted at {self.eip:#x}",
+                            eip=self.eip)
+                    continue
+                block = blocks.get(self.eip, unset)
+                if block is unset:
+                    block = self._compile_block(self.eip)
+                if block is None or budget <= block.count:
+                    # no block here, or the budget could expire inside
+                    # one: single-step so the fault lands on the exact
+                    # instruction the step path would report
+                    self.step()
+                    budget -= 1
+                    if budget <= 0:
+                        raise RuntimeFault(
+                            f"step budget exhausted at {self.eip:#x}",
+                            eip=self.eip)
+                    continue
+                self._run_block(block)
+                budget -= block.count
         except _RunComplete:
             return
+
+
+class _BoundBlock:
+    """A block template bound to one CPU: closures plus accounting."""
+
+    __slots__ = ("ops", "count", "cum", "addrs", "ctl_index", "fallthrough")
+
+    def __init__(self, template, ops) -> None:
+        self.ops = ops
+        self.count = template.count
+        self.cum = template.cum
+        self.addrs = template.addrs
+        self.ctl_index = template.ctl_index
+        self.fallthrough = template.fallthrough
+
+
+class _Unset:
+    """Sentinel distinguishing 'never compiled' from 'not compilable'."""
+
+    __slots__ = ()
+
+
+_UNSET = _Unset()

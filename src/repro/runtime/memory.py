@@ -7,6 +7,7 @@ cases died of SIGSEGV under injection.
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from typing import Dict, List, Tuple
 
@@ -25,6 +26,10 @@ class Memory:
     def __init__(self) -> None:
         self._pages: Dict[int, bytearray] = {}
         self._regions: List[Tuple[int, int]] = []   # sorted (start, end)
+        # pages proven fully mapped: aligned u32 accesses inside them
+        # skip the region scan.  Mappings only grow (map_region never
+        # unmaps), so entries never need invalidating.
+        self._page_ok: set = set()
 
     # -- region management ----------------------------------------------
 
@@ -95,13 +100,53 @@ class Memory:
             addr += chunk
             pos += chunk
 
+    def content_digest(self) -> str:
+        """SHA-256 over the logical contents (page number + bytes of
+        every non-zero page, ascending).  Untouched and all-zero pages
+        hash identically whether or not they ever materialized, so two
+        executions that wrote the same values compare equal."""
+        h = hashlib.sha256()
+        for page in sorted(self._pages):
+            backing = self._pages[page]
+            if any(backing):
+                h.update(_U32.pack(page & MASK32))
+                h.update(backing)
+        return h.hexdigest()
+
     # -- word access --------------------------------------------------------
 
     def read_u32(self, addr: int) -> int:
-        return _U32.unpack(self.read(addr, 4))[0]
+        if not addr & 3:
+            page = addr >> PAGE_SHIFT
+            if page in self._page_ok:
+                backing = self._pages.get(page)
+                if backing is None:
+                    return 0
+                return _U32.unpack_from(backing, addr & (PAGE_SIZE - 1))[0]
+        value = _U32.unpack(self.read(addr, 4))[0]
+        self._note_page(addr)
+        return value
 
     def write_u32(self, addr: int, value: int) -> None:
+        if not addr & 3:
+            page = addr >> PAGE_SHIFT
+            if page in self._page_ok:
+                backing = self._pages.get(page)
+                if backing is None:
+                    backing = self._pages[page] = bytearray(PAGE_SIZE)
+                _U32.pack_into(backing, addr & (PAGE_SIZE - 1),
+                               value & MASK32)
+                return
         self.write(addr, _U32.pack(value & MASK32))
+        self._note_page(addr)
+
+    def _note_page(self, addr: int) -> None:
+        """After a checked access: remember the page if every byte of it
+        is mapped (pages straddling a region edge stay on the slow,
+        exactly-checked path)."""
+        page = addr >> PAGE_SHIFT
+        if self.is_mapped(page << PAGE_SHIFT, PAGE_SIZE):
+            self._page_ok.add(page)
 
     def read_i32(self, addr: int) -> int:
         value = self.read_u32(addr)

@@ -26,16 +26,18 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..binfmt import SharedObject
 from ..errors import GuestAbort, LoaderError
-from ..isa import Rel, abi_for, decode_range
+from ..isa import abi_for
 from ..kernel import Kernel, KProcState
-from ..layout import (DATA_REGION_OFFSET, FIRST_MODULE_BASE, MODULE_SPACING,
-                      RETURN_SENTINEL, STACK_SIZE, STACK_TOP,
-                      TLS_BLOCK_SPACING, TLS_REGION_BASE, module_base)
+from ..layout import (DATA_REGION_OFFSET, FIRST_MODULE_BASE,
+                      HOST_REGION_BASE, MODULE_SPACING, RETURN_SENTINEL,
+                      STACK_SIZE, STACK_TOP, TLS_BLOCK_SPACING,
+                      TLS_REGION_BASE, module_base)
 from ..platform import Platform
+from .codecache import CODE_CACHE, ModuleCode
 from .cpu import Cpu, HostFunction, ShadowFrame, sgn32
 from .memory import Memory
 
-_HOST_REGION = 0xF0000000
+_HOST_REGION = HOST_REGION_BASE
 _SCRATCH_BASE = 0xA0000000
 _SCRATCH_SIZE = 0x400000
 
@@ -72,6 +74,7 @@ class Process:
         self.kstate = KProcState(pid=kernel.new_pid())
         self.modules: List[LoadedModule] = []
         self.code_cache: Dict[int, Tuple] = {}
+        self._module_code: Dict[int, ModuleCode] = {}
         self.host_functions: Dict[int, HostFunction] = {}
         self._next_host_addr = _HOST_REGION
         # symbol -> ordered provider list of (priority, addr); lower
@@ -140,14 +143,24 @@ class Process:
         return self.load(image, front=True)
 
     def _predecode(self, module: LoadedModule) -> None:
-        decoded = decode_range(module.image.text, 0,
-                               len(module.image.text), self.abi)
-        base = module.base
-        for d in decoded:
-            target = None
-            if d.insn.operands and isinstance(d.insn.operands[0], Rel):
-                target = base + d.branch_target()
-            self.code_cache[base + d.addr] = (d.insn, d.size, target)
+        # decoding and block translation are shared across processes —
+        # identical images at the same base reuse one ModuleCode
+        mc = CODE_CACHE.module_code(module.image, module.base,
+                                    module.tls_base)
+        self.code_cache.update(mc.entries)
+        self._module_code[module.base] = mc
+
+    def block_template(self, addr: int):
+        """The shared compiled-block template entered at ``addr`` (None
+        when the address has no module or no compilable block)."""
+        if addr < FIRST_MODULE_BASE:
+            return None
+        base = FIRST_MODULE_BASE + (
+            (addr - FIRST_MODULE_BASE) // MODULE_SPACING) * MODULE_SPACING
+        mc = self._module_code.get(base)
+        if mc is None:
+            return None
+        return mc.template(addr)
 
     # -- symbols ----------------------------------------------------------
 
