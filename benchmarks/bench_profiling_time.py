@@ -6,10 +6,16 @@ mainly influenced by code size"; propagation hop counts stay <= 3.
 
 The benchmark profiles the corpus ladder and checks monotonic scaling
 with code size plus the hop bound.
+
+Set ``REPRO_BENCH_FAST=1`` for a CI-sized smoke run: only the small
+end of the ladder is profiled and the code-size scaling bar is skipped
+(it needs the two-orders-of-magnitude spread); the hop bound and the
+interactivity ceiling still apply.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.core.profiler import Profiler
@@ -19,6 +25,10 @@ from repro.kernel import build_kernel_image
 from repro.platform import LINUX_X86, SOLARIS_SPARC, WINDOWS_X86
 
 from _benchutil import print_table
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+
+_LADDER = EFFICIENCY_LADDER[:3] if FAST else EFFICIENCY_LADDER
 
 _PLATFORM_OF = {row[0]: row[1] for row in TABLE2_ROWS}
 
@@ -37,7 +47,7 @@ def _profile_ladder():
                 built.image.code_size(),
                 time.perf_counter() - started,
                 profiler.last_report.max_hops))
-    for soname, n_functions, _filler in EFFICIENCY_LADDER:
+    for soname, n_functions, _filler in _LADDER:
         stem = soname[:-3]  # drop .so
         platform = _PLATFORM_OF.get(stem, LINUX_X86)
         generated = build_table2_library(stem, platform)
@@ -70,8 +80,10 @@ def test_profiling_time_scales_with_code_size(benchmark):
 
     by_size = sorted(ladder, key=lambda r: r[2])
     smallest, largest = by_size[0], by_size[-1]
-    # two orders of magnitude in code size must cost clearly more time
-    assert largest[3] > 3 * smallest[3]
+    if not FAST:
+        # two orders of magnitude in code size must cost clearly more
+        # time (the fast ladder lacks the spread to assert this)
+        assert largest[3] > 3 * smallest[3]
     # the paper's hop observation: "always 3 or less"
     assert all(hops <= 3 for *_rest, hops in ladder)
     # profiling stays interactive (the paper's adoption argument)

@@ -1,0 +1,192 @@
+"""Snapshot campaigns: common-prefix checkpoint/restore throughput.
+
+A fault case is mostly workload setup: boot the program under test,
+build its state, and only then reach the one call the trigger fires on.
+The snapshot engine (``repro.runtime.snapshot`` + ``core/exec``'s
+``SnapshotRunner``) checkpoints the guest once per trigger function at
+workload-ready and replays only the post-trigger suffix per case — the
+AFL fork-server idea applied to fault injection.
+
+This benchmark runs the same systematic minidb campaign fresh and with
+snapshots and asserts the throughput claim (>= 3x cases/sec serial in
+full mode) plus the differential guarantee (identical outcomes and
+per-case instruction counts).  Results land in ``BENCH_snapshot.json``
+next to the recorded pre-tentpole fresh baseline.
+
+Runs standalone
+(``PYTHONPATH=src python benchmarks/bench_snapshot_campaign.py``)
+or under pytest.  Set ``REPRO_BENCH_FAST=1`` for a CI-sized smoke run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":                       # standalone: no conftest
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.apps.minidb import DbError, MiniDB
+from repro.core.campaign import FaultCase, PrefixFactory, run_campaign
+from repro.core.profiler import Profiler
+from repro.core.scenario.generate import error_codes_from_profile
+from repro.corpus.libc import libc
+from repro.kernel import Kernel, build_kernel_image
+from repro.platform import LINUX_X86
+
+from _benchutil import print_table
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+
+#: Rows inserted by the shared prefix (bigger prefix = bigger win).
+_ROWS = 24 if FAST else 48
+_ORDINAL_DELTAS = (1,) if FAST else (1, 2)
+
+#: Libc call counts of the prefix (create + _ROWS inserts + checkpoint),
+#: measured once per workload size; cases inject at prefix + delta so
+#: every trigger fires in the replayed suffix.
+_PREFIX_CALLS = {
+    24: {"read": 0, "write": 51, "open": 5, "close": 3,
+         "lseek": 24, "fsync": 30},
+    48: {"read": 0, "write": 102, "open": 8, "close": 6,
+         "lseek": 48, "fsync": 60},
+}
+
+_FUNCTIONS = ["read", "write", "open", "close", "lseek", "fsync"]
+
+#: Pre-tentpole numbers, measured on this host at commit 9334cbe with
+#: the fresh-only campaign engine (every case re-runs the full setup
+#: prefix; minidb, 24 prefix rows, 6 functions x 2 codes, serial) —
+#: the fixed denominator recorded before the snapshot engine landed.
+BASELINE = {
+    "engine": "fresh per-case execution (seed)",
+    "workload": "minidb create+24 inserts+checkpoint, suffix "
+                "select+insert+checkpoint, 12 cases serial",
+    "fresh_cases_per_second": 115.67,
+}
+
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_snapshot.json"
+
+
+def _factory() -> PrefixFactory:
+    def setup(lfi):
+        db = MiniDB(Kernel(os_name=LINUX_X86.os), LINUX_X86,
+                    controller=lfi)
+        db.execute("create table t k v")
+        for i in range(_ROWS):
+            db.execute(f"insert into t {i} value{i}")
+        db.checkpoint()
+        return db
+
+    def run(lfi, db):
+        try:
+            db.execute("select from t where k 1")
+            db.execute("insert into t 999 tail")
+            db.checkpoint()
+        except DbError:
+            return 1
+        return 0
+
+    return PrefixFactory(setup, run, workload_id=f"minidb-bench-{_ROWS}")
+
+
+def _arms():
+    image = libc(LINUX_X86).image
+    profiles = Profiler(LINUX_X86, {image.soname: image},
+                        build_kernel_image(LINUX_X86)).profile_all()
+    profile = profiles[image.soname]
+    factory = _factory()
+
+    prefix = _PREFIX_CALLS[_ROWS]
+    cases = []
+    for fn in _FUNCTIONS:
+        for code in error_codes_from_profile(profile.functions[fn]):
+            for delta in _ORDINAL_DELTAS:
+                cases.append(FaultCase(fn, code, prefix[fn] + delta))
+
+    # warm code caches and the first-run import costs for both paths
+    run_campaign("warm", factory, LINUX_X86, profiles, cases,
+                 snapshot=False)
+    run_campaign("warm", factory, LINUX_X86, profiles, cases,
+                 snapshot=True)
+
+    results = {}
+    rounds = 1 if FAST else 3
+    for label, snap in (("fresh", False), ("snapshot", True)):
+        best, report = 0.0, None
+        for _ in range(rounds):
+            started = time.perf_counter()
+            report = run_campaign("bench", factory, LINUX_X86, profiles,
+                                  cases, snapshot=snap)
+            seconds = time.perf_counter() - started
+            best = max(best, len(cases) / seconds)
+        results[label] = {
+            "cases": len(cases),
+            "cases_per_second": round(best, 2),
+            "outcomes": [(r.case.case_id(), r.outcome.status,
+                          r.instructions) for r in report.results],
+            "replays": sum(1 for r in report.results if r.snapshot),
+        }
+    results["speedup"] = round(
+        results["snapshot"]["cases_per_second"]
+        / results["fresh"]["cases_per_second"], 2)
+    return results
+
+
+def _report(results, write_json: bool = True):
+    fresh, snap = results["fresh"], results["snapshot"]
+    print_table(
+        "snapshot campaign — cases/sec, fresh vs checkpoint replay "
+        f"({'fast' if FAST else 'full'} mode)",
+        "arm           cases      throughput        replays",
+        [f"fresh      {fresh['cases']:6d}   "
+         f"{fresh['cases_per_second']:10.1f}/s     {fresh['replays']:6d}",
+         f"snapshot   {snap['cases']:6d}   "
+         f"{snap['cases_per_second']:10.1f}/s     {snap['replays']:6d}",
+         f"speedup    {results['speedup']:5.2f}x   (pre-change fresh "
+         f"baseline: {BASELINE['fresh_cases_per_second']}/s)"])
+    if write_json:
+        out = {
+            "schema": "repro.bench/1",
+            "benchmark": "snapshot_campaign",
+            "mode": "fast" if FAST else "full",
+            "baseline": BASELINE,
+            "results": {
+                "fresh": {k: v for k, v in results["fresh"].items()
+                          if k != "outcomes"},
+                "snapshot": {k: v for k, v in results["snapshot"].items()
+                             if k != "outcomes"},
+                "speedup": results["speedup"],
+            },
+        }
+        _OUT.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {_OUT}")
+
+
+def _assert_claims(results) -> None:
+    # the differential guarantee first: replays must be bit-identical
+    assert results["fresh"]["outcomes"] == results["snapshot"]["outcomes"], \
+        "snapshot campaign diverged from fresh execution"
+    assert results["snapshot"]["replays"] == results["snapshot"]["cases"], \
+        "post-prefix cases should all replay from the checkpoint"
+    # CI runners are noisy and the fast workload has a smaller prefix;
+    # the full-mode bar is the tentpole claim (3x serial)
+    bar = 1.5 if FAST else 3.0
+    assert results["speedup"] >= bar, \
+        f"snapshot speedup {results['speedup']:.2f}x fell below {bar:.1f}x"
+
+
+def test_snapshot_campaign_speedup(benchmark):
+    results = benchmark.pedantic(_arms, rounds=1, iterations=1)
+    _report(results, write_json=not FAST)
+    _assert_claims(results)
+
+
+if __name__ == "__main__":
+    results = _arms()
+    _report(results, write_json=not FAST)
+    _assert_claims(results)

@@ -312,6 +312,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     telemetry = getattr(args, "telemetry", NULL_TELEMETRY)
     session = Session(platform, app=args.app, jobs=args.jobs,
                       timeout=args.timeout, backend=args.backend,
+                      snapshot=args.snapshot,
                       store=args.store, heuristics=heuristics,
                       telemetry=telemetry)
     session.load(libc(platform))
@@ -380,6 +381,16 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(f"profile cache: {cache['hits']} hits, "
               f"{cache['misses']} misses"
               + (f" ({ratio:.0%} hit ratio)" if ratio is not None else ""))
+    snaps = summary.get("snapshots") or {}
+    if snaps.get("taken") or snaps.get("restored"):
+        restored = snaps.get("restored", 0)
+        avg = (snaps["dirty_pages"] / restored) if restored else 0.0
+        print(f"snapshots: {snaps.get('taken', 0)} taken, "
+              f"{restored} restores, "
+              f"{snaps.get('dirty_pages', 0)} dirty pages restored "
+              f"(avg {avg:.1f}/restore, "
+              f"{snaps.get('restored_bytes', 0)} bytes, "
+              f"{snaps.get('restore_seconds', 0.0):.3f}s restoring)")
     if args.spans:
         rendered = render_span_dicts(summary["spans"])
         if rendered:
@@ -392,49 +403,59 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def _campaign_factory(app: str, platform):
     """Per-case workload factories (smaller than the run-demo ones so
-    exhaustive campaigns stay quick)."""
+    exhaustive campaigns stay quick).
+
+    Each is a :class:`~repro.core.campaign.PrefixFactory` — ``setup``
+    boots the program under test, ``run`` drives the monitored
+    workload — so ``campaign --snapshot`` can checkpoint the booted
+    guest once per trigger function and replay only the workload
+    suffix per fault case.  Without snapshots the factory behaves as a
+    plain session factory (setup + run, fresh per case).
+    """
+    from .core.campaign import PrefixFactory
+
     if app == "pidgin":
         from .apps.minipidgin import MiniPidgin
 
-        def factory(lfi):
-            def run():
-                client = MiniPidgin(Kernel(os_name=platform.os), platform,
-                                    controller=lfi)
-                client.login_and_chat(
-                    [f"buddy{i}.example.org" for i in range(4)])
-                return 0
-            return run
-        return factory
+        def setup(lfi):
+            return MiniPidgin(Kernel(os_name=platform.os), platform,
+                              controller=lfi)
+
+        def run(lfi, client):
+            client.login_and_chat(
+                [f"buddy{i}.example.org" for i in range(4)])
+            return 0
+        return PrefixFactory(setup, run, workload_id="pidgin-login-4")
     if app == "minidb":
         from .apps.minidb import DbError, MiniDB
 
-        def factory(lfi):
-            def run():
-                db = MiniDB(Kernel(os_name=platform.os), platform,
-                            controller=lfi)
-                try:
-                    db.execute("create table t k v")
-                    for i in range(3):
-                        db.execute(f"insert into t {i} value{i}")
-                    db.execute("select from t where k 1")
-                    db.checkpoint()
-                except DbError:
-                    return 1      # graceful: the engine reported the fault
-                return 0
-            return run
-        return factory
+        def setup(lfi):
+            return MiniDB(Kernel(os_name=platform.os), platform,
+                          controller=lfi)
+
+        def run(lfi, db):
+            try:
+                db.execute("create table t k v")
+                for i in range(3):
+                    db.execute(f"insert into t {i} value{i}")
+                db.execute("select from t where k 1")
+                db.checkpoint()
+            except DbError:
+                return 1      # graceful: the engine reported the fault
+            return 0
+        return PrefixFactory(setup, run, workload_id="minidb-basic")
 
     from .apps.miniweb import MiniWeb
     from .apps.workloads import ApacheBenchDriver
 
-    def factory(lfi):
-        def run():
-            server = MiniWeb(Kernel(os_name=platform.os), platform,
-                             controller=lfi)
-            result = ApacheBenchDriver(server).run_static(6)
-            return 1 if result.failures else 0
-        return run
-    return factory
+    def setup(lfi):
+        return MiniWeb(Kernel(os_name=platform.os), platform,
+                       controller=lfi)
+
+    def run(lfi, server):
+        result = ApacheBenchDriver(server).run_static(6)
+        return 1 if result.failures else 0
+    return PrefixFactory(setup, run, workload_id="miniweb-static-6")
 
 
 # -- parser -------------------------------------------------------------
@@ -502,6 +523,11 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="worker backend (default: auto; process adds "
                         "crash isolation)")
+    p.add_argument("--snapshot", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="checkpoint the booted workload once per trigger "
+                        "function and replay only the post-trigger suffix "
+                        "per case (results stay bit-identical)")
     p.add_argument("--store",
                    help="profile-cache directory")
     p.add_argument("--heuristics", action="store_true",

@@ -33,6 +33,33 @@ from .scenario.model import INJECT_NTH, ErrorCode, FunctionTrigger, Plan
 SessionFactory = Callable[[Controller], Callable[[], Optional[int]]]
 
 
+@dataclass
+class PrefixFactory:
+    """A workload split into a shared setup prefix and a per-case suffix.
+
+    ``setup`` builds the program under test (load libraries, open the
+    database, seed state, ...) and returns an opaque workload context;
+    ``run`` drives the monitored suffix against that context.  Campaigns
+    with snapshots enabled execute ``setup`` once per trigger function,
+    checkpoint the guest at workload-ready, and replay only ``run`` per
+    fault case — with outcomes bit-identical to fresh runs.
+
+    A ``PrefixFactory`` is also a plain :data:`SessionFactory`: calling
+    it with a controller returns a closure running setup + suffix, which
+    is exactly what snapshot-disabled (and fallback) cases execute.
+    """
+
+    setup: Callable[[Controller], Any]
+    run: Callable[[Controller, Any], Optional[int]]
+    #: stable workload identity, part of the snapshot cache key
+    workload_id: str = "workload"
+
+    def __call__(self, lfi: Controller) -> Callable[[], Optional[int]]:
+        def session() -> Optional[int]:
+            return self.run(lfi, self.setup(lfi))
+        return session
+
+
 @dataclass(frozen=True)
 class FaultCase:
     """One cell of the campaign matrix."""
@@ -73,6 +100,9 @@ class CaseResult:
     #: guest instructions this case executed (deterministic per case —
     #: identical across backends and interpreter paths)
     instructions: int = 0
+    #: replay bookkeeping when the case ran from a workload checkpoint:
+    #: group, dirty pages, bytes and restore seconds (None = fresh run)
+    snapshot: Optional[Dict[str, Any]] = None
 
     @property
     def tolerated(self) -> bool:
@@ -92,6 +122,8 @@ class CaseResult:
             "duration": round(self.seconds, 6),
             "worker": self.worker,
             "instructions": self.instructions,
+            **({"snapshot": self.snapshot}
+               if self.snapshot is not None else {}),
         }
 
 
@@ -214,6 +246,7 @@ def run_campaign(app: str,
                  *, jobs: int = 1,
                  timeout: Optional[float] = None,
                  backend: Optional[str] = None,
+                 snapshot: bool = False,
                  telemetry=None) -> CampaignReport:
     """Run every fault case as its own monitored test.
 
@@ -224,9 +257,15 @@ def run_campaign(app: str,
     case's wall time — an overrunning worker is reaped into a
     ``"hung"`` :class:`CaseResult` instead of stalling the campaign.
     Result ordering is the case order regardless of worker count.
+
+    ``snapshot=True`` with a :class:`PrefixFactory` checkpoints the
+    guest once per trigger function at workload-ready and replays only
+    the post-trigger suffix per case; results are bit-identical to
+    fresh runs (cases whose trigger would fire inside the prefix fall
+    back to a fresh execution automatically).
     """
     from .exec.engine import execute_campaign
 
     return execute_campaign(app, factory, platform, profiles, cases,
                             jobs=jobs, timeout=timeout, backend=backend,
-                            telemetry=telemetry)
+                            snapshot=snapshot, telemetry=telemetry)

@@ -43,6 +43,9 @@ class Injector:
         self.passthrough_count = 0
         self._original_cache: Dict[int, Dict[str, int]] = {}
         self.telemetry = as_telemetry(telemetry)
+        self._bind_instruments()
+
+    def _bind_instruments(self) -> None:
         # instruments are created once here so the per-call hot path is
         # a plain method call (a no-op one under NULL_TELEMETRY)
         metrics = self.telemetry.metrics
@@ -55,6 +58,21 @@ class Injector:
         self._evaluations_metric = metrics.counter(
             "repro_trigger_evaluations_total",
             "Trigger predicate evaluations", ("function",))
+
+    def rebind(self, engine: TriggerEngine, functions: Sequence[str],
+               telemetry=None) -> None:
+        """Point this injector at a fresh engine, plan and telemetry.
+
+        Snapshot replay (see ``core.exec.snapshot``) transplants
+        per-case trigger state into a reused controller; the function
+        list must keep the stub ids of the shim the guest already has
+        loaded, which the caller guarantees by grouping cases per
+        trigger function.
+        """
+        self.engine = engine
+        self.functions = list(functions)
+        self.telemetry = as_telemetry(telemetry)
+        self._bind_instruments()
 
     # -- host entry point ---------------------------------------------------
 

@@ -222,6 +222,7 @@ def execute_campaign(app: str,
                      timeout: Optional[float] = None,
                      backend: Optional[str] = None,
                      pool: Optional[WorkerPool] = None,
+                     snapshot: bool = False,
                      telemetry=None):
     """Fan the campaign's fault cases out over a worker pool.
 
@@ -231,6 +232,13 @@ def execute_campaign(app: str,
     :class:`~repro.core.campaign.CaseResult`; a worker that dies (or a
     workload that raises outside the monitored guest) becomes a
     ``"crashed"`` one — neither stalls nor aborts the run.
+
+    ``snapshot=True`` with a two-phase factory
+    (:class:`~repro.core.campaign.PrefixFactory`) routes cases through
+    the :class:`~repro.core.exec.snapshot.SnapshotRunner`: the workload
+    prefix executes once per trigger function, and each case replays
+    only the post-trigger suffix from the checkpoint — results are
+    bit-identical to fresh runs.  Opaque factories silently run fresh.
 
     With ``telemetry`` attached, every case's injection events are
     re-emitted into the shared event log in case order (tagged with the
@@ -249,21 +257,40 @@ def execute_campaign(app: str,
     profiles = dict(profiles)
     capture = tele.enabled
 
+    runner = None
+    if snapshot:
+        from .snapshot import SnapshotRunner
+        runner = SnapshotRunner(app, factory, platform, profiles,
+                                capture=capture, telemetry=tele)
+        if not runner.supported:
+            runner = None
+
     def run_one(case):
+        if runner is not None:
+            return runner.run_case(case)
         return _case_runner(factory, platform, profiles, case, capture)
 
     if pool.backend == PROCESS and case_list and pool.warmup is None:
-        # prime the shared code cache in the parent: the first case
-        # decodes and block-compiles every image, and each forked child
-        # then inherits the warm cache instead of re-translating
-        def _warm_first(case=case_list[0]):
-            _case_runner(factory, platform, profiles, case, False)
-        pool.warmup = _warm_first
+        if runner is not None:
+            # build every checkpoint in the parent: forked children
+            # inherit guests parked at the snapshot point (and the warm
+            # code cache) with an empty dirty-page set
+            def _warm_snapshots():
+                runner.warm(case_list)
+            pool.warmup = _warm_snapshots
+        else:
+            # prime the shared code cache in the parent: the first case
+            # decodes and block-compiles every image, and each forked
+            # child then inherits the warm cache instead of re-translating
+            def _warm_first(case=case_list[0]):
+                _case_runner(factory, platform, profiles, case, False)
+            pool.warmup = _warm_first
 
     if tele.enabled:
         tele.events.emit("campaign.start", app=app, cases=len(case_list),
                          jobs=pool.jobs, backend=pool.backend,
-                         timeout=pool.timeout)
+                         timeout=pool.timeout,
+                         snapshot=runner is not None)
     cache_before = CODE_CACHE.stats()
     started = time.perf_counter()
     tasks = pool.map(run_one, case_list)
@@ -301,9 +328,16 @@ def execute_campaign(app: str,
     if tele.enabled:
         _record_execution_metrics(tele, results, cache_before)
         tele.metrics.merge(run_registry.snapshot())
-        tele.events.emit("campaign.end", app=app, outcome=report.outcome(),
-                         duration=round(duration, 6),
-                         cases=len(results))
+        end_fields = dict(app=app, outcome=report.outcome(),
+                          duration=round(duration, 6), cases=len(results))
+        if runner is not None:
+            stats = runner.cache.stats()
+            end_fields.update(
+                snapshots_built=stats["built"],
+                snapshot_replays=sum(1 for r in results
+                                     if getattr(r, "snapshot", None)),
+                snapshot_fallbacks=runner.fallbacks)
+        tele.events.emit("campaign.end", **end_fields)
     return report
 
 
@@ -362,6 +396,29 @@ def _replay_case_telemetry(tele: Telemetry, case, result) -> None:
     metrics = getattr(result, "metrics", None)
     if metrics:
         tele.metrics.merge(metrics)
+    info = getattr(result, "snapshot", None)
+    if info:
+        # restore bookkeeping travels on the result (it crosses the
+        # process-backend pickle boundary) and is recorded parent-side,
+        # so the worker-captured stream stays bit-identical to a fresh
+        # run's while the JSONL still carries snapshot efficiency
+        tele.metrics.counter(
+            "repro_snapshot_restores_total",
+            "Checkpoint restores performed for campaign replay",
+            ("workload",)).inc(workload=info.get("workload", ""))
+        tele.metrics.histogram(
+            "repro_snapshot_restore_seconds",
+            "Wall time of one checkpoint restore").observe(
+                info.get("seconds", 0.0))
+        tele.metrics.histogram(
+            "repro_snapshot_dirty_pages",
+            "Pages rewritten by one checkpoint restore").observe(
+                info.get("dirty_pages", 0))
+        tele.events.emit(
+            "snapshot", action="restored", case=case.case_id(),
+            group=info.get("group"), dirty_pages=info.get("dirty_pages"),
+            bytes=info.get("bytes"),
+            seconds=round(info.get("seconds", 0.0), 6), worker=worker)
     tele.events.emit(
         "case", case=case.case_id(), function=case.function,
         errno=case.code.errno, retval=case.code.retval,

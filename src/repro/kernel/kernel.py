@@ -10,6 +10,7 @@ agree, which is the property §3.1's kernel analysis depends on.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -87,11 +88,50 @@ class Kernel:
         self.clock_ns = 0
         self._next_pid = 1
         self.syscall_count = 0
+        #: every runtime Process attached to this kernel, in creation
+        #: order — the snapshot engine discovers guest processes here
+        #: (workload drivers may create processes without a controller)
+        self.processes: List[object] = []
 
     def new_pid(self) -> int:
         pid = self._next_pid
         self._next_pid += 1
         return pid
+
+    # -- snapshot support -------------------------------------------------
+
+    def clone(self, memo: Optional[dict] = None) -> Dict[str, object]:
+        """Freeze the kernel's mutable state for a later :meth:`restore`.
+
+        ``memo`` is a shared ``deepcopy`` memo: cloning the per-process
+        fd tables (:class:`KProcState`) with the same memo keeps open
+        descriptors pointing into the cloned VFS tree / pipe / socket
+        objects, exactly mirroring the live aliasing.
+        """
+        memo = {} if memo is None else memo
+        return {
+            "vfs": self.vfs.clone(memo),
+            "sockets": copy.deepcopy(self.sockets, memo),
+            "clock_ns": self.clock_ns,
+            "next_pid": self._next_pid,
+            "syscall_count": self.syscall_count,
+            "processes": len(self.processes),
+        }
+
+    def restore(self, frozen: Dict[str, object],
+                memo: Optional[dict] = None) -> None:
+        """Reset to a :meth:`clone`'s state, in place and in O(state
+        touched): the ``vfs``/``sockets`` objects keep their identity
+        (processes and fd entries reference them), their contents are
+        re-thawed from the frozen copies."""
+        memo = {} if memo is None else memo
+        self.vfs.restore(frozen["vfs"], memo)
+        sockets = copy.deepcopy(frozen["sockets"], memo)
+        self.sockets.listeners = sockets.listeners
+        self.clock_ns = frozen["clock_ns"]
+        self._next_pid = frozen["next_pid"]
+        self.syscall_count = frozen["syscall_count"]
+        del self.processes[frozen["processes"]:]
 
     # -- dispatch --------------------------------------------------------
 

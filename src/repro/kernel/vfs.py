@@ -9,6 +9,7 @@ kernel layer translates to negative numbers.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -57,6 +58,32 @@ class Vfs:
         self.capacity = capacity
         self.used = 0
         self.max_name = max_name
+
+    # -- snapshot support -------------------------------------------------
+
+    def clone(self, memo: Optional[dict] = None) -> "Vfs":
+        """Deep copy of the whole tree plus accounting.
+
+        Hard links stay shared in the copy (``link`` aliases VNode
+        objects; ``deepcopy``'s memo preserves that aliasing).  Passing
+        an explicit ``memo`` lets callers clone the fd table with the
+        same memo so open descriptors keep pointing at the cloned
+        nodes — the runtime snapshot engine relies on this.
+        """
+        return copy.deepcopy(self, memo if memo is not None else {})
+
+    def restore(self, frozen: "Vfs", memo: Optional[dict] = None) -> None:
+        """Reset this Vfs to a :meth:`clone`'s state, in place.
+
+        The ``Vfs`` object itself keeps its identity (kernel and fd
+        structures hold references to it); only the tree and the
+        accounting are swapped for fresh copies of the frozen state.
+        """
+        thawed = frozen.clone(memo)
+        self.root = thawed.root
+        self.capacity = thawed.capacity
+        self.used = thawed.used
+        self.max_name = thawed.max_name
 
     # -- path handling ---------------------------------------------------
 

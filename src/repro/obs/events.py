@@ -266,6 +266,8 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
     spans: List[Dict[str, Any]] = []
     metrics: Dict[str, Any] = {}
     cases = 0
+    snapshots = {"taken": 0, "restored": 0, "dirty_pages": 0,
+                 "restored_bytes": 0, "restore_seconds": 0.0}
     for record in events:
         kind = record.get("kind", "?")
         kinds[kind] = kinds.get(kind, 0) + 1
@@ -280,10 +282,22 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
             cases += 1
             status = str(fields.get("status", "?"))
             outcomes[status] = outcomes.get(status, 0) + 1
+        elif kind == "snapshot":
+            action = fields.get("action")
+            if action == "taken":
+                snapshots["taken"] += 1
+            elif action == "restored":
+                snapshots["restored"] += 1
+                snapshots["dirty_pages"] += int(fields.get("dirty_pages")
+                                                or 0)
+                snapshots["restored_bytes"] += int(fields.get("bytes") or 0)
+                snapshots["restore_seconds"] += float(fields.get("seconds")
+                                                      or 0.0)
         elif kind == "span" and "span" in fields:
             spans.append(fields["span"])
         elif kind == "metrics.snapshot" and "metrics" in fields:
             metrics = fields["metrics"]     # last snapshot wins
+    snapshots["restore_seconds"] = round(snapshots["restore_seconds"], 6)
     return {
         "events": sum(kinds.values()),
         "kinds": kinds,
@@ -292,6 +306,7 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
         "injections": injections,
         "injections_by_errno": injections_by_errno,
         "cache": _cache_stats(metrics),
+        "snapshots": snapshots,
         "metrics": metrics,
         "spans": spans,
     }

@@ -5,6 +5,8 @@ from .codecache import CODE_CACHE, ModuleCode, SharedCodeCache
 from .cpu import Cpu, HostFunction, RegisterFile, ShadowFrame, sgn32
 from .memory import MASK32, Memory
 from .process import LoadedModule, Process
+from .snapshot import (MachineSnapshot, ProcessSnapshot, RestoreStats,
+                       SnapshotCache)
 from .trace import TraceEntry, Tracer
 
 __all__ = [
@@ -14,4 +16,5 @@ __all__ = [
     "Tracer", "TraceEntry",
     "BlockTemplate", "compile_block",
     "SharedCodeCache", "ModuleCode", "CODE_CACHE",
+    "MachineSnapshot", "ProcessSnapshot", "RestoreStats", "SnapshotCache",
 ]

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import MemoryFault
 
@@ -27,9 +27,17 @@ class Memory:
         self._pages: Dict[int, bytearray] = {}
         self._regions: List[Tuple[int, int]] = []   # sorted (start, end)
         # pages proven fully mapped: aligned u32 accesses inside them
-        # skip the region scan.  Mappings only grow (map_region never
-        # unmaps), so entries never need invalidating.
+        # skip the region scan.  Entries are invalidated by
+        # ``unmap_region`` and by snapshot restore (which may shrink the
+        # region list back to the snapshot point).
         self._page_ok: set = set()
+        # copy-on-write journal while a snapshot is active:
+        # page -> original bytes (None = page had no backing).  ``None``
+        # when no snapshot is active so the write hot path pays one
+        # ``is not None`` check.
+        self._snap_orig: Optional[Dict[int, Optional[bytes]]] = None
+        self._snap_regions: List[Tuple[int, int]] = []
+        self._snap_page_ok: set = set()
 
     # -- region management ----------------------------------------------
 
@@ -41,6 +49,98 @@ class Memory:
         self._regions.append((start, end))
         self._regions.sort()
         self._coalesce()
+
+    def unmap_region(self, start: int, size: int) -> None:
+        """Remove [start, start+size) from the mapped ranges.
+
+        Pages wholly inside the range drop their backing; partially
+        covered pages are zeroed over the unmapped bytes.  Both the
+        proven-mapped set used by the aligned-u32 fast path and any
+        active snapshot journal are kept consistent, so neither can
+        read through (or fail to restore) a stale mapping.
+        """
+        if size <= 0:
+            raise ValueError("region size must be positive")
+        end = start + size
+        kept: List[Tuple[int, int]] = []
+        for rstart, rend in self._regions:
+            if rend <= start or rstart >= end:
+                kept.append((rstart, rend))
+                continue
+            if rstart < start:
+                kept.append((rstart, start))
+            if rend > end:
+                kept.append((end, rend))
+        self._regions = kept
+        first_page = start >> PAGE_SHIFT
+        last_page = (end - 1) >> PAGE_SHIFT
+        self._page_ok = {p for p in self._page_ok
+                         if p < first_page or p > last_page}
+        touched = [p for p in self._pages
+                   if first_page <= p <= last_page]
+        for page in touched:
+            if self._snap_orig is not None:
+                self._cow(page)
+            page_start = page << PAGE_SHIFT
+            if start <= page_start and page_start + PAGE_SIZE <= end:
+                del self._pages[page]
+            else:
+                lo = max(start, page_start) - page_start
+                hi = min(end, page_start + PAGE_SIZE) - page_start
+                self._pages[page][lo:hi] = bytes(hi - lo)
+
+    # -- snapshot / restore (copy-on-write page versioning) ---------------
+
+    def snapshot_begin(self) -> None:
+        """Checkpoint the current contents; subsequent writes journal
+        the original bytes of each page they first touch, so
+        :meth:`snapshot_restore` is O(dirty pages), not O(total)."""
+        self._snap_orig = {}
+        self._snap_regions = list(self._regions)
+        self._snap_page_ok = set(self._page_ok)
+
+    @property
+    def snapshot_active(self) -> bool:
+        return self._snap_orig is not None
+
+    def snapshot_dirty_pages(self) -> int:
+        """Pages touched since the snapshot (0 when none is active)."""
+        return len(self._snap_orig) if self._snap_orig is not None else 0
+
+    def snapshot_restore(self) -> int:
+        """Rewrite every page dirtied since :meth:`snapshot_begin` back
+        to its checkpointed contents and re-arm the journal.  Regions
+        and the proven-mapped fast-path set also roll back, so mappings
+        created after the snapshot disappear.  Returns the number of
+        dirty pages that were restored."""
+        if self._snap_orig is None:
+            raise ValueError("snapshot_restore without snapshot_begin")
+        dirty = len(self._snap_orig)
+        for page, orig in self._snap_orig.items():
+            if orig is None:
+                self._pages.pop(page, None)
+            else:
+                backing = self._pages.get(page)
+                if backing is None:
+                    self._pages[page] = bytearray(orig)
+                else:
+                    backing[:] = orig
+        self._snap_orig = {}
+        self._regions = list(self._snap_regions)
+        self._page_ok = set(self._snap_page_ok)
+        return dirty
+
+    def snapshot_end(self) -> None:
+        """Drop the journal; the checkpoint can no longer be restored."""
+        self._snap_orig = None
+        self._snap_regions = []
+        self._snap_page_ok = set()
+
+    def _cow(self, page: int) -> None:
+        if page not in self._snap_orig:
+            backing = self._pages.get(page)
+            self._snap_orig[page] = (bytes(backing)
+                                     if backing is not None else None)
 
     def _coalesce(self) -> None:
         merged: List[Tuple[int, int]] = []
@@ -92,6 +192,8 @@ class Memory:
             page = addr >> PAGE_SHIFT
             offset = addr & (PAGE_SIZE - 1)
             chunk = min(size - pos, PAGE_SIZE - offset)
+            if self._snap_orig is not None and page not in self._snap_orig:
+                self._cow(page)
             backing = self._pages.get(page)
             if backing is None:
                 backing = bytearray(PAGE_SIZE)
@@ -99,6 +201,10 @@ class Memory:
             backing[offset:offset + chunk] = data[pos:pos + chunk]
             addr += chunk
             pos += chunk
+
+    def resident_bytes(self) -> int:
+        """Bytes of materialized page backing (page granularity)."""
+        return len(self._pages) * PAGE_SIZE
 
     def content_digest(self) -> str:
         """SHA-256 over the logical contents (page number + bytes of
@@ -131,6 +237,9 @@ class Memory:
         if not addr & 3:
             page = addr >> PAGE_SHIFT
             if page in self._page_ok:
+                if self._snap_orig is not None \
+                        and page not in self._snap_orig:
+                    self._cow(page)
                 backing = self._pages.get(page)
                 if backing is None:
                     backing = self._pages[page] = bytearray(PAGE_SIZE)

@@ -72,6 +72,7 @@ class Process:
         self.abi = abi_for(platform.machine)
         self.memory = Memory()
         self.kstate = KProcState(pid=kernel.new_pid())
+        kernel.processes.append(self)
         self.modules: List[LoadedModule] = []
         self.code_cache: Dict[int, Tuple] = {}
         self._module_code: Dict[int, ModuleCode] = {}

@@ -89,6 +89,7 @@ class Session:
                  jobs: int = 1,
                  timeout: Optional[float] = None,
                  backend: Optional[str] = None,
+                 snapshot: bool = False,
                  heuristics: Optional[HeuristicConfig] = None,
                  kernel_image: Union[SharedObject, None, str] = _AUTO,
                  telemetry=None) -> None:
@@ -98,6 +99,7 @@ class Session:
         self.jobs = jobs
         self.timeout = timeout
         self.backend = backend
+        self.snapshot = snapshot
         self.heuristics = heuristics
         self.obs = as_telemetry(telemetry)
         self.store = (ProfileStore(store)
@@ -222,7 +224,8 @@ class Session:
                  functions: Optional[Sequence[str]] = None,
                  call_ordinals: Sequence[int] = (1,),
                  max_codes_per_function: Optional[int] = None,
-                 cases: Optional[Iterable[FaultCase]] = None
+                 cases: Optional[Iterable[FaultCase]] = None,
+                 snapshot: Optional[bool] = None
                  ) -> CampaignReport:
         """Run a systematic fault campaign over the profiled space.
 
@@ -232,7 +235,16 @@ class Session:
         The report's ordering matches the case order regardless of
         ``jobs``; its :class:`RunSummary` is appended to
         :attr:`summaries`.
+
+        ``snapshot`` (default: the session's setting) enables
+        common-prefix checkpoint replay when ``factory`` is a
+        :class:`~repro.core.campaign.PrefixFactory` — the workload
+        setup runs once per trigger function and each case replays
+        only the post-trigger suffix, with results bit-identical to
+        fresh runs.
         """
+        if snapshot is None:
+            snapshot = self.snapshot
         with self.obs.tracer.trace("session.campaign",
                                    app=app or self.app) as span:
             if cases is None:
@@ -242,7 +254,7 @@ class Session:
             report = run_campaign(app or self.app, factory, self.platform,
                                   self.profiles, cases, jobs=self.jobs,
                                   timeout=self.timeout, backend=self.backend,
-                                  telemetry=self.obs)
+                                  snapshot=snapshot, telemetry=self.obs)
             span.set(cases=len(report.results), outcome=report.outcome())
         if self.store is not None and report.summary is not None:
             report.summary.cache_hits = self.store.hits

@@ -442,6 +442,102 @@ class TestSharedCodeCache:
         CODE_CACHE.clear()
         assert all(v == 0 for v in CODE_CACHE.stats().values())
 
+    def test_lru_evicts_oldest_decoded_stream(self):
+        from repro.runtime.codecache import SharedCodeCache
+
+        cache = SharedCodeCache(capacity=2)
+        images = [_image(_loop_items(n), soname=f"lib{n}.so")
+                  for n in (5, 6, 7)]
+        for image in images:
+            cache.decoded(image)
+        assert cache.stats()["decode_misses"] == 3
+        # newest two still resident...
+        cache.decoded(images[2])
+        cache.decoded(images[1])
+        assert cache.stats()["decode_hits"] == 2
+        # ...but the oldest was evicted and must re-decode
+        cache.decoded(images[0])
+        assert cache.stats()["decode_misses"] == 4
+
+    def test_lru_evicts_oldest_module_code(self):
+        from repro.runtime.codecache import SharedCodeCache
+
+        cache = SharedCodeCache(capacity=2)
+        image = _image(_loop_items(5))
+        bases = [0x1000, 0x2000, 0x3000]
+        first = cache.module_code(image, bases[0], 0)
+        for base in bases[1:]:
+            cache.module_code(image, base, 0)
+        assert cache.stats()["module_misses"] == 3
+        # base 0x1000 aged out; a re-request builds a fresh ModuleCode
+        again = cache.module_code(image, bases[0], 0)
+        assert again is not first
+        assert cache.stats()["module_misses"] == 4
+
+    def test_concurrent_processes_share_templates(self):
+        """Thread-backend shape: one process per thread, all hammering
+        the shared cache.  Every thread must get the right result and
+        the same ModuleCode instance; counters stay coherent."""
+        import threading
+
+        CODE_CACHE.clear()
+        image = _image(_loop_items(8))
+        results, modules, errors = [], [], []
+
+        def worker():
+            try:
+                proc = Process(Kernel(), LINUX_X86)
+                module = proc.load(image)
+                results.append(proc.libcall("f"))
+                modules.append(proc._module_code[module.base])
+            except Exception as exc:            # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(set(results)) == 1           # all computed the same
+        # racing threads may redundantly decode/build, but the module
+        # layer re-checks under its lock, so every thread must end up
+        # sharing one ModuleCode (and its compiled templates)
+        assert len({id(mc) for mc in modules}) == 1
+
+        stats = CODE_CACHE.stats()
+        assert 1 <= stats["decode_misses"] <= 8
+        assert stats["module_hits"] + stats["module_misses"] == 8
+        assert stats["blocks_compiled"] >= 1
+        assert stats["template_hits"] > 0
+
+    def test_stats_coherent_under_thread_backend_campaign(
+            self, libc_profiles_linux):
+        """A jobs=4 thread-backend campaign over minidb: the shared
+        cache serves every worker; afterwards the counters must show
+        cross-worker reuse, not per-worker re-translation."""
+        from repro.cli import _campaign_factory
+
+        CODE_CACHE.clear()
+        factory = _campaign_factory("minidb", LINUX_X86)
+        cases = enumerate_cases(libc_profiles_linux,
+                                functions=["open", "read", "close"],
+                                max_codes_per_function=2)
+        report = run_campaign("minidb", factory, LINUX_X86,
+                              libc_profiles_linux, cases,
+                              jobs=4, backend="thread")
+        assert len(report.results) == len(cases)
+
+        stats = CODE_CACHE.stats()
+        # each case spins up fresh guest processes, yet images decode
+        # at most once per racing worker — not once per case
+        assert 1 <= stats["decode_misses"] <= 4 * stats["module_hits"] + 4
+        assert stats["module_hits"] >= 1
+        assert stats["blocks_compiled"] >= 1
+        # every case re-binds closures over shared templates: with
+        # len(cases) workloads the hits must dwarf the compiles
+        assert stats["template_hits"] > stats["blocks_compiled"]
+
 
 class TestPoolWarmup:
     def test_process_backend_invokes_warmup_in_parent(self):

@@ -1,0 +1,326 @@
+"""Unit tests for the checkpoint/restore engine.
+
+Covers the layers the campaign fork-server builds on:
+
+* ``Memory`` copy-on-write page journaling (snapshot_begin / restore /
+  end) and ``unmap_region``'s interaction with the aligned-u32
+  fast path and an active journal;
+* ``Vfs.clone``/``restore`` (hard links stay shared) and
+  ``Kernel.clone``/``restore`` (fd-table aliasing via the shared memo);
+* ``MachineSnapshot`` over a real guest (minidb) — restore rolls the
+  whole machine back bit-for-bit and replays deterministically;
+* ``SnapshotCache`` checkout/checkin accounting.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.apps.minidb import MiniDB
+from repro.errors import MemoryFault
+from repro.kernel import Kernel
+from repro.kernel.vfs import Vfs
+from repro.platform import LINUX_X86
+from repro.runtime import MachineSnapshot, SnapshotCache
+from repro.runtime.memory import PAGE_SIZE, Memory
+
+
+class TestMemorySnapshot:
+    def test_restore_rewinds_dirty_pages_only(self):
+        mem = Memory()
+        mem.map_region(0x1000, 4 * PAGE_SIZE)
+        mem.write(0x1000, b"prefix")
+        mem.write(0x3000, b"stable")
+        mem.snapshot_begin()
+        assert mem.snapshot_active
+        assert mem.snapshot_dirty_pages() == 0
+
+        mem.write(0x1000, b"DIRTY!")
+        mem.write_u32(0x2000, 0xDEADBEEF)    # page born after checkpoint
+        assert mem.snapshot_dirty_pages() == 2
+
+        restored = mem.snapshot_restore()
+        assert restored == 2
+        assert mem.read(0x1000, 6) == b"prefix"
+        assert mem.read(0x3000, 6) == b"stable"
+        # the post-checkpoint page dropped its backing entirely
+        assert mem.read(0x2000, 4) == b"\x00\x00\x00\x00"
+
+    def test_journal_rearms_after_restore(self):
+        mem = Memory()
+        mem.map_region(0, PAGE_SIZE)
+        mem.write(0, b"base")
+        mem.snapshot_begin()
+        for round_no in range(3):
+            mem.write(0, b"gen%d" % round_no)
+            assert mem.snapshot_restore() == 1
+            assert mem.read(0, 4) == b"base"
+        assert mem.snapshot_dirty_pages() == 0
+
+    def test_restore_rolls_back_regions_mapped_after_checkpoint(self):
+        mem = Memory()
+        mem.map_region(0, PAGE_SIZE)
+        mem.snapshot_begin()
+        mem.map_region(0x10000, PAGE_SIZE)   # guest mmap in the suffix
+        mem.write(0x10000, b"late")
+        mem.snapshot_restore()
+        assert not mem.is_mapped(0x10000, 1)
+        with pytest.raises(MemoryFault):
+            mem.read(0x10000, 4)
+
+    def test_snapshot_end_drops_checkpoint(self):
+        mem = Memory()
+        mem.map_region(0, PAGE_SIZE)
+        mem.snapshot_begin()
+        mem.snapshot_end()
+        assert not mem.snapshot_active
+        with pytest.raises(ValueError):
+            mem.snapshot_restore()
+
+    def test_unmap_during_snapshot_restores_mapping_and_bytes(self):
+        mem = Memory()
+        mem.map_region(0, 2 * PAGE_SIZE)
+        mem.write(PAGE_SIZE, b"keepme")
+        mem.snapshot_begin()
+        mem.unmap_region(PAGE_SIZE, PAGE_SIZE)
+        assert not mem.is_mapped(PAGE_SIZE, 1)
+        mem.snapshot_restore()
+        assert mem.is_mapped(PAGE_SIZE, PAGE_SIZE)
+        assert mem.read(PAGE_SIZE, 6) == b"keepme"
+
+
+class TestMemoryUnmap:
+    def test_unmap_invalidates_u32_fast_path(self):
+        mem = Memory()
+        mem.map_region(0x4000, PAGE_SIZE)
+        mem.write_u32(0x4000, 42)
+        # the aligned access above proved the page for the fast path
+        assert mem.read_u32(0x4000) == 42
+        mem.unmap_region(0x4000, PAGE_SIZE)
+        with pytest.raises(MemoryFault):
+            mem.read_u32(0x4000)
+        with pytest.raises(MemoryFault):
+            mem.write_u32(0x4000, 7)
+
+    def test_unmap_middle_splits_region(self):
+        mem = Memory()
+        mem.map_region(0, 3 * PAGE_SIZE)
+        for page in range(3):
+            mem.write_u32(page * PAGE_SIZE, page + 1)
+        mem.unmap_region(PAGE_SIZE, PAGE_SIZE)
+        assert mem.read_u32(0) == 1
+        assert mem.read_u32(2 * PAGE_SIZE) == 3
+        with pytest.raises(MemoryFault):
+            mem.read_u32(PAGE_SIZE)
+
+    def test_partial_page_unmap_zeroes_bytes_keeps_rest(self):
+        mem = Memory()
+        mem.map_region(0, PAGE_SIZE)
+        mem.write(0, b"A" * 64)
+        mem.unmap_region(16, 16)
+        assert mem.read(0, 16) == b"A" * 16
+        assert mem.read(32, 16) == b"A" * 16
+        with pytest.raises(MemoryFault):
+            mem.read(16, 16)
+        # whole-page aligned access must now take the slow path and fault
+        with pytest.raises(MemoryFault):
+            mem.read_u32(16)
+
+    def test_unmap_rejects_bad_size(self):
+        mem = Memory()
+        with pytest.raises(ValueError):
+            mem.unmap_region(0, 0)
+
+
+class TestVfsCloneRestore:
+    def test_clone_is_independent(self):
+        vfs = Vfs()
+        vfs.mkdir("/tmp")
+        vfs.write_file("/tmp/a", b"one")
+        frozen = vfs.clone()
+        vfs.write_file("/tmp/a", b"two")
+        vfs.write_file("/tmp/b", b"new")
+        assert frozen.read_file("/tmp/a") == b"one"
+        assert not frozen.exists("/tmp/b")
+
+    def test_restore_keeps_vfs_identity_and_contents(self):
+        vfs = Vfs()
+        vfs.mkdir("/tmp")
+        vfs.write_file("/tmp/a", b"one")
+        frozen = vfs.clone()
+        vfs.write_file("/tmp/a", b"dirty")
+        vfs.unlink("/tmp/a")
+        before = id(vfs)
+        vfs.restore(frozen)
+        assert id(vfs) == before
+        assert vfs.read_file("/tmp/a") == b"one"
+        # the frozen copy survives for the next restore
+        vfs.write_file("/tmp/a", b"dirty-again")
+        vfs.restore(frozen)
+        assert vfs.read_file("/tmp/a") == b"one"
+
+    def test_hard_links_stay_shared_across_clone(self):
+        vfs = Vfs()
+        vfs.mkdir("/tmp")
+        vfs.write_file("/tmp/orig", b"payload")
+        vfs.link("/tmp/orig", "/tmp/alias")
+        clone = vfs.clone()
+        node = clone.lookup("/tmp/orig")
+        node.data.extend(b"-more")
+        assert clone.read_file("/tmp/alias") == b"payload-more"
+        # and the original tree was not touched
+        assert vfs.read_file("/tmp/alias") == b"payload"
+
+
+class TestKernelCloneRestore:
+    def test_restore_rolls_back_kernel_state(self):
+        kernel = Kernel()
+        kernel.vfs.mkdir("/tmp")
+        kernel.vfs.write_file("/tmp/log", b"pre")
+        frozen = kernel.clone()
+        clock0, syscalls0 = kernel.clock_ns, kernel.syscall_count
+        kernel.vfs.write_file("/tmp/log", b"post")
+        kernel.vfs.write_file("/tmp/extra", b"x")
+        kernel.clock_ns += 1_000_000
+        kernel.syscall_count += 99
+        kernel.restore(frozen)
+        assert kernel.vfs.read_file("/tmp/log") == b"pre"
+        assert not kernel.vfs.exists("/tmp/extra")
+        assert kernel.clock_ns == clock0
+        assert kernel.syscall_count == syscalls0
+
+    def test_fd_table_aliases_cloned_vnodes(self):
+        """A deepcopy of KProcState with the kernel-clone memo must
+        point at the *cloned* VFS tree, not the live one — that's what
+        keeps restored fds coherent with the restored filesystem."""
+        from repro.apps.minidb import MiniDB
+
+        db = MiniDB(Kernel(os_name=LINUX_X86.os), LINUX_X86)
+        db.execute("create table t k v")
+        db.execute("insert into t 1 a")
+        kernel, proc = db.kernel, db.proc
+        memo: dict = {}
+        frozen = kernel.clone(memo)
+        kstate = copy.deepcopy(proc.kstate, memo)
+        live_nodes = {id(fd.node) for fd in proc.kstate.fds.values()
+                      if getattr(fd, "node", None) is not None}
+        for fd in kstate.fds.values():
+            node = getattr(fd, "node", None)
+            if node is not None:
+                assert id(node) not in live_nodes
+
+
+class TestMachineSnapshot:
+    def _workload(self):
+        kernel = Kernel(os_name=LINUX_X86.os)
+        db = MiniDB(kernel, LINUX_X86)
+        db.execute("create table t k v")
+        for i in range(4):
+            db.execute(f"insert into t {i} v{i}")
+        return kernel, db
+
+    def test_restore_is_bit_identical(self):
+        kernel, db = self._workload()
+        snap = MachineSnapshot.capture(kernel.processes)
+        digest0 = db.proc.memory.content_digest()
+        instr0 = db.proc.cpu.instructions_executed
+        wal0 = {p: kernel.vfs.read_file(p)
+                for p in ("/db/t.tbl",) if kernel.vfs.exists(p)}
+
+        db.execute("insert into t 99 suffix")
+        db.checkpoint()
+        assert db.proc.memory.content_digest() != digest0 \
+            or db.proc.cpu.instructions_executed != instr0
+
+        stats = snap.restore()
+        assert stats.dirty_pages > 0
+        assert stats.bytes_restored == stats.dirty_pages * PAGE_SIZE
+        assert db.proc.memory.content_digest() == digest0
+        assert db.proc.cpu.instructions_executed == instr0
+        for path, data in wal0.items():
+            assert kernel.vfs.read_file(path) == data
+        snap.detach()
+
+    def test_replay_is_deterministic(self):
+        kernel, db = self._workload()
+        snap = MachineSnapshot.capture(kernel.processes)
+
+        def suffix():
+            db.execute("insert into t 99 suffix")
+            rows = db.execute("select from t where k 99")
+            return (db.proc.memory.content_digest(),
+                    db.proc.cpu.instructions_executed, rows)
+
+        first = suffix()
+        snap.restore()
+        second = suffix()
+        assert first == second
+        snap.detach()
+
+    def test_restore_drops_processes_spawned_after_capture(self):
+        from repro.runtime import Process
+
+        kernel, db = self._workload()
+        count0 = len(kernel.processes)
+        snap = MachineSnapshot.capture(kernel.processes)
+        Process(kernel, LINUX_X86)      # driver process born post-capture
+        assert len(kernel.processes) == count0 + 1
+        snap.restore()
+        assert len(kernel.processes) == count0
+        snap.detach()
+
+    def test_image_digest_is_stable(self):
+        kernel, db = self._workload()
+        snap = MachineSnapshot.capture(kernel.processes)
+        kernel2, db2 = self._workload()
+        snap2 = MachineSnapshot.capture(kernel2.processes)
+        assert snap.image_digest == snap2.image_digest
+        snap.detach()
+        snap2.detach()
+
+
+class TestSnapshotCache:
+    def test_acquire_builds_once_then_reuses(self):
+        cache = SnapshotCache()
+        built = []
+
+        def build():
+            built.append(1)
+            return object()
+
+        key = ("digest", "workload", "close")
+        first = cache.acquire(key, build)
+        cache.release(key, first)
+        second = cache.acquire(key, build)
+        assert second is first
+        assert len(built) == 1
+        stats = cache.stats()
+        assert stats["built"] == 1
+        assert stats["reused"] == 1
+
+    def test_distinct_keys_do_not_share(self):
+        cache = SnapshotCache()
+        a = cache.acquire(("d", "w", "read"), object)
+        b = cache.acquire(("d", "w", "write"), object)
+        assert a is not b
+
+    def test_discard_drops_a_poisoned_instance(self):
+        cache = SnapshotCache()
+        key = ("d", "w", "open")
+        inst = cache.acquire(key, object)
+        cache.discard(inst)
+        again = cache.acquire(key, object)
+        assert again is not inst
+        assert cache.stats()["discarded"] == 1
+
+    def test_prime_prebuilds_for_fork_inheritance(self):
+        cache = SnapshotCache()
+        key = ("d", "w", "fsync")
+        assert cache.prime(key, object) is True
+        assert cache.prime(key, object) is False    # already present
+        assert cache.stats()["built"] == 1
+        inst = cache.acquire(key, object)
+        assert inst is not None
+        assert cache.stats()["reused"] == 1
