@@ -314,7 +314,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                       timeout=args.timeout, backend=args.backend,
                       snapshot=args.snapshot,
                       store=args.store, heuristics=heuristics,
-                      telemetry=telemetry)
+                      telemetry=telemetry,
+                      results_dir=args.results_dir, resume=args.resume)
     session.load(libc(platform))
     report = session.campaign(
         _campaign_factory(args.app, platform),
@@ -322,6 +323,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         call_ordinals=tuple(args.call_ordinal or [1]),
         max_codes_per_function=args.max_codes)
 
+    if report.resumed is not None and report.resumed["skipped"]:
+        _notice(args, f"resumed: {report.resumed['skipped']} cases from "
+                      f"the result journal, {report.resumed['replayed']} "
+                      f"(re)run", **report.resumed)
     if args.json:
         print(report.to_json())
     else:
@@ -346,6 +351,46 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             indent=2, sort_keys=True) + "\n")
         _notice(args, f"span tree -> {args.trace_out}")
     return 0 if report.outcome() == "ok" else 1
+
+
+def cmd_triage(args: argparse.Namespace) -> int:
+    """Deduplicate a journaled campaign's failures into ranked buckets."""
+    from .core.results import ResultStore, triage_records
+
+    store = ResultStore(args.results_dir,
+                        telemetry=getattr(args, "telemetry", NULL_TELEMETRY))
+    if args.list:
+        campaigns = store.campaigns()
+        if not campaigns:
+            _notice(args, f"no campaigns recorded in {args.results_dir}")
+        for entry in campaigns:
+            outcomes = ", ".join(f"{k}={n}" for k, n
+                                 in sorted(entry["outcomes"].items()))
+            print(f"{entry['campaign'][:12]}  {entry['app'] or '?':<10} "
+                  f"{entry['cases']:>5} cases  ({outcomes})")
+        return 0
+    key = store.resolve(args.campaign)
+    records = store.load(key)
+    journal = store.open_campaign(key)
+    report = triage_records(key, records.values(), app=journal.app,
+                            include_errors=args.include_errors)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    if args.replay_dir:
+        out = Path(args.replay_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        written = 0
+        for i, bucket in enumerate(report.buckets, 1):
+            if not bucket.replay_xml:
+                continue
+            path = out / f"bucket-{i:02d}-{bucket.key}.xml"
+            path.write_text(bucket.replay_xml)
+            written += 1
+        _notice(args, f"{written} replay plans -> {args.replay_dir}",
+                replays=written)
+    return 0 if not report.buckets else 1
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -381,6 +426,11 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(f"profile cache: {cache['hits']} hits, "
               f"{cache['misses']} misses"
               + (f" ({ratio:.0%} hit ratio)" if ratio is not None else ""))
+    durable = summary.get("results") or {}
+    if durable.get("campaigns"):
+        print(f"result store: {durable['skipped']} cases resumed from "
+              f"the journal, {durable['replayed']} executed "
+              f"({durable['campaigns']} journaled campaign(s))")
     snaps = summary.get("snapshots") or {}
     if snaps.get("taken") or snaps.get("restored"):
         restored = snaps.get("restored", 0)
@@ -530,6 +580,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "per case (results stay bit-identical)")
     p.add_argument("--store",
                    help="profile-cache directory")
+    p.add_argument("--results-dir", metavar="DIR",
+                   help="durable result store: journal every finished "
+                        "case so interrupted runs can resume and "
+                        "'repro triage' can dissect them")
+    p.add_argument("--resume", action="store_true",
+                   help="skip cases already journaled in --results-dir "
+                        "under the same campaign key")
     p.add_argument("--heuristics", action="store_true",
                    help="enable the unsound §3.1 profile filters")
     p.add_argument("--json", action="store_true",
@@ -540,6 +597,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", metavar="PATH",
                    help="write the run's span tree here as JSON")
     p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser("triage",
+                       help="deduplicate a journaled campaign's failures "
+                            "into ranked buckets with replay plans")
+    p.add_argument("results_dir",
+                   help="result store directory (campaign --results-dir)")
+    p.add_argument("--campaign", metavar="PREFIX", default=None,
+                   help="campaign key prefix (default: the store's only "
+                        "campaign)")
+    p.add_argument("--list", action="store_true",
+                   help="list the store's campaigns and exit")
+    p.add_argument("--include-errors", action="store_true",
+                   help="also bucket graceful error-exit outcomes")
+    p.add_argument("--replay-dir", metavar="DIR",
+                   help="write one replay plan XML per bucket here")
+    p.add_argument("--json", action="store_true",
+                   help="print the triage report as JSON")
+    p.set_defaults(fn=cmd_triage)
 
     p = sub.add_parser("stats",
                        help="reconstruct run statistics from a "

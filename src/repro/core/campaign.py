@@ -103,6 +103,10 @@ class CaseResult:
     #: replay bookkeeping when the case ran from a workload checkpoint:
     #: group, dirty pages, bytes and restore seconds (None = fresh run)
     snapshot: Optional[Dict[str, Any]] = None
+    #: the case's logbook injection sites as plain dicts (see
+    #: :func:`injection_sites`) — the stack-hash currency failure
+    #: triage buckets by; crosses the process-backend pickle boundary
+    sites: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def tolerated(self) -> bool:
@@ -127,6 +131,26 @@ class CaseResult:
         }
 
 
+def injection_sites(records) -> List[Dict[str, Any]]:
+    """Serialize logbook :class:`InjectionRecord` rows for a result.
+
+    Plain JSON-able dicts: they ride on :attr:`CaseResult.sites` across
+    the process backend and into the durable result journal, where
+    triage hashes the stack frames into bucket keys.
+    """
+    return [{
+        "sequence": r.sequence,
+        "test": r.test_id,
+        "function": r.function,
+        "call": r.call_number,
+        "retval": r.retval,
+        "errno": r.errno,
+        "calloriginal": r.calloriginal,
+        "modifications": list(r.modifications),
+        "stack": list(r.stacktrace),
+    } for r in records]
+
+
 @dataclass
 class CampaignReport:
     """The complete fault-tolerance matrix."""
@@ -135,6 +159,9 @@ class CampaignReport:
     results: List[CaseResult] = field(default_factory=list)
     duration: float = 0.0           # wall-clock seconds of the whole run
     summary: Any = None             # RunSummary when run via core.exec
+    #: set when a result journal was attached: how many cases the
+    #: journal satisfied vs. how many actually (re-)ran
+    resumed: Optional[Dict[str, int]] = None
 
     def fired(self) -> List[CaseResult]:
         return [r for r in self.results if r.fired]
@@ -210,6 +237,8 @@ class CampaignReport:
             "results": [r.to_dict() for r in self.results],
             "summary": (self.summary.to_dict()
                         if self.summary is not None else None),
+            **({"resumed": dict(self.resumed)}
+               if self.resumed is not None else {}),
         }
 
     def to_json(self) -> str:
@@ -247,7 +276,10 @@ def run_campaign(app: str,
                  timeout: Optional[float] = None,
                  backend: Optional[str] = None,
                  snapshot: bool = False,
-                 telemetry=None) -> CampaignReport:
+                 telemetry=None,
+                 results=None,
+                 results_key: Optional[Mapping[str, Any]] = None,
+                 resume: bool = False) -> CampaignReport:
     """Run every fault case as its own monitored test.
 
     With the defaults (``jobs=1``, no timeout) cases run inline exactly
@@ -263,9 +295,18 @@ def run_campaign(app: str,
     the post-trigger suffix per case; results are bit-identical to
     fresh runs (cases whose trigger would fire inside the prefix fall
     back to a fresh execution automatically).
+
+    ``results`` (a :class:`~repro.core.results.ResultStore`) journals
+    every finished case durably as the run drains; ``resume=True``
+    additionally satisfies already-journaled cases from the store
+    instead of re-running them.  ``results_key`` supplies extra
+    campaign-identity components (images, heuristics, workload) for the
+    store's content-addressed key.
     """
     from .exec.engine import execute_campaign
 
     return execute_campaign(app, factory, platform, profiles, cases,
                             jobs=jobs, timeout=timeout, backend=backend,
-                            snapshot=snapshot, telemetry=telemetry)
+                            snapshot=snapshot, telemetry=telemetry,
+                            results=results, results_key=results_key,
+                            resume=resume)

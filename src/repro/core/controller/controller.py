@@ -216,7 +216,8 @@ class Controller:
             self.telemetry.events.emit(
                 "test", test=tid, status=status, exit_code=exit_code,
                 injections=injected,
-                evaluations=self.engine.evaluations)
+                evaluations=self.engine.evaluations,
+                seed=self.plan.seed)
         return outcome
 
     def run_campaign(self, test_fns: Sequence[Callable[[], Optional[int]]],

@@ -203,14 +203,42 @@ def _case_runner(factory, platform: Platform,
                      telemetry=case_telemetry)
     session = factory(lfi)
     outcome = lfi.run_test(session, test_id=case.case_id())
+    from ..campaign import injection_sites
     result = CaseResult(case=case, outcome=outcome,
                         fired=lfi.injections > 0,
-                        instructions=lfi.instructions_executed)
+                        instructions=lfi.instructions_executed,
+                        sites=injection_sites(
+                            lfi.logbook.for_test(case.case_id())))
     if capture:
         result.events = [event.to_dict() for event in sink.events]
         result.metrics = case_telemetry.metrics.snapshot()
         result.worker = _worker_label()
     return result
+
+
+def _finish_case(case, task: TaskResult, pool: WorkerPool):
+    """One drained pool task → its final :class:`CaseResult`."""
+    from ..campaign import CaseResult
+
+    if task.status == TASK_OK:
+        result = task.value
+        result.seconds = task.seconds
+        return result
+    if task.status == TASK_HUNG:
+        detail = (f"worker exceeded the {pool.timeout:g}s per-case "
+                  f"timeout" if pool.timeout else "worker hung")
+        return CaseResult(
+            case=case,
+            outcome=TestOutcome(test_id=case.case_id(),
+                                status=STATUS_HUNG, detail=detail),
+            fired=True, seconds=task.seconds)
+    # crashed worker, or the harness itself raised
+    return CaseResult(
+        case=case,
+        outcome=TestOutcome(test_id=case.case_id(),
+                            status=STATUS_CRASHED,
+                            detail=str(task.error or "worker died")),
+        fired=True, seconds=task.seconds)
 
 
 def execute_campaign(app: str,
@@ -223,7 +251,10 @@ def execute_campaign(app: str,
                      backend: Optional[str] = None,
                      pool: Optional[WorkerPool] = None,
                      snapshot: bool = False,
-                     telemetry=None):
+                     telemetry=None,
+                     results=None,
+                     results_key: Optional[Mapping[str, Any]] = None,
+                     resume: bool = False):
     """Fan the campaign's fault cases out over a worker pool.
 
     Results come back in case order regardless of worker count, so a
@@ -244,6 +275,17 @@ def execute_campaign(app: str,
     re-emitted into the shared event log in case order (tagged with the
     case id and the worker that ran it), worker-side metrics are merged
     into the shared registry, and pool/queue statistics are recorded.
+
+    ``results`` attaches a durable
+    :class:`~repro.core.results.ResultStore`: every finished case is
+    journaled **from the parent, in case order, as the pool drains** —
+    under every backend — so a crashed worker, an OOM-killed run or a
+    ``^C`` loses at most the in-flight cases.  ``resume=True``
+    satisfies cases already journaled under the same content-addressed
+    campaign key (see ``results_key``) from the store instead of
+    re-running them; their stored events and metrics are re-emitted in
+    case order, so the final report, event stream and metrics match an
+    uninterrupted run.
     """
     from ..campaign import CampaignReport, CaseResult
 
@@ -256,6 +298,34 @@ def execute_campaign(app: str,
         pool.metrics = tele.metrics
     profiles = dict(profiles)
     capture = tele.enabled
+
+    journal = None
+    case_keys: List[str] = []
+    restored: Dict[int, CaseResult] = {}
+    restored_tasks: Dict[int, TaskResult] = {}
+    if results is not None:
+        from ..results import case_digest, restore_result
+        identity = dict(results_key or {})
+        identity.setdefault("app", app)
+        identity.setdefault("platform", platform)
+        identity.setdefault("profiles", profiles)
+        journal = results.open_campaign(
+            results.campaign_key(**identity), app=app)
+        case_keys = [case_digest(case) for case in case_list]
+        if resume:
+            finished = journal.finished()
+            for index, key in enumerate(case_keys):
+                record = finished.get(key)
+                if record is None:
+                    continue
+                restored[index] = restore_result(case_list[index], record)
+                restored_tasks[index] = TaskResult(
+                    index=index, status=record.get("task_status", TASK_OK),
+                    seconds=record.get("seconds", 0.0), waited=0.0)
+
+    pending = [(index, case) for index, case in enumerate(case_list)
+               if index not in restored]
+    pending_cases = [case for _, case in pending]
 
     runner = None
     if snapshot:
@@ -270,19 +340,19 @@ def execute_campaign(app: str,
             return runner.run_case(case)
         return _case_runner(factory, platform, profiles, case, capture)
 
-    if pool.backend == PROCESS and case_list and pool.warmup is None:
+    if pool.backend == PROCESS and pending_cases and pool.warmup is None:
         if runner is not None:
             # build every checkpoint in the parent: forked children
             # inherit guests parked at the snapshot point (and the warm
             # code cache) with an empty dirty-page set
             def _warm_snapshots():
-                runner.warm(case_list)
+                runner.warm(pending_cases)
             pool.warmup = _warm_snapshots
         else:
             # prime the shared code cache in the parent: the first case
             # decodes and block-compiles every image, and each forked
             # child then inherits the warm cache instead of re-translating
-            def _warm_first(case=case_list[0]):
+            def _warm_first(case=pending_cases[0]):
                 _case_runner(factory, platform, profiles, case, False)
             pool.warmup = _warm_first
 
@@ -291,50 +361,76 @@ def execute_campaign(app: str,
                          jobs=pool.jobs, backend=pool.backend,
                          timeout=pool.timeout,
                          snapshot=runner is not None)
+        if journal is not None:
+            tele.events.emit("campaign.resume", app=app,
+                             campaign=journal.key,
+                             resume=resume, skipped=len(restored),
+                             replayed=len(pending))
+            hits = tele.metrics.counter(
+                "repro_result_store_hits_total",
+                "Campaign cases satisfied from the durable result journal")
+            misses = tele.metrics.counter(
+                "repro_result_store_misses_total",
+                "Campaign cases executed and journaled durably")
+            if restored:
+                hits.inc(len(restored))
+            if pending:
+                misses.inc(len(pending))
+
+    def journal_progress(task: TaskResult) -> None:
+        # runs in the parent as each case (in input order) drains; the
+        # flush-per-record journal is what --resume picks up after a
+        # crash, so this must not wait for the pool to finish
+        index, case = pending[task.index]
+        journal.record(case_keys[index], case,
+                       _finish_case(case, task, pool), task.status)
+
     cache_before = CODE_CACHE.stats()
     started = time.perf_counter()
-    tasks = pool.map(run_one, case_list)
+    try:
+        tasks = pool.map(run_one, pending_cases,
+                         progress=journal_progress
+                         if journal is not None else None)
+    finally:
+        if journal is not None:
+            journal.close()
     duration = time.perf_counter() - started
 
-    results: List[CaseResult] = []
-    for case, task in zip(case_list, tasks):
-        if task.status == TASK_OK:
-            result = task.value
-            result.seconds = task.seconds
-        elif task.status == TASK_HUNG:
-            detail = (f"worker exceeded the {pool.timeout:g}s per-case "
-                      f"timeout" if pool.timeout else "worker hung")
-            result = CaseResult(
-                case=case,
-                outcome=TestOutcome(test_id=case.case_id(),
-                                    status=STATUS_HUNG, detail=detail),
-                fired=True, seconds=task.seconds)
-        else:       # crashed worker, or the harness itself raised
-            result = CaseResult(
-                case=case,
-                outcome=TestOutcome(test_id=case.case_id(),
-                                    status=STATUS_CRASHED,
-                                    detail=str(task.error or "worker died")),
-                fired=True, seconds=task.seconds)
+    task_by_index = {index: task
+                     for (index, _), task in zip(pending, tasks)}
+    all_tasks = [restored_tasks.get(i, task_by_index.get(i))
+                 for i in range(len(case_list))]
+
+    results_list: List[CaseResult] = []
+    for index, case in enumerate(case_list):
+        if index in restored:
+            result = restored[index]
+        else:
+            result = _finish_case(case, task_by_index[index], pool)
         if tele.enabled:
             _replay_case_telemetry(tele, case, result)
-        results.append(result)
+        results_list.append(result)
 
-    report = CampaignReport(app=app, results=results, duration=duration)
+    report = CampaignReport(app=app, results=results_list,
+                            duration=duration)
+    if journal is not None:
+        report.resumed = {"skipped": len(restored),
+                          "replayed": len(pending)}
     run_registry = MetricsRegistry()
     report.summary = summarize_tasks("campaign", app, report.outcome(),
-                                     duration, tasks, pool,
+                                     duration, all_tasks, pool,
                                      registry=run_registry)
     if tele.enabled:
-        _record_execution_metrics(tele, results, cache_before)
+        _record_execution_metrics(tele, results_list, cache_before)
         tele.metrics.merge(run_registry.snapshot())
         end_fields = dict(app=app, outcome=report.outcome(),
-                          duration=round(duration, 6), cases=len(results))
+                          duration=round(duration, 6),
+                          cases=len(results_list))
         if runner is not None:
             stats = runner.cache.stats()
             end_fields.update(
                 snapshots_built=stats["built"],
-                snapshot_replays=sum(1 for r in results
+                snapshot_replays=sum(1 for r in results_list
                                      if getattr(r, "snapshot", None)),
                 snapshot_fallbacks=runner.fallbacks)
         tele.events.emit("campaign.end", **end_fields)

@@ -178,9 +178,17 @@ class WorkerPool:
 
     # -- public API --------------------------------------------------------
 
-    def map(self, fn: Callable[[Any], Any],
-            items: Iterable[Any]) -> List[TaskResult]:
-        """Run ``fn`` over ``items``; results come back in input order."""
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any],
+            progress: Optional[Callable[[TaskResult], None]] = None
+            ) -> List[TaskResult]:
+        """Run ``fn`` over ``items``; results come back in input order.
+
+        ``progress`` is invoked in the calling thread, in **input
+        order**, with each task's result as soon as it (and every task
+        before it) has finished — campaigns use it to journal results
+        durably while later cases are still running.  A raising
+        callback aborts the run.
+        """
         items = list(items)
         if not items:
             return []
@@ -191,15 +199,16 @@ class WorkerPool:
                 pass        # warmup is best-effort cache priming
         started = time.monotonic()
         if self.backend == SERIAL:
-            results = self._map_serial(fn, items)
+            results = self._map_serial(fn, items, progress)
         elif self.backend == PROCESS:
             results = self._map_threaded(
                 lambda item: self._invoke_subprocess(fn, item), items,
-                reap_timeout=None)     # the subprocess join enforces it
+                reap_timeout=None,     # the subprocess join enforces it
+                progress=progress)
         else:
             results = self._map_threaded(
                 lambda item: _invoke_inline(fn, item), items,
-                reap_timeout=self.timeout)
+                reap_timeout=self.timeout, progress=progress)
         if self.metrics.enabled:
             self._record_metrics(results, time.monotonic() - started)
         return results
@@ -233,7 +242,8 @@ class WorkerPool:
 
     # -- serial backend ----------------------------------------------------
 
-    def _map_serial(self, fn, items: Sequence[Any]) -> List[TaskResult]:
+    def _map_serial(self, fn, items: Sequence[Any],
+                    progress=None) -> List[TaskResult]:
         results = []
         t0 = time.monotonic()
         for index, item in enumerate(items):
@@ -247,12 +257,15 @@ class WorkerPool:
             else:
                 result.error = payload
             results.append(result)
+            if progress is not None:
+                progress(result)
         return results
 
     # -- threaded dispatcher (thread + process backends) --------------------
 
     def _map_threaded(self, invoke, items: Sequence[Any],
-                      reap_timeout: Optional[float]) -> List[TaskResult]:
+                      reap_timeout: Optional[float],
+                      progress=None) -> List[TaskResult]:
         tasks = [_Task(i, item) for i, item in enumerate(items)]
         lock = threading.Lock()
         slots = threading.Semaphore(self.jobs)
@@ -297,13 +310,19 @@ class WorkerPool:
             threading.Thread(target=worker, args=(task,), daemon=True,
                              name=f"repro-pool-{task.index}").start()
 
+        results: List[TaskResult] = []
         for task in tasks:
             if reap_timeout is None:
                 task.done.wait()
             else:
                 while not task.done.wait(timeout=_TICK):
                     reap_expired()
-        return [task.as_result() for task in tasks]
+            results.append(task.as_result())
+            if progress is not None:
+                # in the supervising thread, in input order: the task
+                # (and every task before it) is finished at this point
+                progress(results[-1])
+        return results
 
     # -- process backend ----------------------------------------------------
 

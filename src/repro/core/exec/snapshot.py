@@ -278,9 +278,12 @@ class SnapshotRunner:
         before = injector.injection_count
         outcome = lfi.run_test(lambda: self.factory.run(lfi, ctx),
                                test_id=case.case_id())
+        from ..campaign import injection_sites
         result = CaseResult(case=case, outcome=outcome,
                             fired=injector.injection_count - before > 0,
-                            instructions=lfi.instructions_executed)
+                            instructions=lfi.instructions_executed,
+                            sites=injection_sites(
+                                lfi.logbook.for_test(case.case_id())))
         if self.capture:
             result.events = [event.to_dict() for event in sink.events]
             result.metrics = case_telemetry.metrics.snapshot()

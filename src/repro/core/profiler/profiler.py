@@ -57,8 +57,9 @@ def _renamed_kwarg(legacy: Dict[str, object], old: str, new: str,
     """DeprecationWarning shim for a renamed keyword argument."""
     if old in legacy:
         warnings.warn(
-            f"{owner}: keyword argument {old!r} is deprecated; "
-            f"use {new!r}", DeprecationWarning, stacklevel=3)
+            f"{owner}: keyword argument {old!r} is deprecated and will "
+            f"be removed in 2.0; use {new!r}",
+            DeprecationWarning, stacklevel=3)
         value = legacy.pop(old)
         if current is None:
             current = value

@@ -1,0 +1,26 @@
+"""Durable campaign results: on-disk store, crash-safe resume, triage.
+
+See :mod:`repro.core.results.store` for the content-addressed journal
+and :mod:`repro.core.results.triage` for failure deduplication.
+"""
+
+from .store import (CampaignJournal, RESULT_SCHEMA, ResultStore,
+                    campaign_digest, case_digest, restore_result,
+                    result_record)
+from .triage import (FailureBucket, TriageReport, bucket_key,
+                     outcome_class, triage_records)
+
+__all__ = [
+    "CampaignJournal",
+    "FailureBucket",
+    "RESULT_SCHEMA",
+    "ResultStore",
+    "TriageReport",
+    "bucket_key",
+    "campaign_digest",
+    "case_digest",
+    "outcome_class",
+    "restore_result",
+    "result_record",
+    "triage_records",
+]

@@ -9,6 +9,7 @@ returns).  Testers can then prune or extend the generated plans.
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ...kernel.errno import ERRNO_NAMES
@@ -62,24 +63,52 @@ def exhaustive_plan(profiles: Dict[str, LibraryProfile],
     return plan
 
 
+def derive_plan_seed(name: str, probability: float,
+                     functions: Iterable[str]) -> int:
+    """A concrete, content-derived default seed for a random plan.
+
+    ``Plan.seed=None`` would make the trigger engine seed its RNG from
+    OS entropy — two runs of the *same plan XML* would then inject
+    different faults, and neither replay nor campaign resume can work.
+    Deriving the default from the plan's identity keeps unseeded plans
+    reproducible while still varying across different plans.
+    """
+    text = f"{name}|{probability!r}|{','.join(sorted(functions))}"
+    return zlib.crc32(text.encode("utf-8"))
+
+
 def random_plan(profiles: Dict[str, LibraryProfile], probability: float,
                 *, seed: Optional[int] = None,
                 functions: Optional[Sequence[str]] = None,
                 calloriginal: bool = False) -> Plan:
-    """Probability-driven faultload over the profiled functions."""
-    plan = Plan(name=f"random-p{probability}", seed=seed)
+    """Probability-driven faultload over the profiled functions.
+
+    Without an explicit ``seed`` a concrete default is derived from the
+    plan's content (see :func:`derive_plan_seed`) and recorded on the
+    plan — and thus in its XML — so the generated faultload is
+    reproducible either way.
+    """
+    name = f"random-p{probability}"
+    triggers: List[FunctionTrigger] = []
     wanted = set(functions) if functions is not None else None
     for soname in sorted(profiles):
-        for name in profiles[soname].function_names():
-            if wanted is not None and name not in wanted:
+        for fn_name in profiles[soname].function_names():
+            if wanted is not None and fn_name not in wanted:
                 continue
             codes = error_codes_from_profile(
-                profiles[soname].functions[name])
+                profiles[soname].functions[fn_name])
             if not codes:
                 continue
-            plan.add(FunctionTrigger(
-                function=name, mode=INJECT_RANDOM, probability=probability,
-                codes=tuple(codes), calloriginal=calloriginal))
+            triggers.append(FunctionTrigger(
+                function=fn_name, mode=INJECT_RANDOM,
+                probability=probability, codes=tuple(codes),
+                calloriginal=calloriginal))
+    if seed is None:
+        seed = derive_plan_seed(name, probability,
+                                (t.function for t in triggers))
+    plan = Plan(name=name, seed=seed)
+    for trigger in triggers:
+        plan.add(trigger)
     return plan
 
 

@@ -90,10 +90,12 @@ class FunctionTrigger:
                              INJECT_EXHAUSTIVE):
             raise ScenarioError(f"bad inject mode {self.mode!r}")
         if self.mode == INJECT_NTH and self.nth < 1:
-            raise ScenarioError("nth-call triggers need a positive count")
+            raise ScenarioError(f"nth-call trigger for {self.function!r} "
+                                f"needs a positive count")
         if self.mode == INJECT_RANDOM \
                 and not (0.0 < self.probability <= 1.0):
-            raise ScenarioError("random triggers need 0 < probability <= 1")
+            raise ScenarioError(f"random trigger for {self.function!r} "
+                                f"needs 0 < probability <= 1")
 
     def wants_injection(self) -> bool:
         """Whether firing injects a fault (vs. only modifying arguments)."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..profiles import LibraryProfile
-from .generate import error_codes_from_profile
+from .generate import derive_plan_seed, error_codes_from_profile
 from .model import INJECT_EXHAUSTIVE, INJECT_RANDOM, FunctionTrigger, Plan
 
 FILE_IO_FUNCTIONS = ("open", "close", "read", "write", "lseek", "unlink",
@@ -31,6 +31,10 @@ IO_FUNCTIONS = FILE_IO_FUNCTIONS + SOCKET_IO_FUNCTIONS
 def _preset(libc_profile: LibraryProfile, functions: Sequence[str],
             name: str, *, probability: Optional[float],
             seed: Optional[int]) -> Plan:
+    if probability is not None and seed is None:
+        # random presets must stay reproducible without an explicit
+        # seed (exhaustive ones use no RNG at all)
+        seed = derive_plan_seed(name, probability, functions)
     plan = Plan(name=name, seed=seed)
     for fn in functions:
         fp = libc_profile.functions.get(fn)

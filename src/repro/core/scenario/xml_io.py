@@ -150,7 +150,21 @@ def _parse_inject(el: ET.Element,
     if inject == INJECT_EXHAUSTIVE:
         return INJECT_EXHAUSTIVE, 0, 0.0
     if inject == INJECT_RANDOM:
-        probability = float(el.get("probability", "0"))
+        # agree with the builder path: FunctionTrigger.__post_init__
+        # rejects probability <= 0, so a missing attribute must not
+        # silently parse as 0.0 and fail later with less context
+        name = el.get("name", "?")
+        probability_text = el.get("probability")
+        if probability_text is None:
+            raise ScenarioError(
+                f"random trigger for {name!r} needs a probability "
+                f"attribute (0 < probability <= 1)")
+        try:
+            probability = float(probability_text)
+        except ValueError:
+            raise ScenarioError(
+                f"random trigger for {name!r} has a bad probability "
+                f"{probability_text!r}") from None
         return INJECT_RANDOM, 0, probability
     try:
         return INJECT_NTH, int(inject), 0.0

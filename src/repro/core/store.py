@@ -265,7 +265,8 @@ def _legacy_images(legacy, images):
     if "libraries" in legacy:
         warnings.warn(
             "ProfileStore.profile_or_load: keyword argument 'libraries' "
-            "is deprecated; use 'images'", DeprecationWarning, stacklevel=3)
+            "is deprecated and will be removed in 2.0; use 'images'",
+            DeprecationWarning, stacklevel=3)
         value = legacy.pop("libraries")
         if images is None:
             images = value

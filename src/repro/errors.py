@@ -96,5 +96,9 @@ class ControllerError(ReproError):
     """The LFI controller could not synthesize or drive an experiment."""
 
 
+class ResultsError(ReproError):
+    """The campaign result store is missing, ambiguous, or corrupt."""
+
+
 class DocParseError(ReproError):
     """Library documentation could not be parsed."""

@@ -131,6 +131,12 @@ def decode_instruction(code: bytes, offset: int, abi: Abi) -> Tuple[Instruction,
             elif tag == _TAG_MEM:
                 flags = code[offset]
                 offset += 1
+                if flags & ~0x07:
+                    # only bits 0-2 are defined; accepting stray bits
+                    # would decode bytes that cannot re-encode
+                    raise DecodingError(
+                        f"bad memory operand flags {flags:#x} "
+                        f"at {offset - 1:#x}")
                 base = index = None
                 scale = 1
                 if flags & 1:

@@ -268,6 +268,7 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
     cases = 0
     snapshots = {"taken": 0, "restored": 0, "dirty_pages": 0,
                  "restored_bytes": 0, "restore_seconds": 0.0}
+    results = {"campaigns": 0, "skipped": 0, "replayed": 0}
     for record in events:
         kind = record.get("kind", "?")
         kinds[kind] = kinds.get(kind, 0) + 1
@@ -293,6 +294,10 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
                 snapshots["restored_bytes"] += int(fields.get("bytes") or 0)
                 snapshots["restore_seconds"] += float(fields.get("seconds")
                                                       or 0.0)
+        elif kind == "campaign.resume":
+            results["campaigns"] += 1
+            results["skipped"] += int(fields.get("skipped") or 0)
+            results["replayed"] += int(fields.get("replayed") or 0)
         elif kind == "span" and "span" in fields:
             spans.append(fields["span"])
         elif kind == "metrics.snapshot" and "metrics" in fields:
@@ -307,6 +312,7 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
         "injections_by_errno": injections_by_errno,
         "cache": _cache_stats(metrics),
         "snapshots": snapshots,
+        "results": results,
         "metrics": metrics,
         "spans": spans,
     }

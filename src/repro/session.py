@@ -81,6 +81,15 @@ class Session:
         ``Telemetry.to_file("run.jsonl")``) streams structured events,
         metrics and spans for the whole session.  Inspect with
         :meth:`telemetry`.
+    results_dir:
+        Optional durable campaign result store — a directory path or a
+        :class:`~repro.core.results.ResultStore`.  Campaigns journal
+        every finished case as the run drains, so interrupted runs can
+        be resumed and ``repro triage`` can dissect them afterwards.
+    resume:
+        Default for :meth:`campaign`'s ``resume`` flag: satisfy
+        already-journaled cases from ``results_dir`` instead of
+        re-running them.
     """
 
     def __init__(self, platform: Union[Platform, str] = LINUX_X86,
@@ -92,7 +101,9 @@ class Session:
                  snapshot: bool = False,
                  heuristics: Optional[HeuristicConfig] = None,
                  kernel_image: Union[SharedObject, None, str] = _AUTO,
-                 telemetry=None) -> None:
+                 telemetry=None,
+                 results_dir: Union["ResultStore", str, Path, None] = None,
+                 resume: bool = False) -> None:
         self.platform = (platform_by_name(platform)
                          if isinstance(platform, str) else platform)
         self.app = app
@@ -107,6 +118,11 @@ class Session:
         if self.store is not None and self.obs.enabled \
                 and not self.store.telemetry.enabled:
             self.store.telemetry = self.obs
+        if isinstance(results_dir, (str, Path)):
+            from .core.results import ResultStore
+            results_dir = ResultStore(results_dir, telemetry=self.obs)
+        self.results = results_dir
+        self.resume = resume
         self._kernel_image = kernel_image
         self.images: Dict[str, SharedObject] = {}
         self._profiles: Optional[Dict[str, LibraryProfile]] = None
@@ -225,7 +241,8 @@ class Session:
                  call_ordinals: Sequence[int] = (1,),
                  max_codes_per_function: Optional[int] = None,
                  cases: Optional[Iterable[FaultCase]] = None,
-                 snapshot: Optional[bool] = None
+                 snapshot: Optional[bool] = None,
+                 resume: Optional[bool] = None
                  ) -> CampaignReport:
         """Run a systematic fault campaign over the profiled space.
 
@@ -242,19 +259,40 @@ class Session:
         setup runs once per trigger function and each case replays
         only the post-trigger suffix, with results bit-identical to
         fresh runs.
+
+        With ``results_dir`` configured on the session, every finished
+        case is journaled durably as the run drains; ``resume``
+        (default: the session's ``resume`` setting) additionally
+        satisfies already-journaled cases from the store.  The store's
+        campaign key digests the app, platform, profile and image
+        content, heuristics and workload id, so a changed input re-runs
+        rather than serving stale results.
         """
         if snapshot is None:
             snapshot = self.snapshot
+        if resume is None:
+            resume = self.resume
         with self.obs.tracer.trace("session.campaign",
                                    app=app or self.app) as span:
             if cases is None:
                 cases = self.cases(
                     functions=functions, call_ordinals=call_ordinals,
                     max_codes_per_function=max_codes_per_function)
+            results_key = None
+            if self.results is not None:
+                results_key = {
+                    "app": app or self.app,
+                    "platform": self.platform,
+                    "images": self.images,
+                    "heuristics": self.heuristics,
+                    "workload": getattr(factory, "workload_id", "") or "",
+                }
             report = run_campaign(app or self.app, factory, self.platform,
                                   self.profiles, cases, jobs=self.jobs,
                                   timeout=self.timeout, backend=self.backend,
-                                  snapshot=snapshot, telemetry=self.obs)
+                                  snapshot=snapshot, telemetry=self.obs,
+                                  results=self.results,
+                                  results_key=results_key, resume=resume)
             span.set(cases=len(report.results), outcome=report.outcome())
         if self.store is not None and report.summary is not None:
             report.summary.cache_hits = self.store.hits

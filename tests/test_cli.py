@@ -211,3 +211,65 @@ class TestCampaign:
                      "--jobs", "2", "-o", str(out)]) == 0
         profile = LibraryProfile.from_xml(out.read_text())
         assert profile.soname == "libc.so.6"
+
+
+class TestResultsAndTriage:
+    @pytest.fixture(scope="class")
+    def store_dir(self, tmp_path_factory):
+        return tmp_path_factory.mktemp("triage-profile-store")
+
+    def _campaign(self, store_dir, results_dir, *extra):
+        return ["campaign", "minidb", "--function", "open",
+                "--max-codes", "2", "--store", str(store_dir),
+                "--results-dir", str(results_dir), *extra]
+
+    def test_campaign_journals_then_resumes(self, store_dir, tmp_path,
+                                            capsys):
+        results = tmp_path / "results"
+        code = main(self._campaign(store_dir, results))
+        assert code in (0, 1)
+        journals = list(results.glob("*/journal.jsonl"))
+        assert len(journals) == 1
+        assert len(journals[0].read_text().splitlines()) == 2
+        capsys.readouterr()
+
+        code = main(self._campaign(store_dir, results, "--resume"))
+        assert code in (0, 1)
+        captured = capsys.readouterr()
+        assert "resumed: 2 cases from the result journal, 0 (re)run" \
+            in captured.err
+        # the resumed report is rendered exactly like a fresh one
+        assert "systematic campaign for minidb" in captured.out
+
+    def test_triage_list_and_buckets(self, store_dir, tmp_path, capsys):
+        results = tmp_path / "results"
+        assert main(self._campaign(store_dir, results)) in (0, 1)
+        capsys.readouterr()
+
+        assert main(["triage", str(results), "--list"]) == 0
+        listing = capsys.readouterr().out
+        assert "minidb" in listing and "2 cases" in listing
+
+        # graceful error-exits triage only on request; without them
+        # this campaign has nothing to bucket (exit 0)
+        assert main(["triage", str(results)]) == 0
+        assert "no failures to triage" in capsys.readouterr().out
+
+        replays = tmp_path / "replays"
+        code = main(["triage", str(results), "--include-errors",
+                     "--json", "--replay-dir", str(replays)])
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.triage/1"
+        if report["buckets"]:
+            assert code == 1
+            written = list(replays.glob("bucket-*.xml"))
+            assert len(written) == len(
+                [b for b in report["buckets"] if b["replay"]])
+            for path in written:
+                assert plan_from_xml(path.read_text()).triggers
+        else:
+            assert code == 0
+
+    def test_triage_missing_store_is_empty(self, tmp_path, capsys):
+        assert main(["triage", str(tmp_path / "none"), "--list"]) == 0
+        assert capsys.readouterr().out == ""

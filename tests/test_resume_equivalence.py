@@ -1,0 +1,244 @@
+"""Differential equivalence: resumed campaigns == uninterrupted ones.
+
+The result journal's contract mirrors the snapshot engine's: a resumed
+campaign is not "roughly the same" — restored cases carry the same
+outcome status and detail, the same instruction counts, the same event
+streams and metric snapshots the original execution produced, and the
+merged journal is bit-identical (modulo wall-clock noise) to one an
+uninterrupted run writes.  These tests interrupt a campaign the way a
+crash does — truncating the journal mid-line — then resume it on every
+backend and compare everything.
+
+CI runs this file with ``-rs`` and fails the job if any test here is
+skipped — the guarantee must actually be exercised, not waved through.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.campaign import FaultCase, run_campaign
+from repro.core.results import ResultStore
+from repro.core.scenario import ErrorCode
+from repro.kernel import Kernel, O_CREAT, O_RDWR
+from repro.obs import MemorySink, Telemetry
+from repro.platform import LINUX_X86
+
+_CASES = [
+    FaultCase("open", ErrorCode(-1, "EACCES"), 1),
+    FaultCase("write", ErrorCode(-1, "ENOSPC"), 1),
+    FaultCase("write", ErrorCode(-1, "EIO"), 1),
+    FaultCase("close", ErrorCode(-1, "EIO"), 1),
+    FaultCase("close", ErrorCode(-1, "EBADF"), 1),
+    FaultCase("close", ErrorCode(-1, "EINTR"), 1),
+]
+_INTERRUPT_AFTER = 3
+
+
+def _factory(libc_linux):
+    def factory(lfi):
+        def session():
+            proc = lfi.make_process(Kernel(), [libc_linux.image])
+            fd = proc.libcall("open", proc.cstr("/f"),
+                              O_CREAT | O_RDWR, 0o644)
+            if fd < 0:
+                return 1
+            buf = proc.scratch_alloc(4)
+            proc.mem_write(buf, b"data")
+            if proc.libcall("write", fd, buf, 4) != 4:
+                return 1
+            return 1 if proc.libcall("close", fd) != 0 else 0
+        return session
+    return factory
+
+
+def _run(libc_linux, profiles, store, *, backend, jobs, resume=False,
+         cases=_CASES):
+    sink = MemorySink()
+    tele = Telemetry(sinks=[sink])
+    report = run_campaign("equiv", _factory(libc_linux), LINUX_X86,
+                          profiles, cases, jobs=jobs, backend=backend,
+                          telemetry=tele, results=store,
+                          results_key={"app": "equiv"}, resume=resume)
+    return report, sink
+
+
+def _interrupted_store(reference_store, tmp_path):
+    """A store that looks like the reference campaign crashed mid-write:
+    the first N records survive, record N+1 is a torn fragment, and the
+    index cache was never written."""
+    (key_dir,) = [p for p in reference_store.root.iterdir() if p.is_dir()]
+    lines = (key_dir / "journal.jsonl").read_text().splitlines()
+    assert len(lines) == len(_CASES)
+    cut = ResultStore(tmp_path / "interrupted")
+    cut_dir = cut.root / key_dir.name
+    cut_dir.mkdir()
+    torn = lines[_INTERRUPT_AFTER][:40]
+    (cut_dir / "journal.jsonl").write_text(
+        "\n".join(lines[:_INTERRUPT_AFTER]) + "\n" + torn)
+    return cut
+
+
+def _event_fingerprint(events, *, kinds_dropped=("campaign.resume",)):
+    """Event stream minus wall-clock noise and scheduling identity.
+
+    ``campaign.resume`` is the one stream difference resume is *allowed*
+    (skipped/replayed counts differ by design); ``worker`` labels and
+    second/duration fields vary with scheduling, never with outcomes.
+    """
+    out = []
+    for record in events:
+        record = record.to_dict() if hasattr(record, "to_dict") else record
+        kind = record.get("kind")
+        if kind in kinds_dropped:
+            continue
+        fields = {k: v for k, v in record.get("fields", {}).items()
+                  if k not in ("seconds", "duration", "worker")}
+        out.append((kind, record.get("severity"),
+                    tuple(sorted(fields.items()))))
+    return out
+
+
+def _normalize_record(record):
+    """One journal record minus wall-clock and scheduling noise."""
+    out = {k: v for k, v in record.items()
+           if k not in ("seconds", "worker", "events")}
+    out["events"] = _event_fingerprint(record.get("events") or ())
+    return out
+
+
+def _assert_identical(fresh, resumed):
+    assert len(fresh.results) == len(resumed.results)
+    for f, r in zip(fresh.results, resumed.results):
+        cid = f.case.case_id()
+        assert f.case == r.case, cid
+        assert f.outcome.status == r.outcome.status, cid
+        assert f.outcome.detail == r.outcome.detail, cid
+        assert f.outcome.exit_code == r.outcome.exit_code, cid
+        assert f.fired == r.fired, cid
+        assert f.instructions == r.instructions, cid
+        assert f.sites == r.sites, cid
+        assert _event_fingerprint(f.events) == \
+            _event_fingerprint(r.events), cid
+        assert f.metrics == r.metrics, cid
+
+
+def _assert_stores_identical(reference_store, resumed_store):
+    (ref_dir,) = [p for p in reference_store.root.iterdir() if p.is_dir()]
+    ref = reference_store.load(ref_dir.name)
+    res = resumed_store.load(ref_dir.name)
+    assert set(ref) == set(res)
+    for case_key, record in ref.items():
+        assert _normalize_record(record) == \
+            _normalize_record(res[case_key]), record["case"]
+
+
+class TestResumeEquivalence:
+    @pytest.mark.parametrize("backend,jobs", [
+        ("serial", 1), ("thread", 3), ("process", 2)])
+    def test_interrupted_resume_bit_identical(self, backend, jobs,
+                                              tmp_path, libc_linux,
+                                              libc_profiles_linux):
+        reference_store = ResultStore(tmp_path / "reference")
+        reference, ref_sink = _run(libc_linux, libc_profiles_linux,
+                                   reference_store, backend=backend,
+                                   jobs=jobs)
+        assert reference.resumed == {"skipped": 0,
+                                     "replayed": len(_CASES)}
+
+        cut = _interrupted_store(reference_store, tmp_path)
+        resumed, sink = _run(libc_linux, libc_profiles_linux, cut,
+                             backend=backend, jobs=jobs, resume=True)
+        assert resumed.resumed == {
+            "skipped": _INTERRUPT_AFTER,
+            "replayed": len(_CASES) - _INTERRUPT_AFTER}
+        _assert_identical(reference, resumed)
+        _assert_stores_identical(reference_store, cut)
+        assert _event_fingerprint(ref_sink.events) == \
+            _event_fingerprint(sink.events)
+
+    def test_cross_backend_resume(self, tmp_path, libc_linux,
+                                  libc_profiles_linux):
+        """A journal written by one backend resumes under another."""
+        reference_store = ResultStore(tmp_path / "reference")
+        reference, _ = _run(libc_linux, libc_profiles_linux,
+                            reference_store, backend="serial", jobs=1)
+        cut = _interrupted_store(reference_store, tmp_path)
+        resumed, _ = _run(libc_linux, libc_profiles_linux, cut,
+                          backend="process", jobs=2, resume=True)
+        _assert_identical(reference, resumed)
+        _assert_stores_identical(reference_store, cut)
+
+    def test_without_resume_journal_rewrites_but_reruns(
+            self, tmp_path, libc_linux, libc_profiles_linux):
+        """resume=False never serves stored results, even when present."""
+        store = ResultStore(tmp_path / "s")
+        _run(libc_linux, libc_profiles_linux, store,
+             backend="serial", jobs=1)
+        report, _ = _run(libc_linux, libc_profiles_linux, store,
+                         backend="serial", jobs=1, resume=False)
+        assert report.resumed == {"skipped": 0, "replayed": len(_CASES)}
+
+
+class TestCrashedWorkerJournaled:
+    def test_worker_crash_is_journaled_then_resumed(
+            self, tmp_path, libc_linux, libc_profiles_linux):
+        """A worker that dies outright still leaves a journal record —
+        the parent writes it, not the worker — and resume restores the
+        ``crashed`` result without re-running anything."""
+        crash_errno = "EINTR"
+
+        def factory(lfi):
+            codes = [c.errno for t in lfi.plan.triggers for c in t.codes]
+
+            def session():
+                if crash_errno in codes:
+                    os._exit(42)     # simulated worker death
+                proc = lfi.make_process(Kernel(), [libc_linux.image])
+                rc = proc.libcall("close", 3)
+                return 1 if rc != 0 else 0
+            return session
+        cases = [FaultCase("close", ErrorCode(-1, e), 1)
+                 for e in ("EIO", crash_errno, "EBADF")]
+        store = ResultStore(tmp_path / "s")
+        report = run_campaign("crashy", factory, LINUX_X86,
+                              libc_profiles_linux, cases,
+                              jobs=2, backend="process",
+                              results=store, results_key={"app": "crashy"})
+        statuses = [r.outcome.status for r in report.results]
+        assert statuses == ["error-exit", "crashed", "error-exit"]
+
+        # every case made it to the journal, crash included
+        (key_dir,) = [p for p in store.root.iterdir() if p.is_dir()]
+        records = store.load(key_dir.name)
+        assert len(records) == 3
+        assert sorted(r["status"] for r in records.values()) == \
+            ["crashed", "error-exit", "error-exit"]
+        crashed = [r for r in records.values()
+                   if r["status"] == "crashed"][0]
+        assert crashed["task_status"] == "crashed"
+
+        resumed = run_campaign("crashy", factory, LINUX_X86,
+                               libc_profiles_linux, cases,
+                               results=store,
+                               results_key={"app": "crashy"}, resume=True)
+        assert resumed.resumed == {"skipped": 3, "replayed": 0}
+        assert [r.outcome.status for r in resumed.results] == statuses
+
+    def test_journal_lines_are_valid_json_after_crash_run(
+            self, tmp_path, libc_linux, libc_profiles_linux):
+        """Parent-side journaling means a dead worker can't tear the
+        file: every line the crash run wrote parses."""
+        store = ResultStore(tmp_path / "s")
+        run_campaign("equiv", _factory(libc_linux), LINUX_X86,
+                     libc_profiles_linux, _CASES[:2],
+                     jobs=2, backend="process",
+                     results=store, results_key={"app": "equiv"})
+        (key_dir,) = [p for p in store.root.iterdir() if p.is_dir()]
+        lines = (key_dir / "journal.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)

@@ -244,3 +244,86 @@ def test_property_plan_language_roundtrip(triggers, seed):
         assert parsed.argconds == orig.argconds
         if orig.mode == "random":
             assert abs(parsed.probability - orig.probability) < 1e-12
+
+
+class TestDerivedSeeds:
+    """Unseeded random plans must still be reproducible: the default
+    seed is derived from the plan's content and recorded in its XML."""
+
+    def test_unseeded_random_plan_gets_concrete_seed(
+            self, libc_profiles_linux):
+        plan = random_plan(libc_profiles_linux, probability=0.1)
+        assert isinstance(plan.seed, int)
+        again = random_plan(libc_profiles_linux, probability=0.1)
+        assert again.seed == plan.seed          # same content, same seed
+        other = random_plan(libc_profiles_linux, probability=0.2)
+        assert other.seed != plan.seed          # new content, new seed
+
+    def test_explicit_seed_wins(self, libc_profiles_linux):
+        plan = random_plan(libc_profiles_linux, probability=0.1, seed=7)
+        assert plan.seed == 7
+
+    def test_derived_seed_round_trips_through_xml(
+            self, libc_profiles_linux):
+        plan = random_plan(libc_profiles_linux, probability=0.1)
+        again = plan_from_xml(plan_to_xml(plan))
+        assert again.seed == plan.seed
+
+    def test_random_presets_are_seeded(self, libc_profile_linux):
+        plan = io_faults(libc_profile_linux, probability=0.1)
+        assert isinstance(plan.seed, int)
+        assert plan.seed == io_faults(libc_profile_linux,
+                                      probability=0.1).seed
+        # exhaustive presets use no RNG, so they stay unseeded
+        assert file_io_faults(libc_profile_linux).seed is None
+
+    def test_controller_test_event_carries_the_seed(
+            self, libc_profiles_linux):
+        from repro.core.controller import Controller
+        from repro.core.scenario import random_plan as rp
+        from repro.obs import MemorySink, Telemetry
+        from repro.platform import LINUX_X86
+
+        sink = MemorySink()
+        plan = rp(libc_profiles_linux, probability=0.1,
+                  functions=["close"])
+        lfi = Controller(LINUX_X86, libc_profiles_linux, plan,
+                         telemetry=Telemetry(sinks=[sink]))
+        lfi.run_test(lambda: 0)
+        (event,) = [e for e in sink.events if e.kind == "test"]
+        assert event.fields["seed"] == plan.seed
+
+
+class TestProbabilityErrors:
+    """The builder and the XML parser must agree: a random trigger
+    without a usable probability is a ScenarioError naming the
+    offending function, whichever path built it."""
+
+    def test_builder_names_the_function(self):
+        with pytest.raises(ScenarioError,
+                           match="random trigger for 'fsync'"):
+            FunctionTrigger(function="fsync", mode=INJECT_RANDOM,
+                            probability=0.0)
+
+    def test_xml_missing_probability_names_the_function(self):
+        with pytest.raises(ScenarioError,
+                           match="random trigger for 'fsync'.*probability"):
+            plan_from_xml(
+                '<plan><function name="fsync" inject="random"/></plan>')
+
+    def test_xml_zero_probability_names_the_function(self):
+        with pytest.raises(ScenarioError,
+                           match="random trigger for 'fsync'"):
+            plan_from_xml('<plan><function name="fsync" inject="random"'
+                          ' probability="0.0"/></plan>')
+
+    def test_xml_unparsable_probability_names_the_function(self):
+        with pytest.raises(ScenarioError,
+                           match="random trigger for 'fsync'.*'lots'"):
+            plan_from_xml('<plan><function name="fsync" inject="random"'
+                          ' probability="lots"/></plan>')
+
+    def test_nth_error_names_the_function_too(self):
+        with pytest.raises(ScenarioError,
+                           match="nth-call trigger for 'read'"):
+            FunctionTrigger(function="read", mode=INJECT_NTH, nth=0)
