@@ -1,0 +1,186 @@
+"""Latency campaign workload: miniweb under concurrent load.
+
+The generalized action model makes *latency* a first-class fault: a
+:class:`DelayFault` advances the kernel's virtual clock instead of
+failing the call, so its cost surfaces in request latency rather than
+request failures.  This benchmark drives the miniweb server with the
+windowed load generator (thousands of simulated concurrent clients in
+full mode), measures per-request virtual latency, and compares a fault-
+free baseline against a probabilistic DelayFault arm through the
+:class:`LatencyRegression` analyzer.
+
+Claims guarded:
+
+* the virtual-latency histogram is **bit-deterministic** — two baseline
+  runs produce identical sample streams, which is what lets the JSON
+  quantiles below act as a CI guard rather than a flaky wall-clock
+  number;
+* a seeded 5% DelayFault(2ms) on ``apr_socket_recv`` regresses p99 past
+  the 1.25x analyzer threshold while failing **zero** requests;
+* the injected delay is visible end-to-end: the
+  ``repro_virtual_delay_ns_total`` counter equals fires x 2ms, and the
+  max sample grows by at least one delay.
+
+Results land in ``BENCH_latency.json`` (p50/p99 for both arms).
+
+Runs standalone
+(``PYTHONPATH=src python benchmarks/bench_latency_workload.py``)
+or under pytest.  Set ``REPRO_BENCH_FAST=1`` for a CI-sized smoke run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":                       # standalone: no conftest
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.apps.loadgen import LatencyRegression, LoadGenerator
+from repro.apps.miniweb import MiniWeb
+from repro.core.controller import Controller
+from repro.core.profiler import Profiler
+from repro.core.scenario import DelayFault, FunctionTrigger, Plan
+from repro.apps.apr import apr, aprutil
+from repro.corpus.libc import libc
+from repro.kernel import Kernel, build_kernel_image
+from repro.obs import Telemetry
+from repro.platform import LINUX_X86
+
+from _benchutil import print_table
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+
+_CLIENTS = 128 if FAST else 2048
+_WINDOW = 16
+_DELAY_NS = 2_000_000
+_FAIL_RATE = 0.05
+_SEED = 20090629
+_THRESHOLD = 1.25
+
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_latency.json"
+
+
+def _profiles():
+    images = {b.image.soname: b.image
+              for b in (libc(LINUX_X86), apr(LINUX_X86),
+                        aprutil(LINUX_X86))}
+    return Profiler(LINUX_X86, images,
+                    build_kernel_image(LINUX_X86)).profile_all()
+
+
+def _delay_plan() -> Plan:
+    plan = Plan(name="latency-bench", seed=_SEED)
+    plan.add(FunctionTrigger(function="apr_socket_recv", mode="random",
+                             probability=_FAIL_RATE,
+                             actions=(DelayFault(_DELAY_NS),),
+                             calloriginal=True))
+    return plan
+
+
+def _drive(profiles, plan, telemetry=None):
+    lfi = (Controller(LINUX_X86, profiles, plan, telemetry=telemetry)
+           if plan is not None else None)
+    server = MiniWeb(Kernel(), LINUX_X86, controller=lfi)
+    gen = LoadGenerator(server, window=_WINDOW)
+    started = time.perf_counter()
+    outcome = gen.run(_CLIENTS)
+    seconds = time.perf_counter() - started
+    fires = lfi.injections if lfi is not None else 0
+    return outcome, seconds, fires
+
+
+def _arms():
+    profiles = _profiles()
+
+    baseline, base_seconds, _ = _drive(profiles, None)
+    again, _, _ = _drive(profiles, None)
+
+    tele = Telemetry()
+    faulty, fault_seconds, fires = _drive(profiles, _delay_plan(), tele)
+    snap = tele.metrics.snapshot()
+    delay_total = sum(
+        v["value"]
+        for v in snap.get("repro_virtual_delay_ns_total",
+                          {"values": []})["values"])
+
+    return {
+        "baseline": baseline.report(),
+        "baseline_rerun": again.report(),
+        "deterministic": baseline.samples == again.samples,
+        "faulty": faulty.report(),
+        "fires": fires,
+        "delay_total_ns": int(delay_total),
+        "baseline_rps": round(_CLIENTS / base_seconds, 1),
+        "faulty_rps": round(_CLIENTS / fault_seconds, 1),
+    }
+
+
+def _report(results, write_json: bool = True):
+    base, faulty = results["baseline"], results["faulty"]
+    regression = LatencyRegression(base, faulty, threshold=_THRESHOLD)
+    ratios = regression.ratios()
+    print_table(
+        f"miniweb latency under load — {_CLIENTS} clients, window "
+        f"{_WINDOW} ({'fast' if FAST else 'full'} mode)",
+        "arm        p50(ns)      p99(ns)      max(ns)   failures  wall",
+        [f"baseline  {base.quantiles['p50']:9d}  {base.quantiles['p99']:11d}"
+         f"  {base.max_ns:11d}   {base.failures:5d}   "
+         f"{results['baseline_rps']:7.1f} req/s",
+         f"delay 5%  {faulty.quantiles['p50']:9d}  "
+         f"{faulty.quantiles['p99']:11d}  {faulty.max_ns:11d}   "
+         f"{faulty.failures:5d}   {results['faulty_rps']:7.1f} req/s",
+         f"p99 ratio {ratios['p99']:5.2f}x   ({results['fires']} delay "
+         f"fires, {results['delay_total_ns'] / 1e6:.0f}ms virtual delay "
+         f"injected)"])
+    print(regression.render())
+    if write_json:
+        out = {
+            "schema": "repro.bench/1",
+            "benchmark": "latency_workload",
+            "mode": "fast" if FAST else "full",
+            "clients": _CLIENTS,
+            "window": _WINDOW,
+            "deterministic": results["deterministic"],
+            "baseline": base.to_dict(),
+            "faulty": faulty.to_dict(),
+            "regression": regression.to_dict(),
+            "fires": results["fires"],
+            "delay_total_ns": results["delay_total_ns"],
+        }
+        _OUT.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {_OUT}")
+
+
+def _assert_claims(results) -> None:
+    base, faulty = results["baseline"], results["faulty"]
+    assert results["deterministic"], \
+        "baseline latency samples diverged between identical runs"
+    assert base.quantiles == results["baseline_rerun"].quantiles
+    assert base.failures == 0, "fault-free run must not fail requests"
+    assert faulty.failures == 0, \
+        "DelayFault must shift latency, not fail requests"
+    assert results["fires"] > 0, "the seeded 5% trigger never fired"
+    assert results["delay_total_ns"] == results["fires"] * _DELAY_NS, \
+        "virtual-delay metric disagrees with fire count"
+    regression = LatencyRegression(base, faulty, threshold=_THRESHOLD)
+    assert "p99" in regression.regressions(), \
+        f"p99 ratio {regression.ratios()['p99']:.2f}x under " \
+        f"{_THRESHOLD}x — the delay arm should regress the tail"
+    assert faulty.max_ns >= base.max_ns + _DELAY_NS
+
+
+def test_latency_workload(benchmark):
+    results = benchmark.pedantic(_arms, rounds=1, iterations=1)
+    _report(results, write_json=not FAST)
+    _assert_claims(results)
+
+
+if __name__ == "__main__":
+    results = _arms()
+    _report(results, write_json=not FAST)
+    _assert_claims(results)

@@ -59,7 +59,10 @@ from .core.controller import (REPORT_SCHEMA, Controller, TestOutcome,
 from .core.exec import RunSummary, WorkerPool
 from .core.profiler import HeuristicConfig, Profiler, profile_application
 from .core.profiles import LibraryProfile
-from .core.scenario import (Plan, exhaustive_plan, plan_from_xml,
+from .core.scenario import (DelayFault, FunctionTrigger,
+                            PartialWriteFault, Plan, ReturnFault,
+                            ShortReadFault, TargetScope,
+                            exhaustive_plan, plan_from_xml,
                             plan_to_xml, random_plan)
 from .core.store import ProfileStore
 from .corpus import build_libc, libc
@@ -80,7 +83,9 @@ __all__ = [
     "ProfileStore", "WorkerPool", "RunSummary",
     "Telemetry", "NULL_TELEMETRY", "EventLog", "MetricsRegistry",
     "SpanTracer",
-    "Plan", "random_plan", "exhaustive_plan", "plan_to_xml", "plan_from_xml",
+    "Plan", "FunctionTrigger", "ReturnFault", "DelayFault",
+    "ShortReadFault", "PartialWriteFault", "TargetScope",
+    "random_plan", "exhaustive_plan", "plan_to_xml", "plan_from_xml",
     "Kernel", "Process", "build_kernel_image",
     "libc", "build_libc",
     "Platform", "LINUX_X86", "WINDOWS_X86", "SOLARIS_SPARC",

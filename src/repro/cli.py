@@ -321,7 +321,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         _campaign_factory(args.app, platform),
         functions=args.function or None,
         call_ordinals=tuple(args.call_ordinal or [1]),
-        max_codes_per_function=args.max_codes)
+        max_codes_per_function=args.max_codes,
+        fault_classes=tuple(args.fault_class or ["return"]),
+        latency_ns=args.latency_ns,
+        fail_rate=args.fail_rate)
 
     if report.resumed is not None and report.resumed["skipped"]:
         _notice(args, f"resumed: {report.resumed['skipped']} cases from "
@@ -564,6 +567,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inject at these call ordinals (default: 1)")
     p.add_argument("--max-codes", type=int, default=None,
                    help="cap error codes per function")
+    p.add_argument("--fault-class", action="append",
+                   choices=("return", "delay", "short-read",
+                            "partial-write"),
+                   help="fault action families to enumerate (repeat; "
+                        "default: return)")
+    p.add_argument("--latency-ns", type=int, default=1_000_000,
+                   help="virtual latency per 'delay' injection "
+                        "(default: 1ms)")
+    p.add_argument("--fail-rate", type=float, default=None,
+                   help="make every case probabilistic at this rate "
+                        "under a recorded seed instead of firing at an "
+                        "exact call ordinal")
     p.add_argument("--jobs", type=int, default=1,
                    help="parallel case workers (0 = one per CPU)")
     p.add_argument("--timeout", type=float, default=None,

@@ -25,8 +25,20 @@ from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
 from ..platform import Platform
 from .controller import (REPORT_SCHEMA, STATUS_HUNG, Controller, TestOutcome)
 from .profiles import LibraryProfile
-from .scenario.generate import error_codes_from_profile
-from .scenario.model import INJECT_NTH, ErrorCode, FunctionTrigger, Plan
+from .scenario.generate import derive_plan_seed, error_codes_from_profile
+from .scenario.model import (INJECT_NTH, INJECT_RANDOM, Action, DelayFault,
+                             ErrorCode, FunctionTrigger, PartialWriteFault,
+                             Plan, ShortReadFault)
+
+#: functions whose 3rd argument is a transfer count readable by
+#: short-read faults (the simulated corpus' read-side calls)
+READ_LIKE = frozenset({"read", "recv", "apr_socket_recv", "apr_file_read"})
+
+#: same, write-side — eligible for partial-write faults
+WRITE_LIKE = frozenset({"write", "send", "apr_brigade_write"})
+
+#: the fault classes :func:`enumerate_cases` can expand
+FAULT_CLASSES = ("return", "delay", "short-read", "partial-write")
 
 #: A session factory: receives the per-case controller, returns the
 #: workload callable to run under monitoring.
@@ -62,23 +74,51 @@ class PrefixFactory:
 
 @dataclass(frozen=True)
 class FaultCase:
-    """One cell of the campaign matrix."""
+    """One cell of the campaign matrix.
+
+    ``code`` keeps its historical name but accepts any fault action
+    (return, delay, short-read, partial-write).  ``probability > 0``
+    turns the cell probabilistic: its plan rolls the recorded-seed RNG
+    on every call instead of firing at an exact ordinal, which is how
+    fail-rate campaigns stay bit-identical under ``--resume``.
+    """
 
     function: str
-    code: ErrorCode
+    code: Action
     call_ordinal: int = 1
+    probability: float = 0.0
+    seed: Optional[int] = None
 
     def case_id(self) -> str:
-        errno = self.code.errno or "none"
-        return (f"{self.function}@{self.call_ordinal}"
-                f"={self.code.retval}/{errno}")
+        base = (f"{self.function}@{self.call_ordinal}"
+                f"={self.code.describe()}")
+        if self.probability > 0:
+            base += f"~p{self.probability}"
+        return base
+
+    def effective_seed(self) -> Optional[int]:
+        """The RNG seed a probabilistic case records into its plan."""
+        if self.probability <= 0:
+            return None
+        if self.seed is not None:
+            return self.seed
+        return derive_plan_seed(f"case-{self.case_id()}",
+                                self.probability, (self.function,),
+                                (self.code,))
 
     def plan(self) -> Plan:
-        plan = Plan(name=f"case-{self.case_id()}")
-        plan.add(FunctionTrigger(
-            function=self.function, mode=INJECT_NTH,
-            nth=self.call_ordinal, codes=(self.code,),
-            calloriginal=False))
+        plan = Plan(name=f"case-{self.case_id()}",
+                    seed=self.effective_seed())
+        if self.probability > 0:
+            plan.add(FunctionTrigger(
+                function=self.function, mode=INJECT_RANDOM,
+                probability=self.probability, actions=(self.code,),
+                calloriginal=False))
+        else:
+            plan.add(FunctionTrigger(
+                function=self.function, mode=INJECT_NTH,
+                nth=self.call_ordinal, actions=(self.code,),
+                calloriginal=False))
         return plan
 
 
@@ -114,11 +154,12 @@ class CaseResult:
             and self.outcome.status != "hung"
 
     def to_dict(self) -> Dict[str, Any]:
+        code = self.case.code
         return {
             "case": self.case.case_id(),
             "function": self.case.function,
-            "retval": self.case.code.retval,
-            "errno": self.case.code.errno,
+            "retval": getattr(code, "retval", None),
+            "errno": getattr(code, "errno", None),
             "call_ordinal": self.case.call_ordinal,
             "outcome": self.outcome.status,
             "fired": self.fired,
@@ -126,6 +167,11 @@ class CaseResult:
             "duration": round(self.seconds, 6),
             "worker": self.worker,
             "instructions": self.instructions,
+            **({"action": code.token()}
+               if not isinstance(code, ErrorCode) else {}),
+            **({"probability": self.case.probability,
+                "seed": self.case.effective_seed()}
+               if self.case.probability > 0 else {}),
             **({"snapshot": self.snapshot}
                if self.snapshot is not None else {}),
         }
@@ -148,6 +194,7 @@ def injection_sites(records) -> List[Dict[str, Any]]:
         "calloriginal": r.calloriginal,
         "modifications": list(r.modifications),
         "stack": list(r.stacktrace),
+        **({"action": r.action} if r.action else {}),
     } for r in records]
 
 
@@ -204,7 +251,11 @@ class CampaignReport:
         for function, rows in sorted(self.by_function().items()):
             cells = []
             for result in rows:
-                errno = result.case.code.errno or str(result.case.code.retval)
+                code = result.case.code
+                if isinstance(code, ErrorCode):
+                    errno = code.errno or str(code.retval)
+                else:
+                    errno = code.describe()
                 if result.outcome.status == STATUS_HUNG:
                     mark = "h"          # reaped by the per-case timeout
                 elif not result.fired:
@@ -249,21 +300,52 @@ def enumerate_cases(profiles: Mapping[str, LibraryProfile],
                     *, functions: Optional[Sequence[str]] = None,
                     call_ordinals: Sequence[int] = (1,),
                     max_codes_per_function: Optional[int] = None,
+                    fault_classes: Sequence[str] = ("return",),
+                    latency_ns: int = 1_000_000,
+                    fraction: float = 0.5,
+                    fail_rate: Optional[float] = None,
                     ) -> List[FaultCase]:
-    """Expand profiles into the systematic case list."""
+    """Expand profiles into the systematic case list.
+
+    ``fault_classes`` picks which action families to enumerate (any of
+    :data:`FAULT_CLASSES`).  ``return`` expands per profiled error
+    code; ``delay`` adds one :class:`DelayFault` of ``latency_ns`` per
+    function; ``short-read`` / ``partial-write`` add a count-clamping
+    fault (keeping ``fraction`` of the transfer) for the functions in
+    :data:`READ_LIKE` / :data:`WRITE_LIKE`.  ``fail_rate`` turns every
+    enumerated case probabilistic: instead of firing at an exact call
+    ordinal, its plan rolls a content-derived recorded seed at that
+    rate — replayable bit-identically under ``--resume``.
+    """
+    for cls in fault_classes:
+        if cls not in FAULT_CLASSES:
+            raise ValueError(f"unknown fault class {cls!r} "
+                             f"(choose from {', '.join(FAULT_CLASSES)})")
     wanted = set(functions) if functions is not None else None
+    probability = 0.0 if fail_rate is None else fail_rate
+    ordinals = call_ordinals if fail_rate is None else (1,)
     cases: List[FaultCase] = []
     for soname in sorted(profiles):
         for name in profiles[soname].function_names():
             if wanted is not None and name not in wanted:
                 continue
-            codes = error_codes_from_profile(
-                profiles[soname].functions[name])
-            if max_codes_per_function is not None:
-                codes = codes[:max_codes_per_function]
-            for code in codes:
-                for ordinal in call_ordinals:
-                    cases.append(FaultCase(name, code, ordinal))
+            actions: List[Action] = []
+            if "return" in fault_classes:
+                codes = error_codes_from_profile(
+                    profiles[soname].functions[name])
+                if max_codes_per_function is not None:
+                    codes = codes[:max_codes_per_function]
+                actions.extend(codes)
+            if "delay" in fault_classes:
+                actions.append(DelayFault(latency_ns))
+            if "short-read" in fault_classes and name in READ_LIKE:
+                actions.append(ShortReadFault(fraction=fraction))
+            if "partial-write" in fault_classes and name in WRITE_LIKE:
+                actions.append(PartialWriteFault(fraction=fraction))
+            for action in actions:
+                for ordinal in ordinals:
+                    cases.append(FaultCase(name, action, ordinal,
+                                           probability=probability))
     return cases
 
 

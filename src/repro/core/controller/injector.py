@@ -24,8 +24,9 @@ from ...kernel.errno import errno_number
 from ...obs.telemetry import NULL_TELEMETRY, as_telemetry
 from ...platform import CHANNEL_GLOBAL, CHANNEL_TLS
 from ..profiles import LibraryProfile
+from ..scenario.model import DelayFault
 from .logbook import InjectionRecord, Logbook
-from .triggers import Decision, TriggerEngine
+from .triggers import Decision, ScopeResolver, TriggerEngine
 
 
 class Injector:
@@ -58,6 +59,14 @@ class Injector:
         self._evaluations_metric = metrics.counter(
             "repro_trigger_evaluations_total",
             "Trigger predicate evaluations", ("function",))
+        self._delay_metric = metrics.counter(
+            "repro_virtual_delay_ns_total",
+            "Virtual nanoseconds added to the kernel clock by "
+            "DelayFault injections", ("function",))
+        self._partial_io_metric = metrics.counter(
+            "repro_partial_io_bytes_total",
+            "Bytes trimmed off transfer counts by short-read / "
+            "partial-write injections", ("function",))
 
     def rebind(self, engine: TriggerEngine, functions: Sequence[str],
                telemetry=None) -> None:
@@ -90,8 +99,11 @@ class Injector:
                   if self.engine.needs_frames else ())
         args = (self._read_args(proc, cpu, sp)
                 if self.engine.needs_args else ())
+        resolver = (self._scope_resolver(proc)
+                    if self.engine.needs_scope else None)
         evals_before = self.engine.evaluations
-        call_number, decision = self.engine.on_call(function, frames, args)
+        call_number, decision = self.engine.on_call(function, frames, args,
+                                                    resolver)
         evaluated = self.engine.evaluations - evals_before
         if evaluated:
             self._evaluations_metric.inc(evaluated, function=function)
@@ -111,7 +123,16 @@ class Injector:
             cpu.force_transfer(caller_ret, sp + 12)
             return
 
-        if decision is not None:
+        if decision is not None and decision.action is not None \
+                and decision.code is None:
+            # delay / partial-I/O: perturb the call, then let the
+            # original run — the fault lives in the timing or the
+            # transfer size, not in the return value
+            self._log(decision, function, call_number, frames)
+            self.injection_count += 1
+            self._record_injection(decision, function, call_number)
+            self._apply_action(proc, cpu, sp, decision.action, function)
+        elif decision is not None:
             self.passthrough_count += 1
             self._log(decision, function, call_number, frames)
             self._passthrough_metric.inc(function=function)
@@ -133,11 +154,61 @@ class Injector:
         code = decision.code
         errno = (code.errno or "") if code else ""
         self._injections_metric.inc(function=function, errno=errno)
-        self.telemetry.events.emit(
-            "injection", function=function,
-            errno=(code.errno if code else None),
-            retval=(code.retval if code else None),
-            call=call_number, test=self.test_id)
+        payload = dict(function=function,
+                       errno=(code.errno if code else None),
+                       retval=(code.retval if code else None),
+                       call=call_number, test=self.test_id)
+        if code is None and decision.action is not None:
+            # non-return faults add the action token; the classic
+            # (retval, errno) event keeps its exact historical shape
+            payload["action"] = decision.action.token()
+        self.telemetry.events.emit("injection", **payload)
+
+    def _apply_action(self, proc, cpu, sp: int, action,
+                      function: str) -> None:
+        """Physical effect of a non-return fault action."""
+        if isinstance(action, DelayFault):
+            # virtual time: the delay is indistinguishable from a slow
+            # call because the kernel clock is the only clock there is
+            proc.kernel.clock_ns += action.virtual_ns
+            self._delay_metric.inc(action.virtual_ns, function=function)
+            return
+        # short-read / partial-write: clamp the count argument so the
+        # kernel itself performs the short transfer and the guest sees
+        # a legitimate partial-I/O return value
+        count = self._read_one_arg(proc, cpu, sp, action.argument)
+        limited = action.limit(count)
+        if 0 <= limited < count:
+            self._write_one_arg(proc, cpu, sp, action.argument, limited)
+            self._partial_io_metric.inc(count - limited,
+                                        function=function)
+
+    @staticmethod
+    def _scope_resolver(proc) -> ScopeResolver:
+        """Maps a call's first argument to (path, peer port).
+
+        A descriptor resolves through the process fd table; a value
+        with no fd entry is tried as a path pointer (open/stat/unlink
+        take the path first) so path scopes match those calls too.
+        """
+        def resolve(value: int):
+            value &= 0xFFFFFFFF      # argconds read args sign-extended
+            entry = proc.kstate.fds.get(value)
+            if entry is not None:
+                peer = None
+                if entry.endpoint is not None:
+                    peer = entry.endpoint.port
+                elif entry.socket is not None:
+                    endpoint = entry.socket.endpoint
+                    peer = (endpoint.port if endpoint is not None
+                            else entry.socket.port)
+                return entry.path, peer
+            try:
+                text = proc.read_cstr(value)
+            except Exception:
+                return None, None
+            return (text, None) if text.startswith("/") else (None, None)
+        return resolve
 
     def _resolve_original(self, proc, function: str) -> int:
         if self.shim_module_index is None:
@@ -176,6 +247,22 @@ class Injector:
                     for r in cpu.abi.arg_registers[:count]]
         return [proc.memory.read_i32(sp + 12 + 4 * i)
                 for i in range(count)]
+
+    @staticmethod
+    def _read_one_arg(proc, cpu, sp: int, argument: int) -> int:
+        """One live argument by 1-based position (signed 32-bit)."""
+        if cpu.abi.arg_registers:
+            return _signed(cpu.regs[cpu.abi.arg_registers[argument - 1]])
+        return proc.memory.read_i32(sp + 12 + 4 * (argument - 1))
+
+    @staticmethod
+    def _write_one_arg(proc, cpu, sp: int, argument: int,
+                       value: int) -> None:
+        if cpu.abi.arg_registers:
+            reg = cpu.abi.arg_registers[argument - 1]
+            cpu.regs[reg] = value & 0xFFFFFFFF
+        else:
+            proc.memory.write_i32(sp + 12 + 4 * (argument - 1), value)
 
     def _apply_modifications(self, proc, cpu, sp: int,
                              decision: Decision) -> None:
@@ -239,6 +326,9 @@ class Injector:
             for addr, name in frames[:4])
         mods = tuple(f"arg{m.argument}{m.op}{m.value}"
                      for m in decision.modifications)
+        action = decision.action
+        token = (action.token()
+                 if action is not None and code is None else None)
         self.logbook.log(InjectionRecord(
             sequence=self.logbook.next_sequence(),
             test_id=self.test_id,
@@ -249,6 +339,7 @@ class Injector:
             calloriginal=decision.calloriginal,
             modifications=mods,
             stacktrace=stack,
+            action=token,
         ))
 
 

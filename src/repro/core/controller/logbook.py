@@ -24,6 +24,10 @@ class InjectionRecord:
     calloriginal: bool
     modifications: Tuple[str, ...] = ()
     stacktrace: Tuple[str, ...] = ()
+    #: action token (``delay:…``, ``short-read:…``) for non-return
+    #: faults; None for the classic (retval, errno) injection so
+    #: pre-action-model logs render byte-identically
+    action: Optional[str] = None
 
     def render(self) -> str:
         parts = [f"#{self.sequence}", f"test={self.test_id}",
@@ -32,6 +36,8 @@ class InjectionRecord:
             parts.append(f"retval={self.retval}")
         if self.errno:
             parts.append(f"errno={self.errno}")
+        if self.action:
+            parts.append(f"action={self.action}")
         if self.calloriginal:
             parts.append("passthrough")
         for mod in self.modifications:

@@ -12,26 +12,36 @@ from __future__ import annotations
 
 from typing import Iterable, List
 
-from ..scenario.model import (INJECT_NTH, ErrorCode, FunctionTrigger, Plan)
+from ..scenario.model import (INJECT_NTH, ErrorCode, FunctionTrigger, Plan,
+                              action_from_token)
 from ..scenario.xml_io import plan_to_xml
 from .logbook import InjectionRecord
 
 
 def build_replay_plan(records: Iterable[InjectionRecord],
                       *, name: str = "replay") -> Plan:
-    """Turn a test case's injection records into a deterministic plan."""
+    """Turn a test case's injection records into a deterministic plan.
+
+    Probabilistic and ordinal-set triggers collapse into exact nth-call
+    triggers here; delay and partial-I/O injections round-trip through
+    the record's action token, so a replayed plan re-applies the same
+    latency and byte clamps at the same call ordinals.
+    """
     plan = Plan(name=name)
     for record in records:
-        if record.calloriginal and record.retval is None:
+        if record.calloriginal and record.retval is None \
+                and record.action is None:
             continue    # pure pass-through events need no replay trigger
-        codes = ()
+        actions = ()
         if record.retval is not None:
-            codes = (ErrorCode(record.retval, record.errno),)
+            actions = (ErrorCode(record.retval, record.errno),)
+        elif record.action is not None:
+            actions = (action_from_token(record.action),)
         plan.add(FunctionTrigger(
             function=record.function,
             mode=INJECT_NTH,
             nth=record.call_number,
-            codes=codes,
+            actions=actions,
             calloriginal=record.calloriginal,
         ))
     return plan

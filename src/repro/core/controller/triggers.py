@@ -3,21 +3,33 @@
 Every intercepted call increments the function's call counter and
 evaluates its triggers in plan order; the first satisfied trigger
 decides the injection.  Stack-trace conditions compare against the
-caller's backtrace; exhaustive triggers rotate their error-code list
-across consecutive firings; random triggers roll the controller's RNG.
+caller's backtrace; target scopes compare against the descriptor the
+call operates on; exhaustive triggers rotate their action list across
+consecutive firings; random triggers roll the controller's RNG.
+
+Ordering inside :meth:`TriggerEngine._fires` is load-bearing: the scope
+predicate runs *before* the probability roll, so plans without scoped
+triggers consume the RNG exactly as the pre-action-model engine did —
+the differential-equivalence guarantee for ReturnFault-only plans
+depends on it.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..scenario.model import (INJECT_ALWAYS, INJECT_EXHAUSTIVE, INJECT_NTH,
-                              INJECT_RANDOM, ArgModification, ErrorCode,
-                              FunctionTrigger, Plan)
+from ..scenario.model import (INJECT_EXHAUSTIVE, INJECT_NTH,
+                              INJECT_ORDINALS, INJECT_RANDOM, Action,
+                              ArgModification, FunctionTrigger, Plan,
+                              ReturnFault)
 
 Frame = Tuple[int, Optional[str]]   # (return address, enclosing function)
+
+#: Resolves a call's first argument to (path, peer port) for scope
+#: predicates; ``None`` when no scoped trigger needs it.
+ScopeResolver = Callable[[int], Tuple[Optional[str], Optional[int]]]
 
 
 @dataclass(frozen=True)
@@ -25,13 +37,20 @@ class Decision:
     """Outcome of trigger evaluation for one intercepted call."""
 
     trigger: FunctionTrigger
-    code: Optional[ErrorCode]
+    action: Optional[Action]
     calloriginal: bool
     modifications: Tuple[ArgModification, ...]
 
     @property
+    def code(self) -> Optional[ReturnFault]:
+        """The legacy (retval, errno) view — None for other actions."""
+        return (self.action
+                if isinstance(self.action, ReturnFault) else None)
+
+    @property
     def injects_return(self) -> bool:
-        return self.code is not None and not self.calloriginal
+        return isinstance(self.action, ReturnFault) \
+            and not self.calloriginal
 
 
 class TriggerEngine:
@@ -52,21 +71,28 @@ class TriggerEngine:
         #: building one otherwise (stack walks are the expensive part)
         self.needs_frames = any(t.stacktrace for t in plan.triggers)
         #: whether any trigger inspects live call arguments
-        self.needs_args = any(t.argconds for t in plan.triggers)
+        self.needs_args = any(t.argconds or t.scope is not None
+                              for t in plan.triggers)
+        #: whether any trigger carries a target scope (callers then
+        #: supply a descriptor resolver to :meth:`on_call`)
+        self.needs_scope = any(t.scope is not None for t in plan.triggers)
 
     def on_call(self, function: str, frames: Sequence[Frame],
-                args: Sequence[int] = ()) -> Tuple[int, Optional[Decision]]:
+                args: Sequence[int] = (),
+                scope_resolver: Optional[ScopeResolver] = None,
+                ) -> Tuple[int, Optional[Decision]]:
         """Record one call; return (call ordinal, decision or None)."""
         count = self.call_counts.get(function, 0) + 1
         self.call_counts[function] = count
         for index, trigger in self._by_function.get(function, ()):
             self.evaluations += 1
-            if not self._fires(trigger, count, frames, args):
+            if not self._fires(trigger, count, frames, args,
+                               scope_resolver):
                 continue
             self.firings += 1
             return count, Decision(
                 trigger=trigger,
-                code=self._select_code(index, trigger),
+                action=self._select_action(index, trigger),
                 calloriginal=trigger.calloriginal,
                 modifications=trigger.modifications)
         return count, None
@@ -75,8 +101,15 @@ class TriggerEngine:
 
     def _fires(self, trigger: FunctionTrigger, count: int,
                frames: Sequence[Frame],
-               args: Sequence[int] = ()) -> bool:
+               args: Sequence[int] = (),
+               scope_resolver: Optional[ScopeResolver] = None) -> bool:
         if trigger.mode == INJECT_NTH and count != trigger.nth:
+            return False
+        if trigger.mode == INJECT_ORDINALS \
+                and count not in trigger.ordinals:
+            return False
+        if trigger.scope is not None and not self._scope_matches(
+                trigger, args, scope_resolver):
             return False
         if trigger.mode == INJECT_RANDOM \
                 and self.rng.random() >= trigger.probability:
@@ -91,6 +124,18 @@ class TriggerEngine:
         return True
 
     @staticmethod
+    def _scope_matches(trigger: FunctionTrigger, args: Sequence[int],
+                       scope_resolver: Optional[ScopeResolver]) -> bool:
+        if not args:
+            return False
+        fd = args[0]
+        path: Optional[str] = None
+        peer: Optional[int] = None
+        if scope_resolver is not None:
+            path, peer = scope_resolver(fd)
+        return trigger.scope.matches(fd=fd, path=path, peer=peer)
+
+    @staticmethod
     def _stack_matches(trigger: FunctionTrigger,
                        frames: Sequence[Frame]) -> bool:
         if len(trigger.stacktrace) > len(frames):
@@ -100,14 +145,14 @@ class TriggerEngine:
                 return False
         return True
 
-    def _select_code(self, index: int,
-                     trigger: FunctionTrigger) -> Optional[ErrorCode]:
-        if not trigger.codes:
+    def _select_action(self, index: int,
+                       trigger: FunctionTrigger) -> Optional[Action]:
+        if not trigger.actions:
             return None
         if trigger.mode == INJECT_EXHAUSTIVE:
             rotation = self._rotation.get(index, 0)
             self._rotation[index] = rotation + 1
-            return trigger.codes[rotation % len(trigger.codes)]
-        if trigger.mode == INJECT_RANDOM and len(trigger.codes) > 1:
-            return trigger.codes[self.rng.randrange(len(trigger.codes))]
-        return trigger.codes[0]
+            return trigger.actions[rotation % len(trigger.actions)]
+        if trigger.mode == INJECT_RANDOM and len(trigger.actions) > 1:
+            return trigger.actions[self.rng.randrange(len(trigger.actions))]
+        return trigger.actions[0]

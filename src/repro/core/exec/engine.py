@@ -515,10 +515,15 @@ def _replay_case_telemetry(tele: Telemetry, case, result) -> None:
             group=info.get("group"), dirty_pages=info.get("dirty_pages"),
             bytes=info.get("bytes"),
             seconds=round(info.get("seconds", 0.0), 6), worker=worker)
+    action_fields = ({}
+                     if hasattr(case.code, "retval")
+                     else {"action": case.code.token()})
     tele.events.emit(
         "case", case=case.case_id(), function=case.function,
-        errno=case.code.errno, retval=case.code.retval,
+        errno=getattr(case.code, "errno", None),
+        retval=getattr(case.code, "retval", None),
         ordinal=case.call_ordinal, status=result.outcome.status,
         fired=result.fired, seconds=round(result.seconds, 6),
         worker=worker,
-        instructions=getattr(result, "instructions", 0))
+        instructions=getattr(result, "instructions", 0),
+        **action_fields)

@@ -107,6 +107,14 @@ class SnapshotRunner:
         """Produce one CaseResult, replaying the suffix when possible."""
         from .engine import _case_runner
 
+        if getattr(case, "probability", 0.0) > 0:
+            # a probabilistic case rolls its RNG on *every* call,
+            # including the prefix's — replaying only the suffix would
+            # consume the seed's stream differently from a fresh run,
+            # so bit-identical results require running the whole case
+            self.fallbacks += 1
+            return _case_runner(self.factory, self.platform, self.profiles,
+                                case, self.capture)
         key = self._key(case.function)
         instance = self.cache.acquire(
             key, lambda: self._build(case.function, case.code))
@@ -134,6 +142,8 @@ class SnapshotRunner:
         guests instead of re-running every prefix)."""
         seen: Dict[str, Any] = {}
         for case in cases:
+            if getattr(case, "probability", 0.0) > 0:
+                continue        # runs fresh; no checkpoint to warm
             seen.setdefault(case.function, case)
         for function, case in seen.items():
             self.cache.prime(self._key(function),
@@ -151,7 +161,7 @@ class SnapshotRunner:
     def _prefix_plan(self, function: str, code) -> Plan:
         plan = Plan(name=f"snapshot-prefix-{function}")
         plan.add(FunctionTrigger(function=function, mode=INJECT_NTH,
-                                 nth=PREFIX_SENTINEL, codes=(code,),
+                                 nth=PREFIX_SENTINEL, actions=(code,),
                                  calloriginal=False))
         return plan
 

@@ -98,8 +98,10 @@ def result_record(campaign_key: str, case_key: str, case, result,
         "case_key": case_key,
         "case": case.case_id(),
         "function": case.function,
-        "retval": case.code.retval,
-        "errno": case.code.errno,
+        "retval": getattr(case.code, "retval", None),
+        "errno": getattr(case.code, "errno", None),
+        **({} if hasattr(case.code, "retval")
+           else {"action": case.code.token()}),
         "ordinal": case.call_ordinal,
         "task_status": task_status,
         "status": result.outcome.status,

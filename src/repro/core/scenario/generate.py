@@ -59,12 +59,13 @@ def exhaustive_plan(profiles: Dict[str, LibraryProfile],
                 continue
             plan.add(FunctionTrigger(
                 function=name, mode=INJECT_EXHAUSTIVE,
-                codes=tuple(codes), calloriginal=calloriginal))
+                actions=tuple(codes), calloriginal=calloriginal))
     return plan
 
 
 def derive_plan_seed(name: str, probability: float,
-                     functions: Iterable[str]) -> int:
+                     functions: Iterable[str],
+                     actions: Iterable[object] = ()) -> int:
     """A concrete, content-derived default seed for a random plan.
 
     ``Plan.seed=None`` would make the trigger engine seed its RNG from
@@ -72,8 +73,18 @@ def derive_plan_seed(name: str, probability: float,
     different faults, and neither replay nor campaign resume can work.
     Deriving the default from the plan's identity keeps unseeded plans
     reproducible while still varying across different plans.
+
+    ``actions`` folds the plan's action content into the seed: two
+    probabilistic plans differing only in, say, injected latency get
+    distinct seeds, and an unchanged plan keeps its seed — which is
+    what lets ``--resume`` replay a probabilistic campaign
+    bit-identically from the recorded value.
     """
+    tokens = sorted(a.token() if hasattr(a, "token") else str(a)
+                    for a in actions)
     text = f"{name}|{probability!r}|{','.join(sorted(functions))}"
+    if tokens:
+        text += f"|{';'.join(tokens)}"
     return zlib.crc32(text.encode("utf-8"))
 
 
@@ -101,11 +112,12 @@ def random_plan(profiles: Dict[str, LibraryProfile], probability: float,
                 continue
             triggers.append(FunctionTrigger(
                 function=fn_name, mode=INJECT_RANDOM,
-                probability=probability, codes=tuple(codes),
+                probability=probability, actions=tuple(codes),
                 calloriginal=calloriginal))
     if seed is None:
         seed = derive_plan_seed(name, probability,
-                                (t.function for t in triggers))
+                                (t.function for t in triggers),
+                                (a for t in triggers for a in t.actions))
     plan = Plan(name=name, seed=seed)
     for trigger in triggers:
         plan.add(trigger)
@@ -128,5 +140,5 @@ def passthrough_plan(functions_with_codes: Dict[str, List[ErrorCode]],
             code = usable[i % len(usable)]
             plan.add(FunctionTrigger(
                 function=name, mode=INJECT_RANDOM, probability=1e-9,
-                codes=(code,), calloriginal=True))
+                actions=(code,), calloriginal=True))
     return plan

@@ -31,10 +31,6 @@ IO_FUNCTIONS = FILE_IO_FUNCTIONS + SOCKET_IO_FUNCTIONS
 def _preset(libc_profile: LibraryProfile, functions: Sequence[str],
             name: str, *, probability: Optional[float],
             seed: Optional[int]) -> Plan:
-    if probability is not None and seed is None:
-        # random presets must stay reproducible without an explicit
-        # seed (exhaustive ones use no RNG at all)
-        seed = derive_plan_seed(name, probability, functions)
     plan = Plan(name=name, seed=seed)
     for fn in functions:
         fp = libc_profile.functions.get(fn)
@@ -45,11 +41,18 @@ def _preset(libc_profile: LibraryProfile, functions: Sequence[str],
             continue
         if probability is None:
             plan.add(FunctionTrigger(function=fn, mode=INJECT_EXHAUSTIVE,
-                                     codes=codes, calloriginal=False))
+                                     actions=codes, calloriginal=False))
         else:
             plan.add(FunctionTrigger(function=fn, mode=INJECT_RANDOM,
-                                     probability=probability, codes=codes,
-                                     calloriginal=False))
+                                     probability=probability,
+                                     actions=codes, calloriginal=False))
+    if probability is not None and seed is None:
+        # random presets must stay reproducible without an explicit
+        # seed (exhaustive ones use no RNG at all); the action content
+        # is part of the derivation so edited faultloads re-seed
+        plan.seed = derive_plan_seed(
+            name, probability, functions,
+            (a for t in plan.triggers for a in t.actions))
     return plan
 
 

@@ -1,10 +1,11 @@
-"""The XML scenario language (§4).
+"""The XML scenario language (§4), schema ``repro.plan/2``.
 
-Grammar, following the paper's examples:
+Grammar, following the paper's examples plus the generalized action
+model:
 
 .. code-block:: xml
 
-    <plan name="..." seed="7">
+    <plan name="..." seed="7" schema="repro.plan/2">
       <function name="readdir" inject="5" retval="0" errno="EBADF"
                 calloriginal="false">
         <stacktrace>
@@ -20,15 +21,28 @@ Grammar, following the paper's examples:
         <code retval="-1" errno="ENOSPC" />
         <code retval="-1" errno="EIO" />
       </function>
-      <function name="close" inject="exhaustive" calloriginal="false">
-        <code retval="-1" errno="EBADF" />
+      <function name="send" inject="3,5,9" calloriginal="true">
+        <delay ns="2000000" />
+        <scope peer="80" />
+      </function>
+      <function name="recv" inject="always" calloriginal="true">
+        <shortread max_bytes="16" argument="3" />
+        <scope path="/www/*.html" />
       </function>
     </plan>
 
-``inject`` is a call ordinal ("5"), "always", "random" (with
-``probability``) or "exhaustive" (consecutive calls rotate through the
-``<code>`` list).  A ``retval``/``errno`` attribute pair is shorthand for
-a single ``<code>`` child.
+``inject`` is a call ordinal ("5"), a comma-separated ordinal set
+("3,5,9"), "always", "random" (with ``probability``) or "exhaustive"
+(consecutive calls rotate through the action list).  A
+``retval``/``errno`` attribute pair is shorthand for a single
+``<code>`` child; ``<delay>``, ``<shortread>`` and ``<partialwrite>``
+children add the non-return actions, and an optional ``<scope>`` child
+restricts the trigger to a file descriptor, path glob or socket peer.
+
+Writers stamp ``schema="repro.plan/2"``; readers accept ``/1``
+documents (which simply predate the action elements) and reject
+anything else.  Unknown child elements are a :class:`ScenarioError`
+naming the function and the element — not a silent skip.
 """
 
 from __future__ import annotations
@@ -39,34 +53,47 @@ from typing import List, Optional, Tuple
 from ...errors import ScenarioError
 from ..profiles import ArgCondition
 from .model import (INJECT_ALWAYS, INJECT_EXHAUSTIVE, INJECT_NTH,
-                    INJECT_RANDOM, ArgModification, ErrorCode, FrameSpec,
-                    FunctionTrigger, Plan)
+                    INJECT_ORDINALS, INJECT_RANDOM, Action, ArgModification,
+                    DelayFault, ErrorCode, FrameSpec, FunctionTrigger,
+                    PartialWriteFault, Plan, ReturnFault, ShortReadFault,
+                    TargetScope)
+
+#: Schema tag emitted on every written plan.
+PLAN_SCHEMA = "repro.plan/2"
+#: Schema tags accepted on read: /1 documents predate the action model
+#: (and usually carry no schema attribute at all).
+ACCEPTED_SCHEMAS = ("repro.plan/1", PLAN_SCHEMA)
+
+#: Child elements a <function> may legally carry.
+_KNOWN_CHILDREN = ("code", "delay", "shortread", "partialwrite",
+                   "scope", "stacktrace", "modify", "argcond")
 
 
 def plan_to_xml(plan: Plan) -> str:
     root = ET.Element("plan", name=plan.name)
+    root.set("schema", PLAN_SCHEMA)
     if plan.seed is not None:
         root.set("seed", str(plan.seed))
     for trigger in plan.triggers:
         el = ET.SubElement(root, "function", name=trigger.function)
         if trigger.mode == INJECT_NTH:
             el.set("inject", str(trigger.nth))
+        elif trigger.mode == INJECT_ORDINALS:
+            el.set("inject", ",".join(str(o) for o in trigger.ordinals))
         else:
             el.set("inject", trigger.mode)
         if trigger.mode == INJECT_RANDOM:
             el.set("probability", repr(trigger.probability))
         el.set("calloriginal", "true" if trigger.calloriginal else "false")
-        if len(trigger.codes) == 1 and not trigger.codes[0].errno:
-            el.set("retval", str(trigger.codes[0].retval))
-        elif len(trigger.codes) == 1:
-            el.set("retval", str(trigger.codes[0].retval))
-            el.set("errno", trigger.codes[0].errno)
-        else:
-            for code in trigger.codes:
-                code_el = ET.SubElement(el, "code",
-                                        retval=str(code.retval))
-                if code.errno:
-                    code_el.set("errno", code.errno)
+        _emit_actions(el, trigger)
+        if trigger.scope is not None:
+            scope_el = ET.SubElement(el, "scope")
+            if trigger.scope.fd is not None:
+                scope_el.set("fd", str(trigger.scope.fd))
+            if trigger.scope.path is not None:
+                scope_el.set("path", trigger.scope.path)
+            if trigger.scope.peer is not None:
+                scope_el.set("peer", str(trigger.scope.peer))
         if trigger.stacktrace:
             st = ET.SubElement(el, "stacktrace")
             for frame in trigger.stacktrace:
@@ -83,6 +110,40 @@ def plan_to_xml(plan: Plan) -> str:
     return ET.tostring(root, encoding="unicode")
 
 
+def _emit_actions(el: ET.Element, trigger: FunctionTrigger) -> None:
+    """Serialize the action list.
+
+    A single bare :class:`ReturnFault` keeps the /1 shorthand
+    (``retval``/``errno`` attributes on the <function>), so plans that
+    only use the original fault shape emit element-for-element what the
+    /1 writer produced.
+    """
+    actions = trigger.actions
+    returns = [a for a in actions if isinstance(a, ReturnFault)]
+    if len(actions) == 1 and len(returns) == 1:
+        el.set("retval", str(returns[0].retval))
+        if returns[0].errno:
+            el.set("errno", returns[0].errno)
+        return
+    for action in actions:
+        if isinstance(action, ReturnFault):
+            code_el = ET.SubElement(el, "code",
+                                    retval=str(action.retval))
+            if action.errno:
+                code_el.set("errno", action.errno)
+        elif isinstance(action, DelayFault):
+            ET.SubElement(el, "delay", ns=str(action.virtual_ns))
+        elif isinstance(action, (ShortReadFault, PartialWriteFault)):
+            tag = ("shortread" if isinstance(action, ShortReadFault)
+                   else "partialwrite")
+            io_el = ET.SubElement(el, tag,
+                                  argument=str(action.argument))
+            if action.max_bytes is not None:
+                io_el.set("max_bytes", str(action.max_bytes))
+            else:
+                io_el.set("fraction", repr(action.fraction))
+
+
 def plan_from_xml(text: str) -> Plan:
     try:
         root = ET.fromstring(text)
@@ -90,6 +151,11 @@ def plan_from_xml(text: str) -> Plan:
         raise ScenarioError(f"bad plan XML: {exc}") from None
     if root.tag != "plan":
         raise ScenarioError(f"expected <plan>, got <{root.tag}>")
+    schema = root.get("schema")
+    if schema is not None and schema not in ACCEPTED_SCHEMAS:
+        raise ScenarioError(
+            f"unsupported plan schema {schema!r} "
+            f"(accepted: {', '.join(ACCEPTED_SCHEMAS)})")
     seed_text = root.get("seed")
     plan = Plan(name=root.get("name", "scenario"),
                 seed=int(seed_text) if seed_text else None)
@@ -103,17 +169,47 @@ def _trigger_from_element(el: ET.Element) -> FunctionTrigger:
     if not name:
         raise ScenarioError("<function> needs a name attribute")
     inject = el.get("inject", "always")
-    mode, nth, probability = _parse_inject(el, inject)
+    mode, nth, probability, ordinals = _parse_inject(el, inject)
 
-    codes: List[ErrorCode] = []
+    for child in el:
+        if child.tag not in _KNOWN_CHILDREN:
+            raise ScenarioError(
+                f"function {name!r} carries unknown action element "
+                f"<{child.tag}>")
+
+    actions: List[Action] = []
     retval_attr = el.get("retval")
     if retval_attr is not None:
-        codes.append(ErrorCode(int(retval_attr), el.get("errno")))
+        actions.append(ReturnFault(int(retval_attr), el.get("errno")))
     for code_el in el.findall("code"):
         retval_text = code_el.get("retval")
         if retval_text is None:
             raise ScenarioError(f"<code> under {name!r} needs retval")
-        codes.append(ErrorCode(int(retval_text), code_el.get("errno")))
+        actions.append(ReturnFault(int(retval_text), code_el.get("errno")))
+    for delay_el in el.findall("delay"):
+        ns_text = delay_el.get("ns")
+        if ns_text is None:
+            raise ScenarioError(f"<delay> under {name!r} needs ns")
+        actions.append(DelayFault(int(ns_text)))
+    for tag, cls in (("shortread", ShortReadFault),
+                     ("partialwrite", PartialWriteFault)):
+        for io_el in el.findall(tag):
+            actions.append(_partial_io_from_element(name, tag, cls, io_el))
+
+    scope = None
+    scope_el = el.find("scope")
+    if scope_el is not None:
+        fd_text = scope_el.get("fd")
+        peer_text = scope_el.get("peer")
+        try:
+            scope = TargetScope(
+                fd=int(fd_text) if fd_text is not None else None,
+                path=scope_el.get("path"),
+                peer=int(peer_text) if peer_text is not None else None)
+        except ScenarioError:
+            raise ScenarioError(
+                f"<scope> under {name!r} needs at least one of fd=, "
+                f"path= or peer=") from None
 
     frames: List[FrameSpec] = []
     st = el.find("stacktrace")
@@ -138,19 +234,37 @@ def _trigger_from_element(el: ET.Element) -> FunctionTrigger:
     calloriginal = el.get("calloriginal", "false").lower() == "true"
     return FunctionTrigger(
         function=name, mode=mode, nth=nth, probability=probability,
-        codes=tuple(codes), calloriginal=calloriginal,
+        actions=tuple(actions), calloriginal=calloriginal,
         stacktrace=tuple(frames), modifications=tuple(mods),
-        argconds=tuple(argconds))
+        argconds=tuple(argconds), ordinals=ordinals, scope=scope)
+
+
+def _partial_io_from_element(name: str, tag: str, cls, io_el: ET.Element):
+    max_text = io_el.get("max_bytes")
+    fraction_text = io_el.get("fraction")
+    if (max_text is None) == (fraction_text is None):
+        raise ScenarioError(
+            f"<{tag}> under {name!r} needs exactly one of max_bytes= "
+            f"or fraction=")
+    try:
+        return cls(
+            max_bytes=int(max_text) if max_text is not None else None,
+            fraction=(float(fraction_text)
+                      if fraction_text is not None else None),
+            argument=int(io_el.get("argument", "3")))
+    except ValueError as exc:
+        raise ScenarioError(
+            f"<{tag}> under {name!r} is malformed: {exc}") from None
 
 
 def _parse_inject(el: ET.Element,
-                  inject: str) -> Tuple[str, int, float]:
+                  inject: str) -> Tuple[str, int, float, Tuple[int, ...]]:
     if inject == INJECT_ALWAYS:
-        return INJECT_ALWAYS, 0, 0.0
+        return INJECT_ALWAYS, 0, 0.0, ()
     if inject == INJECT_EXHAUSTIVE:
-        return INJECT_EXHAUSTIVE, 0, 0.0
+        return INJECT_EXHAUSTIVE, 0, 0.0, ()
     if inject == INJECT_RANDOM:
-        # agree with the builder path: FunctionTrigger.__post_init__
+        # agree with the builder path: FunctionTrigger validation
         # rejects probability <= 0, so a missing attribute must not
         # silently parse as 0.0 and fail later with less context
         name = el.get("name", "?")
@@ -165,9 +279,16 @@ def _parse_inject(el: ET.Element,
             raise ScenarioError(
                 f"random trigger for {name!r} has a bad probability "
                 f"{probability_text!r}") from None
-        return INJECT_RANDOM, 0, probability
+        return INJECT_RANDOM, 0, probability, ()
+    if "," in inject:
+        try:
+            ordinals = tuple(int(part) for part in inject.split(","))
+        except ValueError:
+            raise ScenarioError(
+                f"bad inject value {inject!r}") from None
+        return INJECT_ORDINALS, 0, 0.0, ordinals
     try:
-        return INJECT_NTH, int(inject), 0.0
+        return INJECT_NTH, int(inject), 0.0, ()
     except ValueError:
         raise ScenarioError(f"bad inject value {inject!r}") from None
 

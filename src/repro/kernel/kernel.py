@@ -49,6 +49,9 @@ class FileDesc:
     socket: Optional[Socket] = None
     endpoint: Optional[Endpoint] = None
     dir_entries: Optional[List[str]] = None
+    #: the path the descriptor was opened with, for path-scoped fault
+    #: triggers; None for pipes and sockets
+    path: Optional[str] = None
 
 
 @dataclass
@@ -183,7 +186,7 @@ class Kernel:
         path = proc.read_cstr(path_ptr)
         node = self.vfs.open_node(path, flags)
         kind = "dir" if node.is_dir else "file"
-        entry = FileDesc(kind=kind, vnode=node, flags=flags)
+        entry = FileDesc(kind=kind, vnode=node, flags=flags, path=path)
         if flags & O_APPEND and not node.is_dir:
             entry.pos = node.size()
         return proc.kstate.alloc_fd(entry, self.max_fds)

@@ -27,6 +27,9 @@ class Endpoint:
     capacity: int = 65536
     peer: Optional["Endpoint"] = None
     open: bool = True
+    #: the listener port this connection was established through, for
+    #: peer-scoped fault triggers (both ends carry the same port)
+    port: Optional[int] = None
 
     def send(self, data: bytes) -> int:
         if self.peer is None or not self.peer.open:
@@ -94,8 +97,8 @@ class SocketTable:
             raise SocketError("ECONNREFUSED")
         if len(listener.backlog) >= listener.backlog_limit:
             raise SocketError("ETIMEDOUT")
-        client_end = Endpoint()
-        server_end = Endpoint()
+        client_end = Endpoint(port=port)
+        server_end = Endpoint(port=port)
         client_end.peer = server_end
         server_end.peer = client_end
         sock.endpoint = client_end

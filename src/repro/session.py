@@ -229,17 +229,34 @@ class Session:
 
     def cases(self, *, functions: Optional[Sequence[str]] = None,
               call_ordinals: Sequence[int] = (1,),
-              max_codes_per_function: Optional[int] = None
+              max_codes_per_function: Optional[int] = None,
+              fault_classes: Sequence[str] = ("return",),
+              latency_ns: int = 1_000_000,
+              fraction: float = 0.5,
+              fail_rate: Optional[float] = None
               ) -> List[FaultCase]:
-        """Enumerate the systematic (function, error code) fault space."""
+        """Enumerate the systematic (function, fault action) space.
+
+        ``fault_classes`` widens the matrix beyond error returns to
+        latency (``delay``) and partial-I/O (``short-read`` /
+        ``partial-write``) actions; ``fail_rate`` turns every case
+        probabilistic under a content-derived recorded seed.
+        """
         return enumerate_cases(self.profiles, functions=functions,
                                call_ordinals=call_ordinals,
-                               max_codes_per_function=max_codes_per_function)
+                               max_codes_per_function=max_codes_per_function,
+                               fault_classes=fault_classes,
+                               latency_ns=latency_ns, fraction=fraction,
+                               fail_rate=fail_rate)
 
     def campaign(self, factory, *, app: Optional[str] = None,
                  functions: Optional[Sequence[str]] = None,
                  call_ordinals: Sequence[int] = (1,),
                  max_codes_per_function: Optional[int] = None,
+                 fault_classes: Sequence[str] = ("return",),
+                 latency_ns: int = 1_000_000,
+                 fraction: float = 0.5,
+                 fail_rate: Optional[float] = None,
                  cases: Optional[Iterable[FaultCase]] = None,
                  snapshot: Optional[bool] = None,
                  resume: Optional[bool] = None
@@ -277,7 +294,9 @@ class Session:
             if cases is None:
                 cases = self.cases(
                     functions=functions, call_ordinals=call_ordinals,
-                    max_codes_per_function=max_codes_per_function)
+                    max_codes_per_function=max_codes_per_function,
+                    fault_classes=fault_classes, latency_ns=latency_ns,
+                    fraction=fraction, fail_rate=fail_rate)
             results_key = None
             if self.results is not None:
                 results_key = {
