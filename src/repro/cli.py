@@ -396,6 +396,64 @@ def cmd_triage(args: argparse.Namespace) -> int:
     return 0 if not report.buckets else 1
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    """Aggregate a journaled campaign into the failure-mode matrix."""
+    from .core.results import ResultStore, matrix_from_store
+    from .obs.report import render_html_report
+
+    store = ResultStore(args.results_dir,
+                        telemetry=getattr(args, "telemetry", NULL_TELEMETRY))
+    key = store.resolve(args.campaign)
+    matrix = matrix_from_store(store, key)
+    if args.json:
+        print(matrix.to_json())
+    else:
+        print(matrix.render())
+    if args.out:
+        Path(args.out).write_text(matrix.to_json() + "\n")
+        _notice(args, f"matrix JSON -> {args.out}")
+    if args.html:
+        records = store.load(key)
+        Path(args.html).write_text(
+            render_html_report(matrix, records))
+        _notice(args, f"HTML report -> {args.html}")
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Live view of a running journaled campaign."""
+    from .obs.report import watch_journal
+
+    try:
+        return watch_journal(args.journal, campaign=args.campaign,
+                             interval=args.interval, once=args.once)
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_gate(args: argparse.Namespace) -> int:
+    """Evaluate declarative robustness gates against a campaign matrix."""
+    from .core.results import (ResultStore, evaluate_gates, load_gate_spec,
+                               matrix_from_store)
+
+    spec = load_gate_spec(args.spec)
+    baseline = None
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+    store = ResultStore(args.results_dir,
+                        telemetry=getattr(args, "telemetry", NULL_TELEMETRY))
+    matrix = matrix_from_store(store, store.resolve(args.campaign))
+    report = evaluate_gates(matrix.to_dict(), spec, baseline=baseline)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    if args.report:
+        Path(args.report).write_text(report.to_json() + "\n")
+        _notice(args, f"gate report -> {args.report}")
+    return 0 if report.ok else 1
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Reconstruct run statistics from a ``--log-json`` event stream."""
     from .obs.events import read_events, summarize_events
@@ -444,6 +502,21 @@ def cmd_stats(args: argparse.Namespace) -> int:
               f"(avg {avg:.1f}/restore, "
               f"{snaps.get('restored_bytes', 0)} bytes, "
               f"{snaps.get('restore_seconds', 0.0):.3f}s restoring)")
+    latency = summary.get("latency")
+    if latency:
+        quantiles = ", ".join(
+            f"{key}={latency[key] / 1e6:.2f}ms"
+            for key in ("p50", "p90", "p99") if key in latency)
+        print(f"request latency: {int(latency['count'])} requests, "
+              f"mean {latency['mean'] / 1e6:.2f}ms ({quantiles})")
+    faults = summary.get("faults") or {}
+    if faults.get("virtual_delay_ns"):
+        print(f"injected latency: "
+              f"{faults['virtual_delay_ns'] / 1e6:.2f}ms of virtual "
+              f"delay added to the kernel clock")
+    if faults.get("partial_io_bytes"):
+        print(f"partial I/O: {int(faults['partial_io_bytes'])} bytes "
+              f"trimmed off transfer counts")
     if args.spans:
         rendered = render_span_dicts(summary["spans"])
         if rendered:
@@ -630,6 +703,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the triage report as JSON")
     p.set_defaults(fn=cmd_triage)
+
+    p = sub.add_parser("report",
+                       help="aggregate a journaled campaign into the "
+                            "failure-mode matrix")
+    p.add_argument("results_dir",
+                   help="result store directory (campaign --results-dir)")
+    p.add_argument("--campaign", metavar="PREFIX", default=None,
+                   help="campaign key prefix (default: the store's only "
+                        "campaign)")
+    p.add_argument("--json", action="store_true",
+                   help="print the repro.matrix/1 document instead of "
+                        "the text table")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the matrix JSON here (the gate baseline "
+                        "artifact)")
+    p.add_argument("--html", metavar="PATH",
+                   help="write a self-contained HTML report here "
+                        "(per-cell drilldown, replay plans, "
+                        "coverage-novelty ranking)")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("watch",
+                       help="live view of a running journaled campaign")
+    p.add_argument("journal",
+                   help="journal.jsonl, a campaign directory, or a "
+                        "result store root")
+    p.add_argument("--campaign", metavar="PREFIX", default=None,
+                   help="campaign key prefix when pointing at a store")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between polls (default: 1)")
+    p.add_argument("--once", action="store_true",
+                   help="render one frame and exit (scripting/CI)")
+    p.set_defaults(fn=cmd_watch)
+
+    p = sub.add_parser("gate",
+                       help="evaluate declarative robustness gates "
+                            "against a campaign matrix (exits nonzero "
+                            "on regression)")
+    p.add_argument("spec", help="gate spec (YAML or JSON)")
+    p.add_argument("results_dir",
+                   help="result store directory (campaign --results-dir)")
+    p.add_argument("--campaign", metavar="PREFIX", default=None,
+                   help="campaign key prefix (default: the store's only "
+                        "campaign)")
+    p.add_argument("--baseline", metavar="PATH",
+                   help="baseline repro.matrix/1 JSON for forbid_new "
+                        "gates (from 'repro report --out')")
+    p.add_argument("--json", action="store_true",
+                   help="print the gate report as JSON")
+    p.add_argument("--report", metavar="PATH",
+                   help="write the gate report JSON here")
+    p.set_defaults(fn=cmd_gate)
 
     p = sub.add_parser("stats",
                        help="reconstruct run statistics from a "

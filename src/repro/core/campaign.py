@@ -147,6 +147,16 @@ class CaseResult:
     #: :func:`injection_sites`) — the stack-hash currency failure
     #: triage buckets by; crosses the process-backend pickle boundary
     sites: List[Dict[str, Any]] = field(default_factory=list)
+    #: the five-way failure-mode class (see ``core.results.matrix``),
+    #: assigned deterministically by the campaign *parent* when a
+    #: result store is attached; None = unclassified
+    outcome_class: Optional[str] = None
+    #: guest-filesystem content digest at end of case — compared against
+    #: the campaign's no-fault golden digest to detect silent corruption
+    output: Optional[str] = None
+    #: exported block-coverage summary (``runtime.blocks
+    #: .export_coverage``): digest, block/dispatch counts, hex-addr map
+    coverage: Optional[Dict[str, Any]] = None
 
     @property
     def tolerated(self) -> bool:
@@ -174,6 +184,13 @@ class CaseResult:
                if self.case.probability > 0 else {}),
             **({"snapshot": self.snapshot}
                if self.snapshot is not None else {}),
+            **({"class": self.outcome_class}
+               if self.outcome_class is not None else {}),
+            **({"output": self.output}
+               if self.output is not None else {}),
+            **({"coverage": {"digest": self.coverage.get("digest", ""),
+                             "blocks": self.coverage.get("blocks", 0)}}
+               if self.coverage else {}),
         }
 
 
@@ -229,6 +246,15 @@ class CampaignReport:
         if self.hung():
             return "hung"
         return "ok"
+
+    def classes(self) -> Dict[str, int]:
+        """Fired-case counts by failure-mode class (only populated when
+        the engine classified — i.e. a result store was attached)."""
+        counts: Dict[str, int] = {}
+        for r in self.results:
+            if r.fired and r.outcome_class:
+                counts[r.outcome_class] = counts.get(r.outcome_class, 0) + 1
+        return counts
 
     @property
     def tolerance_rate(self) -> float:

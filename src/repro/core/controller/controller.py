@@ -126,7 +126,8 @@ class Controller:
                  profiles: Dict[str, LibraryProfile],
                  plan: Plan,
                  *, seed: Optional[int] = None,
-                 telemetry=None) -> None:
+                 telemetry=None,
+                 coverage: bool = False) -> None:
         self.platform = platform
         self.profiles = dict(profiles)
         self.plan = plan
@@ -146,6 +147,8 @@ class Controller:
             soname=f"liblfi_shim{self._ordinal}.so",
             eval_symbol=self.eval_symbol)
         self._test_counter = 0
+        #: arm per-process block-coverage accounting on attach
+        self.coverage_enabled = coverage
         #: every process this controller interposed on, for aggregate
         #: execution statistics (campaign MIPS accounting)
         self.processes: List[Process] = []
@@ -156,6 +159,8 @@ class Controller:
                libraries: Sequence[SharedObject]) -> None:
         """Interpose the shim and load the application's libraries."""
         self.processes.append(proc)
+        if self.coverage_enabled and proc.cpu.coverage is None:
+            proc.cpu.coverage = {}
         proc.register_host(self.eval_symbol, self.injector.eval_host,
                            raw=True)
         if self.platform.interposition == PRELOAD:
@@ -245,3 +250,18 @@ class Controller:
     def instructions_executed(self) -> int:
         """Guest instructions run by every attached process."""
         return sum(p.cpu.instructions_executed for p in self.processes)
+
+    def coverage_map(self) -> Dict[int, int]:
+        """Merged block-coverage counts across every attached process.
+
+        Keys are block entry addresses, values dispatch counts.  Empty
+        when coverage was not armed (or nothing block-compiled ran).
+        """
+        merged: Dict[int, int] = {}
+        for p in self.processes:
+            cov = p.cpu.coverage
+            if not cov:
+                continue
+            for addr, count in cov.items():
+                merged[addr] = merged.get(addr, 0) + count
+        return merged

@@ -182,12 +182,17 @@ def _worker_label() -> str:
 
 def _case_runner(factory, platform: Platform,
                  profiles: Mapping[str, LibraryProfile], case,
-                 capture: bool = False):
+                 capture: bool = False, observe: bool = False):
     """Run one fault case in isolation; shared by every backend.
 
     With ``capture``, the controller gets a private in-memory telemetry
     context whose events and metrics travel back on the result (they
     pickle, so this works across the process backend too).
+
+    With ``observe``, the worker additionally collects the raw
+    classification signals — the guest-filesystem output digest and the
+    block-coverage map — which ride back on the result for the *parent*
+    to classify and journal (deterministic across backends).
     """
     from ..campaign import CaseResult
 
@@ -200,7 +205,7 @@ def _case_runner(factory, platform: Platform,
         case_telemetry = Telemetry(events=EventLog(sinks=[sink]),
                                    tracer=NULL_TRACER)
     lfi = Controller(platform, dict(profiles), case.plan(),
-                     telemetry=case_telemetry)
+                     telemetry=case_telemetry, coverage=observe)
     session = factory(lfi)
     outcome = lfi.run_test(session, test_id=case.case_id())
     from ..campaign import injection_sites
@@ -213,7 +218,41 @@ def _case_runner(factory, platform: Platform,
         result.events = [event.to_dict() for event in sink.events]
         result.metrics = case_telemetry.metrics.snapshot()
         result.worker = _worker_label()
+    if observe:
+        _observe_result(result, lfi)
     return result
+
+
+def _observe_result(result, lfi: Controller) -> None:
+    """Attach the classification signals to a worker-side result."""
+    from ...runtime.blocks import export_coverage
+    from ..results.matrix import output_digest
+
+    result.output = output_digest(lfi)
+    result.coverage = export_coverage(lfi.coverage_map())
+
+
+def _golden_digest(factory, platform: Platform,
+                   profiles: Mapping[str, LibraryProfile]) -> Optional[str]:
+    """Run the workload once with no faults and digest its output.
+
+    The digest anchors silent-corruption detection: a fired case whose
+    run "succeeds" but leaves different files behind diverged silently.
+    A workload that doesn't complete normally even fault-free has no
+    trustworthy golden output — classification then degrades gracefully
+    (no silent-corruption verdicts) rather than guessing.
+    """
+    from ..scenario.model import Plan
+    from ..results.matrix import output_digest
+
+    try:
+        lfi = Controller(platform, dict(profiles), Plan(name="golden"))
+        outcome = lfi.run_test(factory(lfi), test_id="golden")
+        if outcome.status != "normal":
+            return None
+        return output_digest(lfi)
+    except Exception:
+        return None
 
 
 def _finish_case(case, task: TaskResult, pool: WorkerPool):
@@ -327,18 +366,36 @@ def execute_campaign(app: str,
                if index not in restored]
     pending_cases = [case for _, case in pending]
 
+    # Classification runs at the parent whenever results are durable:
+    # workers ship raw signals (status, output digest, coverage) and the
+    # parent assigns the failure-mode class, so every backend — and the
+    # snapshot path — journals identical classes.  The golden (no-fault)
+    # output digest is computed once per campaign and persisted in the
+    # journal's meta, so resumed runs classify against the same anchor.
+    observe = journal is not None
+    golden: Optional[str] = None
+    if journal is not None:
+        from ..results.matrix import classify_result
+        meta = journal.meta()
+        golden = meta.get("golden")
+        if golden is None and pending_cases and "golden" not in meta:
+            golden = _golden_digest(factory, platform, profiles)
+        journal.set_meta(golden=golden, cases_expected=len(case_list))
+
     runner = None
     if snapshot:
         from .snapshot import SnapshotRunner
         runner = SnapshotRunner(app, factory, platform, profiles,
-                                capture=capture, telemetry=tele)
+                                capture=capture, telemetry=tele,
+                                observe=observe)
         if not runner.supported:
             runner = None
 
     def run_one(case):
         if runner is not None:
             return runner.run_case(case)
-        return _case_runner(factory, platform, profiles, case, capture)
+        return _case_runner(factory, platform, profiles, case, capture,
+                            observe)
 
     if pool.backend == PROCESS and pending_cases and pool.warmup is None:
         if runner is not None:
@@ -380,10 +437,13 @@ def execute_campaign(app: str,
     def journal_progress(task: TaskResult) -> None:
         # runs in the parent as each case (in input order) drains; the
         # flush-per-record journal is what --resume picks up after a
-        # crash, so this must not wait for the pool to finish
+        # crash, so this must not wait for the pool to finish.  The
+        # failure-mode class is assigned here — in the parent — from
+        # the worker's raw signals, so it is backend-independent.
         index, case = pending[task.index]
-        journal.record(case_keys[index], case,
-                       _finish_case(case, task, pool), task.status)
+        result = _finish_case(case, task, pool)
+        result.outcome_class = classify_result(result, golden)
+        journal.record(case_keys[index], case, result, task.status)
 
     cache_before = CODE_CACHE.stats()
     started = time.perf_counter()
@@ -407,6 +467,10 @@ def execute_campaign(app: str,
             result = restored[index]
         else:
             result = _finish_case(case, task_by_index[index], pool)
+        if journal is not None and result.outcome_class is None:
+            # legacy restored records and per-loop synthesized hung/
+            # crashed results; same inputs, same deterministic class
+            result.outcome_class = classify_result(result, golden)
         if tele.enabled:
             _replay_case_telemetry(tele, case, result)
         results_list.append(result)

@@ -82,12 +82,17 @@ class SnapshotRunner:
 
     def __init__(self, app: str, factory, platform: Platform,
                  profiles: Mapping[str, LibraryProfile],
-                 *, capture: bool = False, telemetry=None) -> None:
+                 *, capture: bool = False, telemetry=None,
+                 observe: bool = False) -> None:
         self.app = app
         self.factory = factory
         self.platform = platform
         self.profiles = dict(profiles)
         self.capture = capture
+        #: collect classification signals (coverage + output digest);
+        #: the prefix controller arms coverage so prefix+suffix counts
+        #: equal a fresh run's
+        self.observe = observe
         self.telemetry = as_telemetry(telemetry)
         self.cache = SnapshotCache()
         self.workload_id = getattr(factory, "workload_id", None) or app
@@ -114,7 +119,7 @@ class SnapshotRunner:
             # so bit-identical results require running the whole case
             self.fallbacks += 1
             return _case_runner(self.factory, self.platform, self.profiles,
-                                case, self.capture)
+                                case, self.capture, self.observe)
         key = self._key(case.function)
         instance = self.cache.acquire(
             key, lambda: self._build(case.function, case.code))
@@ -124,7 +129,7 @@ class SnapshotRunner:
             self.cache.release(key, instance)
             self.fallbacks += 1
             return _case_runner(self.factory, self.platform, self.profiles,
-                                case, self.capture)
+                                case, self.capture, self.observe)
         try:
             result = self._replay(instance, case)
         except BaseException:
@@ -167,7 +172,8 @@ class SnapshotRunner:
 
     def _build(self, function: str, code) -> _Instance:
         lfi = Controller(self.platform, dict(self.profiles),
-                         self._prefix_plan(function, code))
+                         self._prefix_plan(function, code),
+                         coverage=self.observe)
         ctx = self.factory.setup(lfi)
         processes = self._discover_processes(lfi)
         machine = MachineSnapshot.capture(processes)
@@ -298,6 +304,9 @@ class SnapshotRunner:
             result.events = [event.to_dict() for event in sink.events]
             result.metrics = case_telemetry.metrics.snapshot()
             result.worker = _worker_label()
+        if self.observe:
+            from .engine import _observe_result
+            _observe_result(result, lfi)
         result.snapshot = {
             "group": case.function,
             "workload": self.workload_id,

@@ -1,26 +1,60 @@
-"""Durable campaign results: on-disk store, crash-safe resume, triage.
+"""Durable campaign results: on-disk store, crash-safe resume, triage,
+failure-mode matrix and robustness gates.
 
-See :mod:`repro.core.results.store` for the content-addressed journal
-and :mod:`repro.core.results.triage` for failure deduplication.
+See :mod:`repro.core.results.store` for the content-addressed journal,
+:mod:`repro.core.results.triage` for failure deduplication,
+:mod:`repro.core.results.matrix` for outcome classification and the
+``repro.matrix/1`` aggregate, and :mod:`repro.core.results.gates` for
+declarative CI gates over matrices.
 """
 
+from .gates import (GATE_REPORT_SCHEMA, GATES_SCHEMA, GateReport,
+                    GateResult, GateViolation, evaluate_gates,
+                    load_gate_spec, validate_gate_spec)
+from .matrix import (FAILURE_CLASSES, FailureMatrix, MATRIX_SCHEMA,
+                     OUTCOME_CLASSES, classify_record, classify_result,
+                     classify_status, coverage_novelty, diff_matrices,
+                     fault_class_of, matrix_from_store, output_digest,
+                     record_fault_class, vfs_digest)
 from .store import (CampaignJournal, RESULT_SCHEMA, ResultStore,
                     campaign_digest, case_digest, restore_result,
                     result_record)
 from .triage import (FailureBucket, TriageReport, bucket_key,
-                     outcome_class, triage_records)
+                     outcome_class, record_class, triage_records)
 
 __all__ = [
     "CampaignJournal",
+    "FAILURE_CLASSES",
     "FailureBucket",
+    "FailureMatrix",
+    "GATES_SCHEMA",
+    "GATE_REPORT_SCHEMA",
+    "GateReport",
+    "GateResult",
+    "GateViolation",
+    "MATRIX_SCHEMA",
+    "OUTCOME_CLASSES",
     "RESULT_SCHEMA",
     "ResultStore",
     "TriageReport",
     "bucket_key",
     "campaign_digest",
     "case_digest",
+    "classify_record",
+    "classify_result",
+    "classify_status",
+    "coverage_novelty",
+    "diff_matrices",
+    "evaluate_gates",
+    "fault_class_of",
+    "load_gate_spec",
+    "matrix_from_store",
     "outcome_class",
+    "output_digest",
+    "record_class",
+    "record_fault_class",
     "restore_result",
     "result_record",
     "triage_records",
+    "validate_gate_spec",
 ]

@@ -1,0 +1,325 @@
+"""Declarative robustness gates over failure-mode matrices.
+
+A gate spec is a small YAML or JSON document stating what a workload
+must (still) tolerate::
+
+    schema: repro.gates/1
+    gates:
+      - name: minidb-survives-short-reads
+        where: {function: read, fault_class: short-read}
+        require: [survived, detected-error]
+      - name: no-crashes-anywhere
+        forbid: [crash]
+      - name: no-new-silent-corruption
+        baseline: true
+        forbid_new: [silent-corruption]
+
+Three gate shapes:
+
+* ``require: [classes...]`` — every *fired* case in the selection must
+  land in one of the listed classes;
+* ``forbid: [classes...]`` — the selection must have zero cases in any
+  listed class;
+* ``baseline: true`` + ``forbid_new: [classes...]`` — compared against
+  a committed baseline matrix, no cell of a listed class may appear or
+  grow (the "don't regress what you previously survived" CI contract).
+
+``where`` narrows a gate to matching rows; ``function`` accepts shell
+globs (``fnmatch``), ``fault_class`` is exact.  An empty/missing
+``where`` selects every row.  ``repro gate`` evaluates a spec and
+exits nonzero with a cell-level diff when any gate fails.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from ...errors import ResultsError
+from .matrix import OUTCOME_CLASSES, diff_matrices
+
+#: Schema tags for the spec and the evaluation report.
+GATES_SCHEMA = "repro.gates/1"
+GATE_REPORT_SCHEMA = "repro.gate-report/1"
+
+
+def load_gate_spec(source: Union[str, Path]) -> Dict[str, Any]:
+    """Load and validate a gate spec from a YAML or JSON file.
+
+    JSON always works; YAML needs the (optional) ``yaml`` module — a
+    missing parser is reported as an actionable error, not a crash.
+    """
+    path = Path(source)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ResultsError(f"cannot read gate spec {path}: {exc}")
+    doc: Any = None
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        try:
+            import yaml
+        except ImportError:
+            raise ResultsError(
+                f"gate spec {path} is not JSON and no YAML parser is "
+                f"available; rewrite it as JSON")
+        try:
+            doc = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ResultsError(f"gate spec {path} is not valid YAML: {exc}")
+    return validate_gate_spec(doc, source=str(path))
+
+
+def validate_gate_spec(doc: Any, *, source: str = "spec") -> Dict[str, Any]:
+    """Check a parsed gate spec's shape; returns it normalized."""
+    if not isinstance(doc, Mapping):
+        raise ResultsError(f"{source}: gate spec must be a mapping")
+    if doc.get("schema") not in (None, GATES_SCHEMA):
+        raise ResultsError(
+            f"{source}: unknown gate schema {doc.get('schema')!r} "
+            f"(expected {GATES_SCHEMA})")
+    gates = doc.get("gates")
+    if not isinstance(gates, list) or not gates:
+        raise ResultsError(f"{source}: gate spec needs a non-empty "
+                           f"'gates' list")
+    for i, gate in enumerate(gates):
+        if not isinstance(gate, Mapping):
+            raise ResultsError(f"{source}: gate #{i + 1} must be a mapping")
+        name = gate.get("name") or f"gate-{i + 1}"
+        kinds = [k for k in ("require", "forbid", "forbid_new")
+                 if gate.get(k)]
+        if len(kinds) != 1:
+            raise ResultsError(
+                f"{source}: gate {name!r} needs exactly one of "
+                f"require/forbid/forbid_new")
+        for k in kinds:
+            classes = gate[k]
+            if isinstance(classes, str):
+                classes = [classes]
+            bad = [c for c in classes if c not in OUTCOME_CLASSES]
+            if bad:
+                raise ResultsError(
+                    f"{source}: gate {name!r} names unknown outcome "
+                    f"class(es) {', '.join(map(repr, bad))}; choose from "
+                    f"{', '.join(OUTCOME_CLASSES)}")
+        if gate.get("forbid_new") and not gate.get("baseline"):
+            raise ResultsError(
+                f"{source}: gate {name!r} uses forbid_new and must set "
+                f"baseline: true")
+    return {"schema": GATES_SCHEMA, "gates": [dict(g) for g in gates]}
+
+
+def _classes(value: Any) -> List[str]:
+    return [value] if isinstance(value, str) else list(value)
+
+
+def _row_selected(row: Mapping[str, Any], where: Mapping[str, Any]) -> bool:
+    function = where.get("function")
+    if function and not fnmatchcase(row.get("function", ""), str(function)):
+        return False
+    fault_class = where.get("fault_class")
+    if fault_class and row.get("fault_class", "") != fault_class:
+        return False
+    return True
+
+
+@dataclass
+class GateViolation:
+    """One offending matrix cell under one gate."""
+
+    function: str
+    fault_class: str
+    outcome_class: str
+    count: int
+    baseline: Optional[int] = None
+    cases: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            "function": self.function,
+            "fault_class": self.fault_class,
+            "class": self.outcome_class,
+            "count": self.count,
+            "cases": list(self.cases),
+        }
+        if self.baseline is not None:
+            out["baseline"] = self.baseline
+        return out
+
+    def render(self) -> str:
+        cell = f"{self.function}/{self.fault_class}/{self.outcome_class}"
+        if self.baseline is not None:
+            return (f"{cell}: {self.baseline} -> {self.count}"
+                    + (f"  ({', '.join(self.cases[:3])}"
+                       + ("…" if len(self.cases) > 3 else "") + ")"
+                       if self.cases else ""))
+        return (f"{cell}: {self.count} case(s)"
+                + (f"  ({', '.join(self.cases[:3])}"
+                   + ("…" if len(self.cases) > 3 else "") + ")"
+                   if self.cases else ""))
+
+
+@dataclass
+class GateResult:
+    """One gate's verdict."""
+
+    name: str
+    kind: str                   # "require" | "forbid" | "forbid_new"
+    ok: bool
+    violations: List[GateViolation] = field(default_factory=list)
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class GateReport:
+    """The full evaluation of a spec against one matrix."""
+
+    campaign: str
+    app: str = ""
+    gates: List[GateResult] = field(default_factory=list)
+    diff: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(g.ok for g in self.gates)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": GATE_REPORT_SCHEMA,
+            "campaign": self.campaign,
+            "app": self.app,
+            "ok": self.ok,
+            "gates": [g.to_dict() for g in self.gates],
+            "diff": list(self.diff),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        lines = [f"robustness gates for campaign {self.campaign[:12]}"
+                 + (f" ({self.app})" if self.app else "")
+                 + f": {'PASS' if self.ok else 'FAIL'}"]
+        for gate in self.gates:
+            mark = "ok  " if gate.ok else "FAIL"
+            lines.append(f"  [{mark}] {gate.name}"
+                         + (f" — {gate.detail}" if gate.detail else ""))
+            for violation in gate.violations:
+                lines.append(f"         {violation.render()}")
+        if self.diff:
+            lines.append("  cell diff vs baseline:")
+            for entry in self.diff:
+                lines.append(
+                    f"    {entry['function']}/{entry['fault_class']}"
+                    f"/{entry['class']}: {entry['baseline']} -> "
+                    f"{entry['current']}")
+        return "\n".join(lines)
+
+
+def evaluate_gates(matrix_doc: Mapping[str, Any],
+                   spec: Mapping[str, Any],
+                   *, baseline: Optional[Mapping[str, Any]] = None
+                   ) -> GateReport:
+    """Evaluate every gate in ``spec`` against a serialized matrix.
+
+    ``baseline`` (a previously committed ``repro.matrix/1`` document)
+    is required by — and only consulted for — ``forbid_new`` gates.
+    """
+    spec = validate_gate_spec(spec)
+    report = GateReport(campaign=matrix_doc.get("campaign", ""),
+                        app=matrix_doc.get("app", ""))
+    rows = list(matrix_doc.get("rows", ()))
+    for i, gate in enumerate(spec["gates"]):
+        name = gate.get("name") or f"gate-{i + 1}"
+        where = gate.get("where") or {}
+        selected = [row for row in rows if _row_selected(row, where)]
+        if gate.get("require"):
+            result = _eval_require(name, selected, _classes(gate["require"]))
+        elif gate.get("forbid"):
+            result = _eval_forbid(name, selected, _classes(gate["forbid"]))
+        else:
+            result = _eval_forbid_new(name, selected, where,
+                                      _classes(gate["forbid_new"]),
+                                      baseline)
+            if not result.ok and baseline is not None:
+                report.diff = diff_matrices(baseline, matrix_doc)
+        report.gates.append(result)
+    return report
+
+
+def _cell_violations(rows, classes) -> List[GateViolation]:
+    out = []
+    for row in rows:
+        for cls in classes:
+            cell = (row.get("cells") or {}).get(cls)
+            if cell and cell.get("count"):
+                out.append(GateViolation(
+                    function=row.get("function", ""),
+                    fault_class=row.get("fault_class", ""),
+                    outcome_class=cls, count=int(cell["count"]),
+                    cases=list(cell.get("cases") or ())))
+    return out
+
+
+def _eval_require(name: str, rows, allowed: List[str]) -> GateResult:
+    banned = [cls for cls in OUTCOME_CLASSES if cls not in allowed]
+    violations = _cell_violations(rows, banned)
+    return GateResult(
+        name=name, kind="require", ok=not violations,
+        violations=violations,
+        detail=f"fired cases must be {'/'.join(allowed)}")
+
+
+def _eval_forbid(name: str, rows, banned: List[str]) -> GateResult:
+    violations = _cell_violations(rows, banned)
+    return GateResult(
+        name=name, kind="forbid", ok=not violations,
+        violations=violations,
+        detail=f"no {'/'.join(banned)} cases allowed")
+
+
+def _eval_forbid_new(name: str, rows, where, banned: List[str],
+                     baseline: Optional[Mapping[str, Any]]) -> GateResult:
+    if baseline is None:
+        return GateResult(
+            name=name, kind="forbid_new", ok=False,
+            detail="gate compares against a baseline matrix but none "
+                   "was provided (pass --baseline)")
+    base_counts: Dict[tuple, int] = {}
+    for row in baseline.get("rows", ()):
+        if not _row_selected(row, where):
+            continue
+        for cls, cell in (row.get("cells") or {}).items():
+            base_counts[(row.get("function", ""),
+                         row.get("fault_class", ""), cls)] = \
+                int(cell.get("count", 0))
+    violations = []
+    for row in rows:
+        for cls in banned:
+            cell = (row.get("cells") or {}).get(cls)
+            if not cell or not cell.get("count"):
+                continue
+            key = (row.get("function", ""), row.get("fault_class", ""), cls)
+            before = base_counts.get(key, 0)
+            if int(cell["count"]) > before:
+                violations.append(GateViolation(
+                    function=key[0], fault_class=key[1], outcome_class=cls,
+                    count=int(cell["count"]), baseline=before,
+                    cases=list(cell.get("cases") or ())))
+    return GateResult(
+        name=name, kind="forbid_new", ok=not violations,
+        violations=violations,
+        detail=f"no new {'/'.join(banned)} cells vs baseline")

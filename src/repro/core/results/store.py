@@ -89,6 +89,12 @@ def campaign_digest(*, app: str, platform: Any = None,
     return _sha256(json.dumps(ident, sort_keys=True))
 
 
+def _case_fault_class(case) -> str:
+    from .matrix import fault_class_of
+
+    return fault_class_of(case.code)
+
+
 def result_record(campaign_key: str, case_key: str, case, result,
                   task_status: str) -> Dict[str, Any]:
     """Serialize one finished case for the journal (plain JSON types)."""
@@ -105,6 +111,12 @@ def result_record(campaign_key: str, case_key: str, case, result,
         "ordinal": case.call_ordinal,
         "task_status": task_status,
         "status": result.outcome.status,
+        # classification signals (added by the observatory; readers of
+        # older journals tolerate their absence)
+        "fault_class": _case_fault_class(case),
+        "outcome_class": getattr(result, "outcome_class", None),
+        "output": getattr(result, "output", None),
+        "coverage": getattr(result, "coverage", None),
         "exit_code": result.outcome.exit_code,
         "detail": result.outcome.detail,
         "injections": result.outcome.injections,
@@ -137,7 +149,10 @@ def restore_result(case, record: Mapping[str, Any]):
         worker=record.get("worker", ""),
         instructions=record.get("instructions", 0),
         snapshot=record.get("snapshot"),
-        sites=list(record.get("sites") or ()))
+        sites=list(record.get("sites") or ()),
+        outcome_class=record.get("outcome_class"),
+        output=record.get("output"),
+        coverage=record.get("coverage"))
 
 
 class CampaignJournal:
@@ -172,6 +187,31 @@ class CampaignJournal:
     @property
     def journal_path(self) -> Path:
         return self.root / _JOURNAL
+
+    # -- campaign metadata -------------------------------------------------
+
+    def meta(self) -> Dict[str, Any]:
+        """The campaign's ``meta.json`` (campaign key, app, plus any
+        :meth:`set_meta` additions — golden digest, expected cases)."""
+        try:
+            meta = json.loads((self.root / _META).read_text())
+        except (OSError, ValueError):
+            return {"schema": META_SCHEMA, "campaign": self.key,
+                    "app": self.app}
+        return meta if isinstance(meta, dict) else {}
+
+    def set_meta(self, **fields: Any) -> Dict[str, Any]:
+        """Merge fields into ``meta.json`` (e.g. the no-fault golden
+        output digest and the campaign's expected case count, which
+        ``repro watch`` uses for ETA)."""
+        meta = self.meta()
+        meta.update(fields)
+        meta.setdefault("schema", META_SCHEMA)
+        meta.setdefault("campaign", self.key)
+        meta.setdefault("app", self.app)
+        (self.root / _META).write_text(
+            json.dumps(meta, indent=2, sort_keys=True))
+        return meta
 
     # -- writing -----------------------------------------------------------
 

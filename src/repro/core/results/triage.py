@@ -29,21 +29,38 @@ from ..controller import (STATUS_CRASHED, STATUS_ERROR_EXIT, STATUS_HUNG,
 from ..controller.logbook import InjectionRecord
 from ..controller.replay import build_replay_plan
 from ..scenario.xml_io import plan_to_xml
+from .matrix import (CLASS_CRASH, CLASS_DETECTED, CLASS_HANG,
+                     FAILURE_CLASSES, classify_record)
 
-#: Failing outcome statuses → the coarse triage class.
+#: Failing outcome statuses → the coarse triage class.  One vocabulary
+#: with the failure-mode matrix (``core.results.matrix``): triage
+#: buckets and matrix cells use the same labels.
 _CLASSES = {
-    STATUS_SIGSEGV: "crash",
-    STATUS_SIGABRT: "crash",
-    STATUS_CRASHED: "crash",
-    STATUS_HUNG: "hang",
-    STATUS_ERROR_EXIT: "error",
+    STATUS_SIGSEGV: CLASS_CRASH,
+    STATUS_SIGABRT: CLASS_CRASH,
+    STATUS_CRASHED: CLASS_CRASH,
+    STATUS_HUNG: CLASS_HANG,
+    STATUS_ERROR_EXIT: CLASS_DETECTED,
 }
 
 
 def outcome_class(status: str) -> Optional[str]:
     """The coarse failure class of an outcome status (None = not a
-    failure)."""
+    failure).  Status alone can never yield ``silent-corruption`` —
+    that verdict needs the output digest, so record-level callers use
+    :func:`record_class` instead."""
     return _CLASSES.get(status)
+
+
+def record_class(record: Mapping[str, Any]) -> Optional[str]:
+    """The failure class of one journal record (None = not a failure).
+
+    Prefers the record's journaled ``outcome_class`` (assigned by the
+    campaign parent, including ``silent-corruption``), falling back to
+    the status mapping for pre-classification journals.
+    """
+    cls = classify_record(record)
+    return cls if cls in FAILURE_CLASSES else None
 
 
 def _stack_hash(sites: Iterable[Mapping[str, Any]]) -> str:
@@ -66,7 +83,7 @@ def _stack_hash(sites: Iterable[Mapping[str, Any]]) -> str:
 def bucket_key(record: Mapping[str, Any]) -> Optional[str]:
     """The stable dedup key of one failing journal record (None when
     the record is not a failure)."""
-    cls = outcome_class(record.get("status", ""))
+    cls = record_class(record)
     if cls is None:
         return None
     parts = (cls, record.get("function", ""),
@@ -95,7 +112,7 @@ class FailureBucket:
     """One distinct failure: its signature, population, and a replay."""
 
     key: str
-    outcome_class: str          # "crash" | "hang" | "error"
+    outcome_class: str          # a FAILURE_CLASSES label
     status: str                 # exemplar's precise status
     function: str
     errno: Optional[str]
@@ -170,18 +187,19 @@ def triage_records(campaign: str, records: Iterable[Mapping[str, Any]],
                    include_errors: bool = False) -> TriageReport:
     """Bucket a campaign's failing journal records and rank by count.
 
-    Crashes and hangs always triage; graceful ``error-exit`` outcomes —
-    usually the *tolerated* behaviour a campaign hopes for — join only
-    with ``include_errors``.  Each bucket's replay plan comes from its
-    exemplar's journaled injection sites (the first case seen, so the
-    choice is deterministic), falling back to the stored §5.2 replay
-    script when the sites were lost with a crashed worker.
+    Crashes, hangs and silent corruption always triage; graceful
+    ``detected-error`` outcomes — usually the *tolerated* behaviour a
+    campaign hopes for — join only with ``include_errors``.  Each
+    bucket's replay plan comes from its exemplar's journaled injection
+    sites (the first case seen, so the choice is deterministic),
+    falling back to the stored §5.2 replay script when the sites were
+    lost with a crashed worker.
     """
     buckets: Dict[str, FailureBucket] = {}
     failing = 0
     for record in records:
-        cls = outcome_class(record.get("status", ""))
-        if cls is None or (cls == "error" and not include_errors):
+        cls = record_class(record)
+        if cls is None or (cls == CLASS_DETECTED and not include_errors):
             continue
         failing += 1
         key = bucket_key(record)

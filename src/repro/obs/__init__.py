@@ -22,7 +22,11 @@ from .events import (EVENT_SCHEMA, Event, EventLog, EventLogHandler,
                      SEVERITIES, Sink, StderrSink, read_events,
                      summarize_events)
 from .metrics import (Counter, DEFAULT_BUCKETS, Gauge, Histogram,
-                      MetricsRegistry, NULL_REGISTRY, NullRegistry)
+                      MetricsRegistry, NULL_REGISTRY, NullRegistry,
+                      aggregate_histogram, histogram_quantile,
+                      quantiles_from_snapshot)
+from .report import (CampaignWatch, JournalTailer, WATCH_SCHEMA,
+                     render_html_report, resolve_journal, watch_journal)
 from .telemetry import (NULL_TELEMETRY, NullTelemetry, TELEMETRY_SCHEMA,
                         Telemetry, as_telemetry)
 from .tracing import (NULL_TRACER, NullTracer, Span, SpanTracer,
@@ -40,4 +44,7 @@ __all__ = [
     "Span", "SpanTracer", "NullTracer", "NULL_TRACER", "TRACE_SCHEMA",
     "render_span_dicts",
     "Clock", "MonotonicClock", "ManualClock",
+    "aggregate_histogram", "histogram_quantile", "quantiles_from_snapshot",
+    "CampaignWatch", "JournalTailer", "WATCH_SCHEMA",
+    "render_html_report", "resolve_journal", "watch_journal",
 ]

@@ -313,8 +313,35 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
         "cache": _cache_stats(metrics),
         "snapshots": snapshots,
         "results": results,
+        "latency": _latency_stats(metrics),
+        "faults": _fault_totals(metrics),
         "metrics": metrics,
         "spans": spans,
+    }
+
+
+def _metric_total(metrics: Mapping[str, Any], name: str) -> float:
+    entry = metrics.get(name)
+    if not entry:
+        return 0.0
+    return sum(v.get("value", 0.0) for v in entry.get("values", ()))
+
+
+def _latency_stats(metrics: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
+    """Request-latency quantiles from the final metrics snapshot
+    (the loadgen's ``repro_request_latency_ns`` histogram)."""
+    from .metrics import quantiles_from_snapshot
+
+    return quantiles_from_snapshot(metrics, "repro_request_latency_ns")
+
+
+def _fault_totals(metrics: Mapping[str, Any]) -> Dict[str, float]:
+    """Aggregate effect of the non-return fault actions."""
+    return {
+        "virtual_delay_ns": _metric_total(
+            metrics, "repro_virtual_delay_ns_total"),
+        "partial_io_bytes": _metric_total(
+            metrics, "repro_partial_io_bytes_total"),
     }
 
 

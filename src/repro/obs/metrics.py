@@ -366,6 +366,85 @@ class MetricsRegistry:
         return registry
 
 
+# -- quantile estimation over snapshot histograms ----------------------------
+
+def aggregate_histogram(entry: Mapping[str, Any]
+                        ) -> Tuple[List[float], List[int], int, float]:
+    """Sum a snapshot histogram entry across its label sets.
+
+    Returns ``(bounds, per_bin_counts, count, sum)`` where ``bounds``
+    excludes the implicit ``+Inf`` overflow (whose count is the last
+    entry of ``per_bin_counts``).  Input is one entry of
+    :meth:`MetricsRegistry.snapshot` — the shape ``repro stats`` reads
+    back out of a ``--log-json`` stream.
+    """
+    names = [b for b in entry.get("buckets", ()) if b != "+Inf"]
+    bounds = [float(b) for b in names]
+    counts = [0] * (len(bounds) + 1)
+    total = 0
+    value_sum = 0.0
+    for value in entry.get("values", ()):
+        per = value.get("buckets", {})
+        for index, name in enumerate(names + ["+Inf"]):
+            counts[index] += int(per.get(name, 0))
+        total += int(value.get("count", 0))
+        value_sum += float(value.get("sum", 0.0))
+    return bounds, counts, total, value_sum
+
+
+def histogram_quantile(q: float, bounds: Sequence[float],
+                       counts: Sequence[int]) -> Optional[float]:
+    """Estimate the ``q``-quantile from per-bin bucket counts.
+
+    Linear interpolation inside the winning bucket (the PromQL
+    ``histogram_quantile`` rule); an estimate landing in the ``+Inf``
+    overflow clamps to the largest finite bound.  ``None`` when the
+    histogram is empty.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be within [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        previous = cumulative
+        cumulative += count
+        if cumulative >= rank and count:
+            if index >= len(bounds):
+                return bounds[-1] if bounds else None
+            lower = bounds[index - 1] if index > 0 else 0.0
+            return lower + (bounds[index] - lower) \
+                * ((rank - previous) / count)
+    return bounds[-1] if bounds else None
+
+
+def quantiles_from_snapshot(snapshot: Mapping[str, Any], name: str,
+                            quantiles: Sequence[float] = (0.5, 0.9, 0.99)
+                            ) -> Optional[Dict[str, float]]:
+    """Quantile summary of one histogram in a registry snapshot.
+
+    Returns ``{"count": ..., "mean": ..., "p50": ..., ...}`` (keys
+    from the requested quantiles), or ``None`` when the metric is
+    absent, not a histogram, or empty — callers render the section only
+    when there is something to say.
+    """
+    entry = snapshot.get(name)
+    if not entry or entry.get("type") != "histogram":
+        return None
+    bounds, counts, total, value_sum = aggregate_histogram(entry)
+    if total == 0:
+        return None
+    out: Dict[str, float] = {"count": float(total),
+                             "mean": value_sum / total}
+    for q in quantiles:
+        estimate = histogram_quantile(q, bounds, counts)
+        if estimate is not None:
+            out[f"p{int(q * 100)}"] = estimate
+    return out
+
+
 # -- the no-op default -------------------------------------------------------
 
 class _NullInstrument:

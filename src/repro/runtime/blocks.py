@@ -810,3 +810,53 @@ def compile_block(entry: int, code: Dict[int, Tuple], abi,
         total += w
     return BlockTemplate(entry, tuple(binders), tuple(addrs), tuple(cum),
                          total, ctl_index, fallthrough)
+
+
+# -- coverage export ---------------------------------------------------------
+#
+# The CPU counts block dispatches in ``cpu.coverage`` (entry address ->
+# count).  These helpers turn that raw map into the stable, serializable
+# shape result records carry: hex-keyed counts plus a content digest, so
+# two runs covered identically compare equal by a single string.
+
+
+def coverage_digest(coverage: Dict[int, int]) -> str:
+    """Content digest of a block-coverage map (order-independent)."""
+    import hashlib
+    h = hashlib.sha256()
+    for addr in sorted(coverage):
+        h.update(f"{addr:#x}:{coverage[addr]};".encode("ascii"))
+    return h.hexdigest()[:16]
+
+
+def export_coverage(coverage: Dict[int, int]) -> Dict[str, object]:
+    """Serialize a coverage map for a result record.
+
+    Returns ``{"digest", "blocks", "executed", "map"}`` where ``map``
+    keys are fixed-width hex entry addresses (sorted, so JSON output is
+    byte-stable) and ``executed`` is the total dispatch count.
+    """
+    return {
+        "digest": coverage_digest(coverage),
+        "blocks": len(coverage),
+        "executed": sum(coverage.values()),
+        "map": {f"{addr:#010x}": coverage[addr]
+                for addr in sorted(coverage)},
+    }
+
+
+def import_coverage(exported: Optional[Dict[str, object]]) -> Dict[int, int]:
+    """Inverse of :func:`export_coverage` (tolerates ``None``/legacy)."""
+    if not exported:
+        return {}
+    raw = exported.get("map") or {}
+    return {int(addr, 16): int(count) for addr, count in raw.items()}
+
+
+def merge_coverage(maps) -> Dict[int, int]:
+    """Union coverage maps, summing per-block counts."""
+    merged: Dict[int, int] = {}
+    for cov in maps:
+        for addr, count in cov.items():
+            merged[addr] = merged.get(addr, 0) + count
+    return merged

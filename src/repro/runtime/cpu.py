@@ -167,6 +167,14 @@ class Cpu:
         #: optional per-instruction hook: fn(addr, instruction);
         #: attaching one automatically selects the exact step path
         self.tracer = None
+        #: optional block-coverage accumulator: entry address -> number
+        #: of times the block at that address was dispatched.  ``None``
+        #: (the default) keeps the hot loop free of any coverage cost;
+        #: the controller arms it with a dict when a campaign records
+        #: coverage.  Snapshot restore rewinds it alongside
+        #: ``instructions_executed`` so prefix+suffix replays count
+        #: exactly what a fresh run counts.
+        self.coverage: Optional[Dict[int, int]] = None
         #: entry address -> bound block (or None for "not compilable")
         self._blocks: Dict[int, object] = {}
         self._bindctx = _BindContext(self)
@@ -462,6 +470,7 @@ class Cpu:
         budget = max_steps
         blocks = self._blocks
         unset = _UNSET
+        coverage = self.coverage
         try:
             while True:
                 if self.tracer is not None or not self.use_blocks:
@@ -486,6 +495,9 @@ class Cpu:
                             f"step budget exhausted at {self.eip:#x}",
                             eip=self.eip)
                     continue
+                if coverage is not None:
+                    addr = self.eip
+                    coverage[addr] = coverage.get(addr, 0) + 1
                 self._run_block(block)
                 budget -= block.count
         except _RunComplete:

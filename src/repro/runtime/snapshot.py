@@ -62,6 +62,7 @@ class ProcessSnapshot:
     eip: int
     shadow: List[Tuple[int, int]]
     instructions: int
+    coverage: Optional[Dict[int, int]]
     modules_len: int
     host_functions: Dict[int, Any]
     next_host_addr: int
@@ -112,6 +113,8 @@ class MachineSnapshot:
                     shadow=[(f.return_addr, f.callee_addr)
                             for f in proc.cpu.shadow],
                     instructions=proc.cpu.instructions_executed,
+                    coverage=(None if proc.cpu.coverage is None
+                              else dict(proc.cpu.coverage)),
                     modules_len=len(proc.modules),
                     host_functions=dict(proc.host_functions),
                     next_host_addr=proc._next_host_addr,
@@ -149,6 +152,9 @@ class MachineSnapshot:
         cpu.shadow[:] = [ShadowFrame(ret, callee)
                          for ret, callee in ps.shadow]
         cpu.instructions_executed = ps.instructions
+        # coverage is hoisted per run() call, never captured by block
+        # closures, so swapping the dict object is identity-safe
+        cpu.coverage = None if ps.coverage is None else dict(ps.coverage)
         # loader state — modules loaded after the snapshot unmap (their
         # regions vanished with the memory restore), so drop their
         # decoded code and compiled blocks too

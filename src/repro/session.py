@@ -327,6 +327,38 @@ class Session:
         return Controller(self.platform, self.profiles, plan, seed=seed,
                           telemetry=self.obs)
 
+    # -- observatory -------------------------------------------------------
+
+    def matrix(self, campaign: Optional[str] = None):
+        """The failure-mode matrix of a journaled campaign.
+
+        Requires ``results_dir``; ``campaign`` is a key prefix
+        (default: the store's only campaign).  Returns a
+        :class:`~repro.core.results.FailureMatrix` whose ``to_json()``
+        is byte-identical across backends and snapshot modes.
+        """
+        if self.results is None:
+            raise ReproError("Session.matrix: no results_dir configured; "
+                             "campaigns must be journaled to aggregate")
+        from .core.results import matrix_from_store
+        return matrix_from_store(self.results, campaign)
+
+    def gate(self, spec: Union[str, Path, Mapping[str, Any]],
+             *, campaign: Optional[str] = None,
+             baseline: Optional[Mapping[str, Any]] = None):
+        """Evaluate a robustness-gate spec against a journaled campaign.
+
+        ``spec`` is a parsed gate document or a path to a YAML/JSON
+        file; ``baseline`` a previously serialized matrix document for
+        ``forbid_new`` gates.  Returns the
+        :class:`~repro.core.results.GateReport` (check ``.ok``).
+        """
+        from .core.results import evaluate_gates, load_gate_spec
+        if isinstance(spec, (str, Path)):
+            spec = load_gate_spec(spec)
+        matrix_doc = self.matrix(campaign).to_dict()
+        return evaluate_gates(matrix_doc, spec, baseline=baseline)
+
     # -- run summary -------------------------------------------------------
 
     def telemetry(self) -> Dict[str, Any]:

@@ -273,3 +273,143 @@ class TestResultsAndTriage:
     def test_triage_missing_store_is_empty(self, tmp_path, capsys):
         assert main(["triage", str(tmp_path / "none"), "--list"]) == 0
         assert capsys.readouterr().out == ""
+
+
+class TestObservatory:
+    """``repro report`` / ``repro gate`` / ``repro watch`` over a real
+    journaled campaign."""
+
+    @pytest.fixture(scope="class")
+    def store_dir(self, tmp_path_factory):
+        return tmp_path_factory.mktemp("observatory-profile-store")
+
+    @pytest.fixture(scope="class")
+    def results(self, store_dir, tmp_path_factory):
+        results = tmp_path_factory.mktemp("observatory-results")
+        code = main(["campaign", "minidb", "--function", "open",
+                     "--max-codes", "2", "--store", str(store_dir),
+                     "--results-dir", str(results)])
+        assert code in (0, 1)
+        return results
+
+    def test_report_renders_matrix(self, results, capsys):
+        assert main(["report", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "failure-mode matrix of campaign" in out
+        assert "fault-class" in out and "open" in out
+
+    def test_report_json_and_artifacts(self, results, tmp_path, capsys):
+        matrix_out = tmp_path / "matrix.json"
+        html_out = tmp_path / "report.html"
+        assert main(["report", str(results), "--json",
+                     "--out", str(matrix_out),
+                     "--html", str(html_out)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.matrix/1"
+        assert doc["cases"] == 2
+        # the --out artifact is the gate baseline: same document
+        assert json.loads(matrix_out.read_text()) == doc
+        html = html_out.read_text()
+        assert html.startswith("<!doctype html>")
+        assert "failure-mode matrix" in html
+        assert "replay plan" in html
+
+    def test_gate_pass_and_fail(self, results, tmp_path, capsys):
+        spec = tmp_path / "gates.json"
+        spec.write_text(json.dumps({
+            "schema": "repro.gates/1",
+            "gates": [{"name": "no-hangs", "forbid": ["hang"]}]}))
+        assert main(["gate", str(spec), str(results)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+        # a gate the campaign cannot satisfy: open faults never all
+        # survive silently in every class — forbid everything that
+        # actually happened
+        strict = tmp_path / "strict.json"
+        strict.write_text(json.dumps({
+            "schema": "repro.gates/1",
+            "gates": [{"name": "nothing-happened",
+                       "where": {"function": "open"},
+                       "forbid": ["crash", "hang", "silent-corruption",
+                                  "detected-error", "survived"]}]}))
+        report_out = tmp_path / "gate-report.json"
+        code = main(["gate", str(strict), str(results),
+                     "--report", str(report_out)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "nothing-happened" in out
+        report = json.loads(report_out.read_text())
+        assert report["schema"] == "repro.gate-report/1"
+        assert not report["ok"]
+
+    def test_gate_regression_against_doctored_baseline(self, results,
+                                                       tmp_path, capsys):
+        # CI contract: baseline from yesterday's report, forbid_new
+        # flags every cell that appeared or grew since
+        baseline_path = tmp_path / "baseline.json"
+        assert main(["report", str(results), "--json",
+                     "--out", str(baseline_path)]) == 0
+        capsys.readouterr()
+        baseline = json.loads(baseline_path.read_text())
+        baseline["rows"] = []               # yesterday everything was fine
+        baseline_path.write_text(json.dumps(baseline))
+
+        spec = tmp_path / "gates.json"
+        spec.write_text(json.dumps({
+            "schema": "repro.gates/1",
+            "gates": [{"name": "no-regressions", "baseline": True,
+                       "forbid_new": ["crash", "hang", "silent-corruption",
+                                      "detected-error", "survived"]}]}))
+        code = main(["gate", str(spec), str(results),
+                     "--baseline", str(baseline_path), "--json"])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert not report["ok"]
+        gate = report["gates"][0]
+        assert gate["name"] == "no-regressions" and not gate["ok"]
+        assert gate["violations"]           # cell-level detail
+        assert report["diff"]               # the regressed cells
+
+        # rendered mode shows the diff section for humans
+        code = main(["gate", str(spec), str(results),
+                     "--baseline", str(baseline_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "cell diff vs baseline:" in out
+
+    def test_watch_once_over_finished_campaign(self, results, capsys):
+        assert main(["watch", str(results), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "watching campaign" in out
+        assert "2/2 cases (100%)" in out
+        assert "failure-mode matrix" in out
+
+    def test_stats_latency_and_fault_sections(self, tmp_path, capsys):
+        # synthesize the --log-json stream a miniweb load campaign
+        # writes: a final metrics.snapshot with the latency histogram
+        # and the generalized-fault counters
+        from repro.obs import EventLog, FileSink, MetricsRegistry
+
+        registry = MetricsRegistry()
+        latency = registry.histogram(
+            "repro_request_latency_ns", labelnames=("page",),
+            buckets=(1e6, 4e6, 16e6, 64e6))
+        for ns in (0.5e6, 2e6, 8e6, 32e6):
+            latency.observe(ns, page="/index.html")
+        registry.counter("repro_virtual_delay_ns_total",
+                         labelnames=("function",)).inc(25e6, function="read")
+        registry.counter("repro_partial_io_bytes_total",
+                         labelnames=("function",)).inc(512, function="write")
+
+        log = tmp_path / "run.jsonl"
+        events = EventLog()
+        events.attach(FileSink(log))
+        events.emit("metrics.snapshot", metrics=registry.snapshot())
+        events.close()
+
+        assert main(["stats", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "request latency: 4 requests" in out
+        assert "p50=" in out and "p99=" in out
+        assert "injected latency: 25.00ms of virtual delay" in out
+        assert "partial I/O: 512 bytes trimmed off transfer counts" in out

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.obs.metrics import (DEFAULT_BUCKETS, MetricsRegistry,
-                               NULL_REGISTRY, NullRegistry)
+                               NULL_REGISTRY, NullRegistry,
+                               aggregate_histogram, histogram_quantile,
+                               quantiles_from_snapshot)
 
 
 class TestCounter:
@@ -169,3 +171,67 @@ class TestNullRegistry:
         assert NULL_REGISTRY.snapshot() == {}
         assert NULL_REGISTRY.render_text() == ""
         assert isinstance(NULL_REGISTRY, NullRegistry)
+
+
+class TestQuantiles:
+    """The ``repro stats`` latency section: quantiles from snapshots."""
+
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_lat_ns", labelnames=("page",),
+                                  buckets=(1.0, 2.0, 4.0, 8.0))
+        for value, page in ((0.5, "a"), (1.5, "a"), (3.0, "b"), (10.0, "b")):
+            hist.observe(value, page=page)
+        return registry.snapshot()
+
+    def test_aggregate_sums_across_label_sets(self):
+        bounds, counts, count, total = aggregate_histogram(
+            self._snapshot()["repro_lat_ns"])
+        assert bounds == [1.0, 2.0, 4.0, 8.0]
+        assert counts == [1, 1, 1, 0, 1]    # per-bin, +Inf overflow last
+        assert count == 4
+        assert total == pytest.approx(15.0)
+
+    def test_quantile_interpolates_within_bucket(self):
+        assert histogram_quantile(0.5, [10.0], [4, 0]) \
+            == pytest.approx(5.0)
+
+    def test_overflow_clamps_to_largest_finite_bound(self):
+        bounds, counts, _, _ = aggregate_histogram(
+            self._snapshot()["repro_lat_ns"])
+        assert histogram_quantile(0.99, bounds, counts) \
+            == pytest.approx(8.0)
+
+    def test_empty_histogram_has_no_quantiles(self):
+        assert histogram_quantile(0.5, [1.0, 2.0], [0, 0, 0]) is None
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_quantile(1.5, [1.0], [1, 0])
+
+    def test_snapshot_summary_round_trip(self):
+        summary = quantiles_from_snapshot(self._snapshot(), "repro_lat_ns")
+        assert summary["count"] == 4.0
+        assert summary["mean"] == pytest.approx(3.75)
+        assert summary["p50"] == pytest.approx(2.0)
+        assert summary["p99"] == pytest.approx(8.0)
+
+    def test_summary_none_for_missing_or_non_histogram(self):
+        snapshot = self._snapshot()
+        assert quantiles_from_snapshot(snapshot, "nope") is None
+        registry = MetricsRegistry()
+        registry.counter("repro_c_total").inc()
+        assert quantiles_from_snapshot(registry.snapshot(),
+                                       "repro_c_total") is None
+
+    def test_merge_preserves_quantiles(self):
+        # a worker ships its snapshot; the parent merges and the
+        # latency summary survives the round trip bit-for-bit
+        merged = MetricsRegistry()
+        merged.merge(self._snapshot())
+        merged.merge(self._snapshot())
+        summary = quantiles_from_snapshot(merged.snapshot(),
+                                          "repro_lat_ns")
+        assert summary["count"] == 8.0
+        assert summary["mean"] == pytest.approx(3.75)
+        assert summary["p50"] == pytest.approx(2.0)

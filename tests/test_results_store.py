@@ -212,7 +212,7 @@ class TestTriage:
         assert outcome_class("SIGABRT") == "crash"
         assert outcome_class("crashed") == "crash"
         assert outcome_class("hung") == "hang"
-        assert outcome_class("error-exit") == "error"
+        assert outcome_class("error-exit") == "detected-error"
         assert outcome_class("normal") is None
 
     def test_same_site_same_bucket_distinct_cases(self):
@@ -255,7 +255,7 @@ class TestTriage:
         err = self._failing_record(_case(), status="error-exit")
         assert triage_records("k1", [err]).buckets == []
         report = triage_records("k1", [err], include_errors=True)
-        assert report.buckets[0].outcome_class == "error"
+        assert report.buckets[0].outcome_class == "detected-error"
 
     def test_replay_falls_back_to_stored_script_without_sites(self):
         rec = self._failing_record(_case())

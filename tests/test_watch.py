@@ -1,0 +1,222 @@
+"""Live journal tailing: the ``repro watch`` reader and view.
+
+The tailer must share the ``--resume`` reader's tolerance — torn final
+lines, foreign records, last-wins per case — while consuming the file
+incrementally underneath a live writer, including across truncation
+and rotation.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import ResultsError
+from repro.obs.report import (CampaignWatch, JournalTailer, resolve_journal,
+                              watch_journal)
+
+_CAMPAIGN = "deadbeefdeadbeef"
+
+
+def _record(case_key, case, *, function="open", status="normal",
+            cls="survived", fired=True, campaign=_CAMPAIGN, **extra):
+    record = {"schema": "repro.case-result/1", "campaign": campaign,
+              "case_key": case_key, "case": case, "function": function,
+              "fault_class": "return", "status": status,
+              "outcome_class": cls, "fired": fired}
+    record.update(extra)
+    return record
+
+
+def _write(path, *records, newline=True):
+    with open(path, "a", encoding="utf-8") as fh:
+        for i, record in enumerate(records):
+            tail = "\n" if newline or i < len(records) - 1 else ""
+            fh.write(json.dumps(record, sort_keys=True) + tail)
+
+
+@pytest.fixture()
+def campaign_dir(tmp_path):
+    root = tmp_path / _CAMPAIGN
+    root.mkdir()
+    (root / "meta.json").write_text(json.dumps({
+        "schema": "repro.results-meta/1", "campaign": _CAMPAIGN,
+        "app": "demo", "cases_expected": 3, "golden": "feedface"}))
+    return root
+
+
+class TestJournalTailer:
+    def test_incremental_polls_return_only_new_records(self, campaign_dir):
+        journal = campaign_dir / "journal.jsonl"
+        tailer = JournalTailer(journal, _CAMPAIGN)
+        assert tailer.poll() == []          # nothing written yet
+        _write(journal, _record("k1", "open@1"))
+        assert [r["case"] for r in tailer.poll()] == ["open@1"]
+        assert tailer.poll() == []
+        _write(journal, _record("k2", "read@1"), _record("k3", "close@1"))
+        assert [r["case"] for r in tailer.poll()] == ["read@1", "close@1"]
+        assert set(tailer.records) == {"k1", "k2", "k3"}
+
+    def test_last_record_wins_per_case_key(self, campaign_dir):
+        journal = campaign_dir / "journal.jsonl"
+        _write(journal, _record("k1", "open@1", cls="survived"),
+               _record("k1", "open@1", cls="crash", status="SIGSEGV"))
+        tailer = JournalTailer(journal, _CAMPAIGN)
+        tailer.poll()
+        assert len(tailer.records) == 1
+        assert tailer.records["k1"]["outcome_class"] == "crash"
+
+    def test_torn_final_line_not_consumed_until_complete(self,
+                                                         campaign_dir):
+        journal = campaign_dir / "journal.jsonl"
+        _write(journal, _record("k1", "open@1"))
+        full = json.dumps(_record("k2", "read@1"), sort_keys=True)
+        half = full[:len(full) // 2]
+        journal.write_text(journal.read_text() + half)
+
+        tailer = JournalTailer(journal, _CAMPAIGN)
+        assert [r["case"] for r in tailer.poll()] == ["open@1"]
+        assert tailer.poll() == []          # the torn tail stays unread
+        # the writer finishes the line: the record appears whole
+        journal.write_text(journal.read_text() + full[len(half):] + "\n")
+        assert [r["case"] for r in tailer.poll()] == ["read@1"]
+
+    def test_garbage_and_foreign_lines_are_skipped(self, campaign_dir):
+        journal = campaign_dir / "journal.jsonl"
+        with open(journal, "a") as fh:
+            fh.write("{not json\n")
+            fh.write(json.dumps({"schema": "other/1"}) + "\n")
+            fh.write(json.dumps(_record("kx", "x@1",
+                                        campaign="feedfeedfeed"),
+                                sort_keys=True) + "\n")
+        _write(journal, _record("k1", "open@1"))
+        tailer = JournalTailer(journal, _CAMPAIGN)
+        assert [r["case"] for r in tailer.poll()] == ["open@1"]
+
+    def test_truncation_reopens_from_start(self, campaign_dir):
+        journal = campaign_dir / "journal.jsonl"
+        _write(journal, _record("k1", "open@1"), _record("k2", "read@1"))
+        tailer = JournalTailer(journal, _CAMPAIGN)
+        assert len(tailer.poll()) == 2
+        # rotation: the journal is replaced with a shorter file
+        journal.write_text("")
+        _write(journal, _record("k9", "write@1"))
+        fresh = tailer.poll()
+        assert tailer.reopened == 1
+        assert [r["case"] for r in fresh] == ["write@1"]
+        assert set(tailer.records) == {"k9"}
+
+    def test_concurrent_append_while_polling(self, campaign_dir):
+        journal = campaign_dir / "journal.jsonl"
+        total = 40
+
+        def writer():
+            for i in range(total):
+                _write(journal, _record(f"k{i}", f"case@{i}"))
+
+        tailer = JournalTailer(journal, _CAMPAIGN)
+        thread = threading.Thread(target=writer)
+        thread.start()
+        deadline = time.monotonic() + 30.0
+        while len(tailer.records) < total:
+            tailer.poll()
+            assert time.monotonic() < deadline, \
+                f"only {len(tailer.records)}/{total} records seen"
+        thread.join()
+        assert set(tailer.records) == {f"k{i}" for i in range(total)}
+
+
+class TestResolveJournal:
+    def test_journal_path_campaign_dir_and_store_root(self, campaign_dir):
+        journal = campaign_dir / "journal.jsonl"
+        _write(journal, _record("k1", "open@1"))
+        for source in (journal, campaign_dir, campaign_dir.parent):
+            path, meta = resolve_journal(source)
+            assert path == journal
+            assert meta.get("campaign") == _CAMPAIGN
+
+    def test_missing_path_is_an_error(self, tmp_path):
+        with pytest.raises(ResultsError):
+            resolve_journal(tmp_path / "nowhere")
+
+
+class TestCampaignWatch:
+    def test_snapshot_counts_and_eta(self, campaign_dir):
+        journal = campaign_dir / "journal.jsonl"
+        now = [0.0]
+        watch = CampaignWatch(campaign_dir, clock=lambda: now[0])
+        watch.refresh()                     # baseline: empty journal
+        _write(journal,
+               _record("k1", "open@1", cls="detected-error",
+                       status="error-exit"),
+               _record("k2", "read@1", cls="survived"))
+        now[0] = 4.0
+        watch.refresh()
+        snap = watch.snapshot()
+        assert snap["cases"] == 2
+        assert snap["expected"] == 3
+        assert snap["classes"]["detected-error"] == 1
+        assert snap["classes"]["survived"] == 1
+        assert snap["rate"] == pytest.approx(0.5)
+        assert snap["eta_seconds"] == pytest.approx(2.0)
+        assert not watch.done()
+
+    def test_render_includes_matrix_and_progress(self, campaign_dir):
+        journal = campaign_dir / "journal.jsonl"
+        _write(journal,
+               _record("k1", "open@1", cls="silent-corruption",
+                       output="c0ffee"),
+               _record("k2", "read@1", cls="survived"),
+               _record("k3", "close@1", fired=False, cls=None))
+        watch = CampaignWatch(campaign_dir)
+        watch.refresh()
+        text = watch.render()
+        assert "3/3 cases (100%)" in text
+        assert "silent-corruption=1" in text
+        assert "not-reached=1" in text
+        assert "failure-mode matrix" in text
+        assert watch.done()
+
+    def test_classification_falls_back_for_legacy_records(self,
+                                                          campaign_dir):
+        # a pre-observatory journal has no outcome_class: the watch
+        # classifies from status (never silent-corruption)
+        journal = campaign_dir / "journal.jsonl"
+        record = _record("k1", "open@1", status="hung")
+        del record["outcome_class"]
+        _write(journal, record)
+        watch = CampaignWatch(campaign_dir)
+        watch.refresh()
+        assert watch.snapshot()["classes"]["hang"] == 1
+
+
+class TestWatchLoop:
+    def test_once_renders_single_frame(self, campaign_dir):
+        _write(campaign_dir / "journal.jsonl",
+               _record("k1", "open@1"))
+        out = io.StringIO()
+        assert watch_journal(campaign_dir, once=True, stream=out) == 0
+        assert "watching campaign" in out.getvalue()
+
+    def test_loop_follows_a_live_writer_until_done(self, campaign_dir):
+        journal = campaign_dir / "journal.jsonl"
+        _write(journal, _record("k1", "open@1"))
+        pending = [_record("k2", "read@1"), _record("k3", "close@1")]
+
+        def fake_sleep(_):
+            # the writer lands one more record between polls
+            if pending:
+                _write(journal, pending.pop(0))
+
+        out = io.StringIO()
+        code = watch_journal(campaign_dir, interval=0.0, stream=out,
+                             sleep=fake_sleep, max_polls=10)
+        assert code == 0
+        assert not pending                  # everything got written
+        frames = out.getvalue()
+        assert "1/3 cases" in frames        # first frame
+        assert "3/3 cases (100%)" in frames  # final frame ended the loop
