@@ -45,6 +45,7 @@ class Injector:
         self._original_cache: Dict[int, Dict[str, int]] = {}
         self.telemetry = as_telemetry(telemetry)
         self._bind_instruments()
+        self._recompute_dormancy()
 
     def _bind_instruments(self) -> None:
         # instruments are created once here so the per-call hot path is
@@ -82,6 +83,22 @@ class Injector:
         self.functions = list(functions)
         self.telemetry = as_telemetry(telemetry)
         self._bind_instruments()
+        self._recompute_dormancy()
+
+    def _recompute_dormancy(self) -> None:
+        """Re-derive the zero-overhead set from the bound engine.
+
+        A function id is *dormant* when the plan provably cannot fire
+        for it anymore — no triggers at all, unreachable sentinel
+        ordinals, or an exhausted nth/ordinal horizon.  Dormancy is
+        monotone for one engine (call counts only grow), so ids are
+        added as calls prove out and the set resets only here, when a
+        new engine is bound.
+        """
+        engine = self.engine
+        self._dormant_ids = {
+            fn_id for fn_id, function in enumerate(self.functions)
+            if not engine.can_still_fire(function)}
 
     # -- host entry point ---------------------------------------------------
 
@@ -89,6 +106,18 @@ class Injector:
         abi = cpu.abi
         sp = cpu.regs[abi.stack_pointer]
         fn_id = proc.memory.read_u32(sp + 4)
+        if fn_id in self._dormant_ids:
+            # zero-overhead fast path: the plan provably cannot fire for
+            # this function anymore, so the call collapses to counting +
+            # direct dispatch — no frames, no evaluation, no telemetry
+            function = self.functions[fn_id]
+            self.engine.record_dormant_call(function)
+            original = self._resolve_original(proc, function)
+            self._pop_shadow(cpu, 1)
+            if cpu.shadow:
+                cpu.shadow[-1].callee_addr = original
+            cpu.force_transfer(original, sp + 8)
+            return
         caller_ret = proc.memory.read_u32(sp + 8)
         try:
             function = self.functions[fn_id]
@@ -114,6 +143,8 @@ class Injector:
             self._apply_modifications(proc, cpu, sp, decision)
 
         if decision is not None and decision.injects_return:
+            if not self.engine.can_still_fire(function):
+                self._dormant_ids.add(fn_id)
             self._log(decision, function, call_number, frames)
             self.injection_count += 1
             self._record_injection(decision, function, call_number)
@@ -140,6 +171,10 @@ class Injector:
                 "passthrough", severity="debug", function=function,
                 call=call_number, test=self.test_id)
         # pass through: restore the stack and jmp to the original
+        if not self.engine.can_still_fire(function):
+            # the call just counted pushed every trigger past its
+            # horizon; future calls take the fast path above
+            self._dormant_ids.add(fn_id)
         original = self._resolve_original(proc, function)
         self._pop_shadow(cpu, 1)
         if cpu.shadow:

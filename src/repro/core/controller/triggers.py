@@ -27,6 +27,12 @@ from ..scenario.model import (INJECT_EXHAUSTIVE, INJECT_NTH,
 
 Frame = Tuple[int, Optional[str]]   # (return address, enclosing function)
 
+#: Call ordinals at or above this value are treated as unreachable: a
+#: trigger aimed there provably never fires, so the injector's dormant
+#: fast path engages from the first call.  The snapshot prefix sentinel
+#: (``core.exec.snapshot.PREFIX_SENTINEL``) is defined as this value.
+NEVER_ORDINAL = 1 << 30
+
 #: Resolves a call's first argument to (path, peer port) for scope
 #: predicates; ``None`` when no scoped trigger needs it.
 ScopeResolver = Callable[[int], Tuple[Optional[str], Optional[int]]]
@@ -53,6 +59,16 @@ class Decision:
             and not self.calloriginal
 
 
+def trigger_horizon(trigger: FunctionTrigger) -> Optional[int]:
+    """The last call ordinal at which ``trigger`` could still fire, or
+    None when no call-count bound exists (random/exhaustive/always)."""
+    if trigger.mode == INJECT_NTH:
+        return trigger.nth
+    if trigger.mode == INJECT_ORDINALS:
+        return max(trigger.ordinals) if trigger.ordinals else 0
+    return None
+
+
 class TriggerEngine:
     """Evaluates a plan's triggers against live calls."""
 
@@ -76,6 +92,38 @@ class TriggerEngine:
         #: whether any trigger carries a target scope (callers then
         #: supply a descriptor resolver to :meth:`on_call`)
         self.needs_scope = any(t.scope is not None for t in plan.triggers)
+
+    def record_dormant_call(self, function: str) -> int:
+        """Count one call on the dormant fast path.
+
+        Call counting is the only observable bookkeeping a dormant
+        function still owes (ordinal semantics, snapshot prefix_calls);
+        everything else — evaluation counters, decisions, logbook and
+        telemetry — is provably dead while :meth:`can_still_fire` is
+        False.
+        """
+        count = self.call_counts.get(function, 0) + 1
+        self.call_counts[function] = count
+        return count
+
+    def can_still_fire(self, function: str) -> bool:
+        """Whether any trigger on ``function`` could fire on a future
+        call, given the calls counted so far.
+
+        The proof is conservative: only call-ordinal exhaustion (an
+        nth/ordinals horizon behind the current count) and unreachable
+        ordinals (at or past :data:`NEVER_ORDINAL`) count as "never";
+        random, exhaustive, scoped and stack-matched triggers are
+        assumed live forever.
+        """
+        count = self.call_counts.get(function, 0)
+        for _index, trigger in self._by_function.get(function, ()):
+            horizon = trigger_horizon(trigger)
+            if horizon is None:
+                return True
+            if count < horizon < NEVER_ORDINAL:
+                return True
+        return False
 
     def on_call(self, function: str, frames: Sequence[Frame],
                 args: Sequence[int] = (),

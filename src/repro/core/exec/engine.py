@@ -197,12 +197,14 @@ def _case_runner(factory, platform: Platform,
     from ..campaign import CaseResult
 
     case_telemetry = None
-    sink = None
+    case_events = None
     if capture:
-        from ...obs.events import EventLog, MemorySink
+        from ...obs.events import BufferedEventLog
+        from ...obs.metrics import BufferedMetricsRegistry
         from ...obs.tracing import NULL_TRACER
-        sink = MemorySink()
-        case_telemetry = Telemetry(events=EventLog(sinks=[sink]),
+        case_events = BufferedEventLog()
+        case_telemetry = Telemetry(events=case_events,
+                                   metrics=BufferedMetricsRegistry(),
                                    tracer=NULL_TRACER)
     lfi = Controller(platform, dict(profiles), case.plan(),
                      telemetry=case_telemetry, coverage=observe)
@@ -215,7 +217,7 @@ def _case_runner(factory, platform: Platform,
                         sites=injection_sites(
                             lfi.logbook.for_test(case.case_id())))
     if capture:
-        result.events = [event.to_dict() for event in sink.events]
+        result.events = case_events.drain_dicts()
         result.metrics = case_telemetry.metrics.snapshot()
         result.worker = _worker_label()
     if observe:
@@ -524,11 +526,12 @@ def _record_execution_metrics(tele: Telemetry, results,
                 mips.set(result.instructions / result.seconds / 1e6,
                          case=result.case.case_id())
     cache_now = CODE_CACHE.stats()
-    compiled = cache_now["blocks_compiled"] - \
-        cache_before.get("blocks_compiled", 0)
-    hits = (cache_now["template_hits"] + cache_now["module_hits"]) - \
-        (cache_before.get("template_hits", 0)
-         + cache_before.get("module_hits", 0))
+
+    def delta(*names: str) -> int:
+        return sum(cache_now[n] - cache_before.get(n, 0) for n in names)
+
+    compiled = delta("blocks_compiled")
+    hits = delta("template_hits", "module_hits")
     if compiled:
         tele.metrics.counter(
             "repro_blocks_compiled_total",
@@ -538,6 +541,28 @@ def _record_execution_metrics(tele: Telemetry, results,
             "repro_block_cache_hits_total",
             "Shared code cache hits (templates bound + modules reused)"
         ).inc(hits)
+    linked = delta("traces_linked")
+    if linked:
+        tele.metrics.counter(
+            "repro_traces_linked_total",
+            "Hot blocks linked into superblock traces").inc(linked)
+    trace_hits = delta("trace_hits")
+    if trace_hits:
+        tele.metrics.counter(
+            "repro_trace_cache_hits_total",
+            "Shared trace templates re-bound by another CPU"
+        ).inc(trace_hits)
+    invalidated = delta("trace_invalidations")
+    if invalidated:
+        tele.metrics.counter(
+            "repro_trace_invalidations_total",
+            "Traces dropped because a constituent block was invalidated"
+        ).inc(invalidated)
+    evicted = delta("evictions")
+    if evicted:
+        tele.metrics.counter(
+            "repro_code_cache_evictions_total",
+            "Decoded streams / module code LRU-evicted").inc(evicted)
 
 
 def _replay_case_telemetry(tele: Telemetry, case, result) -> None:

@@ -45,13 +45,17 @@ from ...obs.telemetry import Telemetry, as_telemetry
 from ...platform import Platform
 from ...runtime.snapshot import MachineSnapshot, SnapshotCache, SnapshotKey
 from ..controller import Controller
-from ..controller.triggers import TriggerEngine
+from ..controller.triggers import (NEVER_ORDINAL, TriggerEngine,
+                                   trigger_horizon)
 from ..profiles import LibraryProfile
 from ..scenario.model import INJECT_NTH, FunctionTrigger, Plan
 
 #: A call ordinal no workload reaches: the prefix runs under a real plan
-#: for the trigger function without the trigger ever firing.
-PREFIX_SENTINEL = 1 << 30
+#: for the trigger function without the trigger ever firing.  Defined as
+#: the engine's unreachable-ordinal bound, so the injector's dormant
+#: fast path proves the sentinel dead on the first call and the whole
+#: prefix executes with zero interception overhead.
+PREFIX_SENTINEL = NEVER_ORDINAL
 
 
 def _in_forked_worker() -> bool:
@@ -63,7 +67,7 @@ class _Instance:
     """One live guest parked at the snapshot point."""
 
     __slots__ = ("controller", "machine", "ctx_frozen", "atoms",
-                 "functions", "prefix_calls", "prefix_evaluations",
+                 "functions", "prefix_calls",
                  "logbook_len", "injection_count", "passthrough_count",
                  "original_cache", "processes_len", "test_counter", "key")
 
@@ -185,7 +189,6 @@ class SnapshotRunner:
         instance.ctx_frozen = copy.deepcopy(ctx, dict(instance.atoms))
         instance.functions = list(lfi.functions)
         instance.prefix_calls = dict(lfi.engine.call_counts)
-        instance.prefix_evaluations = lfi.engine.evaluations
         instance.logbook_len = len(lfi.logbook.records)
         instance.injection_count = lfi.injector.injection_count
         instance.passthrough_count = lfi.injector.passthrough_count
@@ -255,12 +258,14 @@ class SnapshotRunner:
 
         lfi = instance.controller
         case_telemetry = None
-        sink = None
+        case_events = None
         if self.capture:
-            from ...obs.events import EventLog, MemorySink
+            from ...obs.events import BufferedEventLog
+            from ...obs.metrics import BufferedMetricsRegistry
             from ...obs.tracing import NULL_TRACER
-            sink = MemorySink()
-            case_telemetry = Telemetry(events=EventLog(sinks=[sink]),
+            case_events = BufferedEventLog()
+            case_telemetry = Telemetry(events=case_events,
+                                       metrics=BufferedMetricsRegistry(),
                                        tracer=NULL_TRACER)
         plan = case.plan()
         if plan.functions() != instance.functions:
@@ -272,7 +277,25 @@ class SnapshotRunner:
         lfi.functions = plan.functions()
         engine = TriggerEngine(plan, random.Random(plan.seed))
         engine.call_counts = dict(instance.prefix_calls)
-        engine.evaluations = instance.prefix_evaluations
+        # A fresh run evaluates the case's triggers on every prefix call
+        # until their horizons pass (the injector's dormant fast path
+        # then skips evaluation); the sentinel prefix run itself
+        # evaluated nothing, so reproduce the fresh run's bookkeeping
+        # from the checkpointed call counts.
+        prefix_evals: Dict[str, int] = {}
+        for function, triggers in engine._by_function.items():
+            calls = instance.prefix_calls.get(function, 0)
+            live_calls = 0
+            for _index, trigger in triggers:
+                horizon = trigger_horizon(trigger)
+                if horizon is None:
+                    live_calls = calls
+                    break
+                if horizon < NEVER_ORDINAL:
+                    live_calls = max(live_calls, min(calls, horizon))
+            if live_calls:
+                prefix_evals[function] = live_calls * len(triggers)
+        engine.evaluations = sum(prefix_evals.values())
         lfi.engine = engine
         injector = lfi.injector
         injector.rebind(engine, lfi.functions, case_telemetry)
@@ -284,11 +307,11 @@ class SnapshotRunner:
         del lfi.logbook.records[instance.logbook_len:]
         del lfi.processes[instance.processes_len:]
         lfi._test_counter = instance.test_counter
-        if instance.prefix_evaluations and lfi.telemetry.enabled:
+        if prefix_evals and lfi.telemetry.enabled:
             # a fresh run records the prefix's trigger evaluations under
             # the case telemetry; pre-seed them so metric snapshots match
-            injector._evaluations_metric.inc(instance.prefix_evaluations,
-                                             function=case.function)
+            for function, evals in prefix_evals.items():
+                injector._evaluations_metric.inc(evals, function=function)
 
         ctx = copy.deepcopy(instance.ctx_frozen, dict(instance.atoms))
         before = injector.injection_count
@@ -301,7 +324,7 @@ class SnapshotRunner:
                             sites=injection_sites(
                                 lfi.logbook.for_test(case.case_id())))
         if self.capture:
-            result.events = [event.to_dict() for event in sink.events]
+            result.events = case_events.drain_dicts()
             result.metrics = case_telemetry.metrics.snapshot()
             result.worker = _worker_label()
         if self.observe:

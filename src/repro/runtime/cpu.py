@@ -154,6 +154,14 @@ class Cpu:
     #: (or the per-instance attribute) to force the step path.
     use_blocks: bool = True
 
+    #: Class-wide default for the superblock trace tier (see
+    #: :mod:`repro.runtime.traces`); tests flip it to pin execution at
+    #: the block tier for differential comparison.
+    use_traces: bool = True
+
+    #: Block dispatch count that promotes an entry to a trace.
+    trace_threshold: int = 16
+
     def __init__(self, proc) -> None:
         self.proc = proc
         self.abi = proc.abi
@@ -464,27 +472,51 @@ class Cpu:
         if block.fallthrough is not None:
             self.eip = block.fallthrough
 
+    def _promote_trace(self, entry: int):
+        """Replace the bound block at ``entry`` with a superblock trace
+        (or return None and leave the block in place — its heat counter
+        has already passed the threshold, so promotion is attempted
+        exactly once per entry)."""
+        template = self.proc.trace_template(entry)
+        if template is None:
+            return None
+        bound = template.bind(self._bindctx)
+        self._blocks[entry] = bound
+        return bound
+
     def run(self, entry: int, *, max_steps: int = 20_000_000) -> None:
-        """Run from ``entry`` until control returns to the sentinel."""
+        """Run from ``entry`` until control returns to the sentinel.
+
+        The execution mode — exact step path (tracer attached or blocks
+        disabled) versus translated path — is picked once per ``run()``
+        entry, not per iteration; attaching a tracer mid-run takes
+        effect at the next ``run()``.
+        """
         self.eip = entry
         budget = max_steps
-        blocks = self._blocks
-        unset = _UNSET
-        coverage = self.coverage
-        try:
-            while True:
-                if self.tracer is not None or not self.use_blocks:
-                    self.step()
+        if self.tracer is not None or not self.use_blocks:
+            step = self.step
+            try:
+                while True:
+                    step()
                     budget -= 1
                     if budget <= 0:
                         raise RuntimeFault(
                             f"step budget exhausted at {self.eip:#x}",
                             eip=self.eip)
-                    continue
-                block = blocks.get(self.eip, unset)
-                if block is unset:
-                    block = self._compile_block(self.eip)
-                if block is None or budget <= block.count:
+            except _RunComplete:
+                return
+        blocks = self._blocks
+        unset = _UNSET
+        coverage = self.coverage
+        use_traces = self.use_traces
+        threshold = self.trace_threshold
+        try:
+            while True:
+                obj = blocks.get(self.eip, unset)
+                if obj is unset:
+                    obj = self._compile_block(self.eip)
+                if obj is None or budget <= obj.count:
                     # no block here, or the budget could expire inside
                     # one: single-step so the fault lands on the exact
                     # instruction the step path would report
@@ -495,11 +527,24 @@ class Cpu:
                             f"step budget exhausted at {self.eip:#x}",
                             eip=self.eip)
                     continue
+                if obj.is_trace:
+                    # guards inside the trace re-check the budget per
+                    # block, so the remaining budget stays positive
+                    budget -= obj.execute(self, budget, coverage)
+                    continue
+                if use_traces:
+                    heat = obj.heat + 1
+                    obj.heat = heat
+                    if heat == threshold:
+                        promoted = self._promote_trace(obj.entry)
+                        if promoted is not None:
+                            budget -= promoted.execute(self, budget, coverage)
+                            continue
                 if coverage is not None:
                     addr = self.eip
                     coverage[addr] = coverage.get(addr, 0) + 1
-                self._run_block(block)
-                budget -= block.count
+                self._run_block(obj)
+                budget -= obj.count
         except _RunComplete:
             return
 
@@ -507,7 +552,11 @@ class Cpu:
 class _BoundBlock:
     """A block template bound to one CPU: closures plus accounting."""
 
-    __slots__ = ("ops", "count", "cum", "addrs", "ctl_index", "fallthrough")
+    __slots__ = ("ops", "count", "cum", "addrs", "ctl_index", "fallthrough",
+                 "entry", "heat")
+
+    #: duck-typed discriminator shared with ``traces.BoundTrace``
+    is_trace = False
 
     def __init__(self, template, ops) -> None:
         self.ops = ops
@@ -516,6 +565,8 @@ class _BoundBlock:
         self.addrs = template.addrs
         self.ctl_index = template.ctl_index
         self.fallthrough = template.fallthrough
+        self.entry = template.entry
+        self.heat = 0
 
 
 class _Unset:

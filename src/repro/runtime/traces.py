@@ -1,0 +1,576 @@
+"""Superblock trace compiler (the second translation tier).
+
+The block compiler (``blocks.py``) removes per-instruction dispatch but
+still bounces through ``Cpu.run()``'s dict lookup between basic blocks,
+and pays one Python call per instruction closure.  This module compiles
+*superblocks*: once a block's dispatch count crosses
+:data:`TRACE_THRESHOLD`, the block is linked with its statically
+predicted hot successors into a single generated Python function — data
+ops inlined as source lines, loop back-edges closed into a native
+``while`` loop — so a hot guest loop runs without leaving one Python
+frame.
+
+Exactness is the contract, inherited from ``cpu._run_block``:
+
+* every generated line maps back to ``(cum, addr, is_ctl, block_count)``
+  accounting metadata; on a mid-trace fault the runner recovers the
+  faulting instruction from the traceback's line number and the
+  iteration count from the frame's ``consumed`` local, then restores
+  ``eip``/``instructions_executed`` to exactly the state the block (and
+  step) path would report;
+* operand shapes without a hand-written source template fall back to
+  calling the block tier's own bound closure for that instruction, so a
+  trace can never change semantics — only remove interpreter overhead;
+* per-block budget guards replicate ``run()``'s "never enter a block the
+  step budget couldn't finish" rule, and the optional coverage variant
+  bumps per-block dispatch counts exactly where ``run()`` would.
+
+Trace *selection* is static and profile-seeded: conditional branches
+predict backward-taken / forward-not-taken (the classic loop
+heuristic), unconditional direct jumps follow, and calls, returns,
+indirect jumps and host transfers terminate the trace.  Templates are
+pure constants + binder references, shared cross-process through
+:class:`~repro.runtime.codecache.SharedCodeCache` exactly like block
+templates.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..isa import Imm, Mem, Reg
+from ..isa.instructions import JCC_TAKEN
+from ..layout import HOST_REGION_BASE
+from .blocks import BlockTemplate
+from .memory import MASK32
+
+__all__ = ["TraceTemplate", "BoundTrace", "build_trace", "TRACE_THRESHOLD",
+           "MAX_TRACE_BLOCKS"]
+
+#: Block dispatch count that promotes an entry to the trace tier.
+TRACE_THRESHOLD = 16
+
+#: Upper bound on blocks linked into one superblock.
+MAX_TRACE_BLOCKS = 8
+
+_M = MASK32
+_SIGN = 0x80000000
+_WRAP = 0x100000000
+
+#: Branch predicate source over flag expressions {z}/{s}.
+_JCC_SRC = {
+    "jz": "{z}",
+    "jnz": "not {z}",
+    "js": "{s}",
+    "jns": "not {s}",
+    "jl": "{s}",
+    "jge": "not {s}",
+    "jle": "{s} or {z}",
+    "jg": "not {s} and not {z}",
+}
+
+_ARITH_OPS = {"add": "+", "sub": "-", "and": "&", "or": "|", "xor": "^"}
+
+
+# -- source emission for inlinable operand shapes ----------------------------
+
+
+def _ea_src(op: Mem, abi, tls_base: int) -> str:
+    """Source of a memory operand's effective address (mirrors
+    ``blocks._ea`` including the folded TLS displacement)."""
+    disp = op.disp
+    if op.segment == "gs":
+        disp += tls_base
+    base_i = abi.reg_id(op.base) if op.base else None
+    index_i = abi.reg_id(op.index) if op.index else None
+    if base_i is None and index_i is None:
+        return repr(disp & _M)
+    if index_i is None:
+        return f"(v[{base_i}] + {disp}) & {_M}"
+    return f"(v[{base_i}] + v[{index_i}] * {op.scale} + {disp}) & {_M}"
+
+
+def _read_src(op, abi, tls_base: int) -> Optional[str]:
+    """Source of an unsigned operand read (mirrors ``blocks._read_u``)."""
+    if isinstance(op, Reg):
+        return f"v[{abi.reg_id(op.name)}]"
+    if isinstance(op, Imm):
+        return repr(op.value & _M)
+    if isinstance(op, Mem):
+        return f"read({_ea_src(op, abi, tls_base)})"
+    return None
+
+
+def _flags_src(r: str) -> str:
+    return f"cpu.zf = {r} == 0; cpu.sf = {r} >= {_SIGN}"
+
+
+def _data_src(insn, abi, tls_base: int, addr: int) -> Optional[str]:
+    """One-line source for a data instruction, or None to fall back to
+    the instruction's bound block closure.  Every template mirrors the
+    corresponding ``blocks.py`` binder statement for statement —
+    including operand evaluation order, which decides the machine state
+    a faulting access leaves behind."""
+    m = insn.mnemonic
+    ops = insn.operands
+    if m == "nop":
+        return "pass"
+    if m == "mov":
+        dst, src = ops
+        if isinstance(dst, Reg):
+            di = abi.reg_id(dst.name)
+            rhs = _read_src(src, abi, tls_base)
+            return None if rhs is None else f"v[{di}] = {rhs}"
+        if isinstance(dst, Mem):
+            ea = _ea_src(dst, abi, tls_base)
+            rhs = _read_src(src, abi, tls_base)
+            return None if rhs is None else f"write({ea}, {rhs})"
+        return None
+    if m == "lea":
+        dst, src = ops
+        if isinstance(dst, Reg) and isinstance(src, Mem):
+            return f"v[{abi.reg_id(dst.name)}] = {_ea_src(src, abi, tls_base)}"
+        return None
+    if m in _ARITH_OPS:
+        sym = _ARITH_OPS[m]
+        dst, src = ops
+        if isinstance(dst, Reg):
+            di = abi.reg_id(dst.name)
+            rhs = _read_src(src, abi, tls_base)
+            if rhs is None:
+                return None
+            return (f"_r = (v[{di}] {sym} {rhs}) & {_M}; v[{di}] = _r; "
+                    + _flags_src("_r"))
+        if isinstance(dst, Mem):
+            ea = _ea_src(dst, abi, tls_base)
+            rhs = _read_src(src, abi, tls_base)
+            if rhs is None:
+                return None
+            # dst read before src read matches the closure's
+            # fn(read(addr), b()) argument order
+            return (f"_a = {ea}; _r = (read(_a) {sym} {rhs}) & {_M}; "
+                    f"write(_a, _r); " + _flags_src("_r"))
+        return None
+    if m in ("inc", "dec"):
+        (dst,) = ops
+        sym = "+" if m == "inc" else "-"
+        if isinstance(dst, Reg):
+            di = abi.reg_id(dst.name)
+            return (f"_r = (v[{di}] {sym} 1) & {_M}; v[{di}] = _r; "
+                    + _flags_src("_r"))
+        return None
+    if m == "push":
+        (src,) = ops
+        spi = abi.reg_id(abi.stack_pointer)
+        if isinstance(src, (Reg, Imm)):
+            rhs = _read_src(src, abi, tls_base)
+            return (f"_sp = (v[{spi}] - 4) & {_M}; v[{spi}] = _sp; "
+                    f"write(_sp, {rhs})")
+        return None
+    if m == "pop":
+        (dst,) = ops
+        spi = abi.reg_id(abi.stack_pointer)
+        if isinstance(dst, Reg):
+            di = abi.reg_id(dst.name)
+            # value lands after the bump: pop-into-sp wins, like the
+            # block closure
+            return (f"_sp = v[{spi}]; _val = read(_sp); "
+                    f"v[{spi}] = (_sp + 4) & {_M}; v[{di}] = _val")
+        return None
+    if m == "leave":
+        spi = abi.reg_id(abi.stack_pointer)
+        fpi = abi.reg_id(abi.frame_pointer)
+        return (f"_sp = v[{fpi}]; v[{spi}] = _sp; _val = read(_sp); "
+                f"v[{spi}] = (_sp + 4) & {_M}; v[{fpi}] = _val")
+    if m == "int":
+        (vec,) = ops
+        if not isinstance(vec, Imm) or (vec.value & _M) != 0x80:
+            return None
+        nr_i = abi.reg_id(abi.syscall_number_register)
+        args = ", ".join(f"v[{abi.reg_id(r)}]"
+                         for r in abi.syscall_arg_registers)
+        ret_i = abi.reg_id(abi.return_register)
+        # eip parks on the int instruction like the step path; handlers
+        # (and a propagating ProcessExit) inspect it
+        return (f"cpu.eip = {addr}; v[{ret_i}] = "
+                f"dispatch(proc, v[{nr_i}], [{args}]) & {_M}")
+    return None
+
+
+def _signed_src(src: str, temp: str, out: List[str]) -> str:
+    """Emit a prefix assignment converting ``src`` to a signed value in
+    ``temp`` (folding immediates at compile time)."""
+    try:
+        const = int(src)
+    except ValueError:
+        out.append(f"{temp} = {src}")
+        return (f"(({temp} - {_WRAP}) if {temp} >= {_SIGN} else {temp})")
+    return repr(const - _WRAP if const >= _SIGN else const)
+
+
+def _fused_src(insn, jcc_m: str, taken: int, not_taken: int,
+               abi) -> Optional[str]:
+    """Source for a fused ``cmp/test + jcc`` pair (mirrors
+    ``blocks._fused_branch``; only non-faulting shapes fuse, so the
+    whole line is exception-free)."""
+    pred = _JCC_SRC.get(jcc_m)
+    if pred is None:
+        return None
+    a_op, b_op = insn.operands
+    if isinstance(a_op, Mem) or isinstance(b_op, Mem):
+        return None
+    parts: List[str] = []
+    if insn.mnemonic == "cmp":
+        if isinstance(a_op, Reg) and isinstance(b_op, Imm):
+            ai = abi.reg_id(a_op.name)
+            parts.append(f"_a = v[{ai}]")
+            diff = (f"(((_a - {_WRAP}) if _a >= {_SIGN} else _a) "
+                    f"- {b_op.value})")
+        else:
+            a = _signed_src(_read_src(a_op, abi, 0), "_a", parts)
+            b = _signed_src(_read_src(b_op, abi, 0), "_b", parts)
+            diff = f"({a} - {b})"
+        parts.append(f"_d = {diff}; _z = _d == 0; _s = _d < 0")
+    else:
+        a = _read_src(a_op, abi, 0)
+        b = _read_src(b_op, abi, 0)
+        parts.append(f"_r = {a} & {b}; _z = _r == 0; _s = _r >= {_SIGN}")
+    cond = pred.format(z="_z", s="_s")
+    parts.append("cpu.zf = _z; cpu.sf = _s")
+    parts.append(f"cpu.eip = {taken} if {cond} else {not_taken}")
+    return "; ".join(parts)
+
+
+# -- trace selection ---------------------------------------------------------
+
+
+def _control_info(bt: BlockTemplate, entries: Dict[int, Tuple]):
+    """Classify a block's ending transfer.
+
+    Returns ``(kind, data)`` where kind is one of:
+
+    * ``"fall"``   — no control op; data = fallthrough address
+    * ``"jmp"``    — unconditional direct jump; data = destination
+    * ``"cond"``   — conditional (plain or fused); data =
+      ``(src_line, taken, not_taken)``
+    * ``"stop"``   — call / ret / hlt / indirect / host-probing jump;
+      trace ends after this block (executed via its bound closure)
+    """
+    if bt.ctl_index < 0:
+        return "fall", bt.fallthrough
+    ctl_addr = bt.addrs[bt.ctl_index]
+    insn, size, target = entries[ctl_addr]
+    m = insn.mnemonic
+    if m in ("cmp", "test"):
+        # a cmp/test in control position is a fused pair; the jcc is
+        # the next decoded instruction
+        jcc = entries.get(ctl_addr + size)
+        if jcc is None:
+            return "stop", None
+        jinsn, jsize, jtarget = jcc
+        if jtarget is None:                    # pragma: no cover - defensive
+            return "stop", None
+        return "cond", (insn, jinsn.mnemonic, jtarget, ctl_addr + size + jsize)
+    if m == "jmp":
+        if target is not None and target < HOST_REGION_BASE:
+            return "jmp", target
+        return "stop", None
+    if m in JCC_TAKEN:
+        if target is None:
+            return "stop", None
+        return "cond", (None, m, target, ctl_addr + size)
+    return "stop", None
+
+
+def _predict(taken: int, not_taken: int, branch_addr: int) -> int:
+    """Static branch prediction: backward taken (loops), forward not."""
+    return taken if taken <= branch_addr else not_taken
+
+
+class TraceTemplate:
+    """One compiled superblock, shareable across processes.
+
+    Holds the constituent :class:`BlockTemplate` chain plus the
+    generated source per variant (with/without coverage); code objects
+    compile lazily on first bind and are cached (a racing double
+    compile is benign — both results are equivalent).
+    """
+
+    __slots__ = ("entry", "blocks", "nexts", "looping", "count",
+                 "block_entries", "_sources", "_compiled")
+
+    def __init__(self, entry: int, blocks: Tuple[BlockTemplate, ...],
+                 nexts: Tuple[Optional[int], ...], looping: bool,
+                 sources) -> None:
+        self.entry = entry
+        self.blocks = blocks
+        self.nexts = nexts
+        self.looping = looping
+        self.count = blocks[0].count       # run()'s budget-guard unit
+        self.block_entries = tuple(bt.entry for bt in blocks)
+        self._sources = sources            # variant -> (source, linemap)
+        self._compiled: Dict[bool, Tuple[Callable, Dict]] = {}
+
+    def factory(self, with_coverage: bool):
+        """The compiled ``_factory(rt, fb)`` plus its line map."""
+        cached = self._compiled.get(with_coverage)
+        if cached is not None:
+            return cached
+        source, linemap = self._sources[with_coverage]
+        namespace: Dict[str, object] = {}
+        code = compile(source, f"<trace:{self.entry:#x}"
+                               f"{':cov' if with_coverage else ''}>", "exec")
+        exec(code, namespace)
+        cached = (namespace["_factory"], linemap)
+        self._compiled[with_coverage] = cached
+        return cached
+
+    def bind(self, rt) -> "BoundTrace":
+        """Bind to one CPU's context (fallback closures bind eagerly;
+        the generated function compiles lazily per coverage variant)."""
+        fallbacks = tuple(tuple(b(rt) for b in bt.binders)
+                          for bt in self.blocks)
+        return BoundTrace(self, rt, fallbacks)
+
+
+class BoundTrace:
+    """A trace template bound to one CPU."""
+
+    __slots__ = ("template", "count", "entry", "_rt", "_fb",
+                 "_fn_plain", "_map_plain", "_fn_cov", "_map_cov")
+
+    #: duck-typed discriminator shared with ``cpu._BoundBlock``
+    is_trace = True
+
+    def __init__(self, template: TraceTemplate, rt, fallbacks) -> None:
+        self.template = template
+        self.count = template.count
+        self.entry = template.entry
+        self._rt = rt
+        self._fb = fallbacks
+        self._fn_plain = None
+        self._map_plain = None
+        self._fn_cov = None
+        self._map_cov = None
+
+    def execute(self, cpu, budget: int, coverage) -> int:
+        """Run the trace with at most ``budget`` guest instructions.
+
+        Returns the instructions consumed (also added to
+        ``cpu.instructions_executed``); exits with ``cpu.eip`` at the
+        next dispatch point.  Fault accounting matches
+        ``cpu._run_block`` exactly (see :meth:`_account`).
+        """
+        if coverage is None:
+            fn = self._fn_plain
+            if fn is None:
+                factory, linemap = self.template.factory(False)
+                fn = self._fn_plain = factory(self._rt, self._fb)
+                self._map_plain = linemap
+            linemap = self._map_plain
+        else:
+            fn = self._fn_cov
+            if fn is None:
+                factory, linemap = self.template.factory(True)
+                fn = self._fn_cov = factory(self._rt, self._fb)
+                self._map_cov = linemap
+            linemap = self._map_cov
+        try:
+            consumed = fn(budget, coverage)
+        except Exception as exc:
+            self._account(cpu, fn, linemap, exc)
+            raise
+        cpu.instructions_executed += consumed
+        return consumed
+
+    def _account(self, cpu, fn, linemap, exc) -> None:
+        """Exact fault accounting via the traceback.
+
+        The faulting *line* identifies the static position (its
+        ``(cum, addr, is_ctl, block_count)`` metadata); the frame's
+        ``consumed`` local counts the completed blocks of prior
+        iterations.  Mirrors ``_run_block``: a ``_RunComplete`` counts
+        the whole current block, any other exception counts the
+        faulting instruction itself and — for data ops — parks ``eip``
+        on it.
+        """
+        from .cpu import _RunComplete
+        code = fn.__code__
+        tb = exc.__traceback__
+        while tb is not None and tb.tb_frame.f_code is not code:
+            tb = tb.tb_next
+        if tb is None:                         # pragma: no cover - defensive
+            return
+        consumed = tb.tb_frame.f_locals.get("consumed", 0)
+        meta = linemap.get(tb.tb_lineno)
+        if meta is None:                       # pragma: no cover - defensive
+            cpu.instructions_executed += consumed
+            return
+        cum, addr, is_ctl, block_count = meta
+        if isinstance(exc, _RunComplete):
+            cpu.instructions_executed += consumed + block_count
+            return
+        cpu.instructions_executed += consumed + cum + 1
+        if not is_ctl:
+            cpu.eip = addr
+
+
+# -- the trace builder -------------------------------------------------------
+
+
+def build_trace(entry: int, entries: Dict[int, Tuple], abi, tls_base: int,
+                template_of: Callable[[int], Optional[BlockTemplate]],
+                ) -> Optional[TraceTemplate]:
+    """Select and compile the superblock starting at ``entry``.
+
+    ``template_of`` supplies (and lazily compiles) constituent block
+    templates; returns None when the entry has no compilable block.
+    """
+    blocks: List[BlockTemplate] = []
+    nexts: List[Optional[int]] = []
+    looping = False
+    addr = entry
+    seen = set()
+    while True:
+        bt = template_of(addr)
+        if bt is None:
+            break
+        blocks.append(bt)
+        seen.add(addr)
+        if len(blocks) >= MAX_TRACE_BLOCKS:
+            nexts.append(None)
+            break
+        kind, data = _control_info(bt, entries)
+        if kind == "fall":
+            nxt = data
+        elif kind == "jmp":
+            nxt = data
+        elif kind == "cond":
+            _insn, jcc_m, taken, not_taken = data
+            nxt = _predict(taken, not_taken, bt.addrs[bt.ctl_index])
+        else:
+            nexts.append(None)
+            break
+        if nxt == entry:
+            nexts.append(nxt)
+            looping = True
+            break
+        if nxt in seen or template_of(nxt) is None:
+            nexts.append(nxt)
+            break
+        nexts.append(nxt)
+        addr = nxt
+    if not blocks:
+        return None
+    if len(blocks) == 1 and not looping:
+        # a lone non-looping block gains nothing from linking: leave
+        # the bound block's closure dispatch in place rather than pay
+        # an exec-compile per entry on call-heavy code
+        return None
+    if len(nexts) < len(blocks):
+        nexts.append(None)
+    sources = {flag: _generate(entry, blocks, nexts, looping, entries,
+                               abi, tls_base, flag)
+               for flag in (False, True)}
+    return TraceTemplate(entry, tuple(blocks), tuple(nexts), looping,
+                         sources)
+
+
+def _generate(entry: int, blocks: List[BlockTemplate],
+              nexts: List[Optional[int]], looping: bool,
+              entries: Dict[int, Tuple], abi, tls_base: int,
+              with_coverage: bool) -> Tuple[str, Dict[int, Tuple]]:
+    """Emit the ``_factory`` source and its line→accounting map."""
+    body: List[Tuple[str, Optional[Tuple]]] = []
+    fallback_refs: List[str] = []
+
+    def emit(text: str, meta: Optional[Tuple] = None) -> None:
+        body.append(("            " + text, meta))
+
+    last = len(blocks) - 1
+    for j, bt in enumerate(blocks):
+        nxt = nexts[j]
+        is_last = j == last
+        ctl_addr = bt.addrs[bt.ctl_index] if bt.ctl_index >= 0 else None
+        # budget guard: never start a block the step budget couldn't
+        # finish — run() then single-steps so faults land exactly
+        emit(f"if budget <= {bt.count}: cpu.eip = {bt.entry}; "
+             f"return consumed")
+        if with_coverage:
+            emit(f"cov[{bt.entry}] = cov.get({bt.entry}, 0) + 1")
+        kind, data = _control_info(bt, entries)
+        for i in range(len(bt.binders)):
+            if i == bt.ctl_index:
+                continue
+            insn, _size, _target = entries[bt.addrs[i]]
+            meta = (bt.cum[i], bt.addrs[i], False, bt.count)
+            line = _data_src(insn, abi, tls_base, bt.addrs[i])
+            if line is None:
+                name = f"f{j}_{i}"
+                fallback_refs.append(f"{name} = fb[{j}][{i}]")
+                line = f"{name}()"
+            emit(line, meta)
+        # the ending transfer
+        ctl_meta = (None if bt.ctl_index < 0 else
+                    (bt.cum[bt.ctl_index], ctl_addr, True, bt.count))
+        book = f"consumed += {bt.count}; budget -= {bt.count}"
+        if kind == "stop":
+            name = f"f{j}_{bt.ctl_index}"
+            fallback_refs.append(f"{name} = fb[{j}][{bt.ctl_index}]")
+            emit(f"{name}()", ctl_meta)
+            emit(book)
+            emit("return consumed")
+        elif kind == "cond":
+            insn, jcc_m, taken, not_taken = data
+            if insn is not None:
+                line = _fused_src(insn, jcc_m, taken, not_taken, abi)
+            else:
+                pred = _JCC_SRC[jcc_m].format(z="cpu.zf", s="cpu.sf")
+                line = f"cpu.eip = {taken} if {pred} else {not_taken}"
+            if line is None:                   # pragma: no cover - defensive
+                name = f"f{j}_{bt.ctl_index}"
+                fallback_refs.append(f"{name} = fb[{j}][{bt.ctl_index}]")
+                line = f"{name}()"
+            emit(line, ctl_meta)
+            emit(book)
+            if is_last and looping:
+                emit(f"if cpu.eip != {entry}: return consumed")
+            elif is_last:
+                emit("return consumed")
+            else:
+                emit(f"if cpu.eip != {nxt}: return consumed")
+        elif kind == "jmp":
+            emit(book)
+            if is_last and not looping:
+                emit(f"cpu.eip = {data}; return consumed")
+            # in-trace or loop back-edge: eip is dead until the next
+            # exit point, where guards / faults / controls set it
+        else:  # fall
+            emit(book)
+            if is_last and not looping:
+                emit(f"cpu.eip = {data}; return consumed")
+
+    header = [
+        "def _factory(rt, fb):",
+        "    cpu = rt.cpu",
+        "    v = rt.values",
+        "    read = rt.read_u32",
+        "    write = rt.write_u32",
+        "    proc = rt.proc",
+        "    dispatch = proc.kernel.dispatch",
+    ]
+    header += [f"    {ref}" for ref in dict.fromkeys(fallback_refs)]
+    header += [
+        "    def trace(budget, cov):",
+        "        consumed = 0",
+        "        while True:",
+    ]
+    lines = list(header)
+    linemap: Dict[int, Tuple] = {}
+    for text, meta in body:
+        lines.append(text)
+        if meta is not None:
+            linemap[len(lines)] = meta
+    lines.append("    return trace")
+    return "\n".join(lines) + "\n", linemap

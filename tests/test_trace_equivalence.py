@@ -1,0 +1,266 @@
+"""The superblock trace tier: exact equivalence with blocks and steps.
+
+The trace compiler (runtime/traces.py) links hot blocks into single
+exec-compiled superblocks once their dispatch heat crosses the
+promotion threshold.  Like the block tier beneath it, it is an
+optimization with a hard contract: registers, memory, flags,
+``instructions_executed``, fault addresses, coverage counts and the
+campaign event stream must be indistinguishable from both the
+per-block and per-instruction interpreters.  These tests pin that
+contract, including the awkward edges — budgets expiring exactly at
+block boundaries inside a linked trace, and faults landing mid-trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MemoryFault, RuntimeFault
+from repro.isa import Imm, Label, Mem, Reg, ins, label
+from repro.kernel import Kernel
+from repro.platform import LINUX_X86
+from repro.runtime import CODE_CACHE, Process
+from repro.runtime.cpu import Cpu
+from repro.runtime.traces import TRACE_THRESHOLD
+
+from tests.test_block_compiler import (_image, _instrumented_campaign,
+                                       _loop_items, _result_fingerprint,
+                                       _signature, _state)
+
+
+@pytest.fixture(autouse=True)
+def _restore_trace_mode():
+    """Every test starts (and leaves) with the default tiers on."""
+    saved = (Cpu.use_blocks, Cpu.use_traces, Cpu.trace_threshold)
+    yield
+    Cpu.use_blocks, Cpu.use_traces, Cpu.trace_threshold = saved
+
+
+def _make_proc(items, *, mode, threshold=1):
+    """A loaded process in one of three interpreter modes."""
+    proc = Process(Kernel(), LINUX_X86)
+    proc.load(_image(items))
+    cpu = proc.cpu
+    if mode == "step":
+        cpu.use_blocks = False
+    elif mode == "blocks":
+        cpu.use_traces = False
+    elif mode == "traces":
+        cpu.use_traces = True
+        cpu.trace_threshold = threshold
+    else:
+        raise AssertionError(mode)
+    return proc
+
+
+def _has_trace(proc):
+    return any(getattr(b, "is_trace", False)
+               for b in proc.cpu._blocks.values() if b is not None)
+
+
+MODES = ("traces", "blocks", "step")
+
+
+class TestTraceEquivalence:
+    def test_hot_loop_identical_across_tiers(self):
+        outs = {}
+        for mode in MODES:
+            proc = _make_proc(_loop_items(200), mode=mode)
+            rc = proc.libcall("f")
+            outs[mode] = (rc, _state(proc))
+            if mode == "traces":
+                assert _has_trace(proc), "loop never promoted to a trace"
+        assert outs["traces"] == outs["blocks"] == outs["step"]
+
+    def test_default_threshold_promotes_hot_loop(self):
+        """With the production threshold, a loop hot enough to matter
+        still gets linked — the tier is on by default, not opt-in."""
+        proc = _make_proc(_loop_items(TRACE_THRESHOLD * 4), mode="traces",
+                          threshold=TRACE_THRESHOLD)
+        proc.libcall("f")
+        assert _has_trace(proc)
+
+    def test_memory_fault_mid_trace_identical(self):
+        """A fault firing inside a linked trace must leave eip,
+        registers and the instruction count exactly where the step
+        path leaves them."""
+        items = [
+            label("f"),
+            ins("mov", Reg("ecx"), Imm(200)),
+            ins("mov", Reg("edx"), Reg("esp")),
+            label("loop"),
+            ins("cmp", Reg("ecx"), Imm(40)),
+            ins("jnz", Label("ok")),
+            ins("mov", Reg("edx"), Imm(0x500)),     # unmapped on iter 161
+            label("ok"),
+            ins("mov", Reg("eax"), Mem(base="edx")),
+            ins("sub", Reg("ecx"), Imm(1)),
+            ins("cmp", Reg("ecx"), Imm(0)),
+            ins("jnz", Label("loop")),
+            ins("ret"),
+        ]
+        outs = {}
+        for mode in MODES:
+            proc = _make_proc(items, mode=mode)
+            with pytest.raises(MemoryFault):
+                proc.libcall("f")
+            outs[mode] = (proc.cpu.eip, _state(proc))
+            if mode == "traces":
+                assert _has_trace(proc)
+        assert outs["traces"] == outs["blocks"] == outs["step"]
+
+    def test_budget_exhaustion_sweep_identical(self):
+        """Budgets expiring anywhere — mid-trace, at block seams, one
+        short of a seam — must land the fault on the exact instruction
+        the step path reports."""
+        for budget in range(2, 48):
+            outs = {}
+            for mode in ("traces", "step"):
+                proc = _make_proc(_loop_items(1000), mode=mode)
+                with pytest.raises(RuntimeFault) as err:
+                    proc.libcall("f", max_steps=budget)
+                assert "budget exhausted" in str(err.value)
+                outs[mode] = (proc.cpu.eip, _state(proc))
+            assert outs["traces"] == outs["step"], f"budget={budget}"
+
+    def test_budget_exactly_block_count_identical(self):
+        """The regression the trace guards exist for: when the budget
+        equals a constituent block's count exactly, the guard must bail
+        to the single-step fallback, never run the block."""
+        warm = _make_proc(_loop_items(1000), mode="traces")
+        with pytest.raises(RuntimeFault):
+            warm.libcall("f", max_steps=500)
+        trace = next(b for b in warm.cpu._blocks.values()
+                     if getattr(b, "is_trace", False))
+        counts = [bt.count for bt in trace.template.blocks]
+        assert counts[0] == trace.count
+        # budget == count of each constituent block, plus the seams
+        budgets = sorted({c for c in counts}
+                         | {counts[0] + c for c in counts[1:]})
+        for budget in budgets:
+            outs = {}
+            for mode in ("traces", "step"):
+                proc = _make_proc(_loop_items(1000), mode=mode)
+                with pytest.raises(RuntimeFault) as err:
+                    proc.libcall("f", max_steps=budget)
+                assert "budget exhausted" in str(err.value)
+                outs[mode] = (proc.cpu.eip, _state(proc))
+            assert outs["traces"] == outs["step"], f"budget={budget}"
+
+
+class TestTraceCoverage:
+    def test_coverage_counts_match_unlinked_dispatch(self):
+        """A linked trace must record the same per-entry coverage the
+        block dispatcher would have — side exits included."""
+        items = [
+            label("f"),
+            ins("mov", Reg("ecx"), Imm(100)),
+            ins("mov", Reg("eax"), Imm(0)),
+            label("loop"),
+            ins("add", Reg("eax"), Imm(3)),
+            ins("cmp", Reg("ecx"), Imm(50)),
+            ins("jle", Label("skip")),              # taken for iters 51..100
+            ins("add", Reg("eax"), Imm(1)),
+            label("skip"),
+            ins("sub", Reg("ecx"), Imm(1)),
+            ins("cmp", Reg("ecx"), Imm(0)),
+            ins("jnz", Label("loop")),
+            ins("ret"),
+        ]
+        coverages = {}
+        for mode in ("traces", "blocks"):
+            proc = _make_proc(items, mode=mode)
+            proc.cpu.coverage = {}
+            rc = proc.libcall("f")
+            coverages[mode] = (rc, dict(proc.cpu.coverage))
+            if mode == "traces":
+                assert _has_trace(proc)
+        assert coverages["traces"] == coverages["blocks"]
+        assert sum(coverages["traces"][1].values()) > 100
+
+
+class TestTraceCacheBehaviour:
+    def test_promotion_records_cache_counters(self):
+        CODE_CACHE.clear()
+        proc = _make_proc(_loop_items(50), mode="traces")
+        proc.libcall("f")
+        stats = CODE_CACHE.stats()
+        assert stats["traces_linked"] >= 1
+        # a second process over the same image re-binds the shared
+        # template instead of re-linking it
+        proc2 = _make_proc(_loop_items(50), mode="traces")
+        proc2.libcall("f")
+        stats2 = CODE_CACHE.stats()
+        assert stats2["traces_linked"] == stats["traces_linked"]
+        assert stats2["trace_hits"] > stats["trace_hits"]
+
+    def test_block_invalidation_cascades_to_traces(self):
+        CODE_CACHE.clear()
+        proc = _make_proc(_loop_items(50), mode="traces")
+        proc.libcall("f")
+        mc = next(iter(proc._module_code.values()))
+        entry, template = next((a, t) for a, t in mc.traces.items()
+                               if t is not None)
+        constituent = sorted(template.block_entries)[-1]
+        mc.invalidate(constituent)
+        assert entry not in mc.traces
+        assert CODE_CACHE.stats()["trace_invalidations"] >= 1
+
+
+class TestTraceStatsSurface:
+    def test_repro_stats_renders_trace_cache_effectiveness(
+            self, libc_linux, libc_profiles_linux, tmp_path, capsys):
+        """``repro stats`` reconstructs the superblock tier's cache
+        counters from the JSONL stream alone."""
+        from repro.cli import main
+        from repro.core.campaign import enumerate_cases, run_campaign
+        from repro.obs import Telemetry
+        from repro.obs.events import read_events, summarize_events
+
+        CODE_CACHE.clear()
+        Cpu.trace_threshold = 2
+        loop_image = _image(_loop_items(50), soname="libloop.so")
+
+        def factory(lfi):
+            def session():
+                proc = lfi.make_process(
+                    Kernel(), [libc_linux.image, loop_image])
+                proc.libcall("f")           # hot loop: links a trace
+                rc = proc.libcall("close", 99)
+                return 1 if rc != 0 else 0
+            return session
+
+        log = tmp_path / "run.jsonl"
+        telemetry = Telemetry.to_file(log)
+        cases = enumerate_cases(libc_profiles_linux, functions=["close"],
+                                max_codes_per_function=2)
+        run_campaign("tracestats", factory, LINUX_X86,
+                     libc_profiles_linux, cases, telemetry=telemetry)
+        telemetry.finalize()
+        telemetry.close()
+
+        summary = summarize_events(read_events(log))
+        code = summary["code_cache"]
+        assert code["blocks_compiled"] > 0
+        assert code["traces_linked"] >= 1
+        assert code["hit_ratio"] is None or 0.0 <= code["hit_ratio"] <= 1.0
+
+        assert main(["stats", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "code cache:" in out
+        assert "traces linked" in out
+
+
+class TestTraceCampaignDifferential:
+    def test_campaign_traces_on_equals_traces_off(self, libc_linux,
+                                                  libc_profiles_linux):
+        Cpu.use_traces = True
+        Cpu.trace_threshold = 2
+        on_report, on_sink = _instrumented_campaign(
+            libc_linux, libc_profiles_linux)
+        Cpu.use_traces = False
+        off_report, off_sink = _instrumented_campaign(
+            libc_linux, libc_profiles_linux)
+        assert _result_fingerprint(on_report) \
+            == _result_fingerprint(off_report)
+        assert _signature(on_sink) == _signature(off_sink)
