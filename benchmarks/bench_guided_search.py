@@ -1,0 +1,205 @@
+"""Guided vs exhaustive campaign search: coverage kept, cases saved.
+
+``campaign --guided`` replaces up-front enumeration with an adaptive
+frontier (``repro.core.search``): cases are prioritized by expected
+coverage novelty, provably-dead and dry cases are pruned, and promising
+call ordinals are expanded on demand.  The claim is that the guided
+schedule is a near-free lunch — it reaches the exhaustive campaign's
+cumulative block coverage while executing a fraction of its cases.
+
+This benchmark runs the same systematic minidb campaign both ways and
+asserts the floors recorded in ``BENCH_guided.json``:
+
+* cumulative coverage (journal union + golden-run blocks, identically
+  accounted on both sides) >= 0.95 of exhaustive;
+* executed cases <= 0.60 of exhaustive;
+* every failure-mode matrix cell of the exhaustive run also appears in
+  the guided run (the protected per-pair witnesses guarantee this).
+
+Runs standalone
+(``PYTHONPATH=src python benchmarks/bench_guided_search.py``)
+or under pytest.  Set ``REPRO_BENCH_FAST=1`` for a CI-sized smoke run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+if __name__ == "__main__":                       # standalone: no conftest
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.apps.minidb import DbError, MiniDB
+from repro.core.campaign import FaultCase, run_campaign
+from repro.core.exec.engine import _golden_run
+from repro.core.profiler import Profiler
+from repro.core.results import ResultStore, matrix_from_store
+from repro.core.scenario.generate import error_codes_from_profile
+from repro.corpus.libc import libc
+from repro.kernel import Kernel, build_kernel_image
+from repro.platform import LINUX_X86
+from repro.runtime.blocks import import_coverage
+
+from _benchutil import print_table
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+
+#: A systematic campaign cannot know the golden call counts up front,
+#: so it enumerates the ordinal axis to a fixed depth; the guided
+#: frontier's golden bound is what recovers that slack.
+_ROWS = 3 if FAST else 6
+_ORDINALS = range(1, 9) if FAST else range(1, 13)
+_CODES_PER_FUNCTION = 2
+_FUNCTIONS = ["read", "write", "open", "close", "lseek", "fsync"]
+
+#: The floors committed in BENCH_guided.json; CI fails if a run dips
+#: below them.
+FLOORS = {"coverage_ratio_min": 0.95, "cases_ratio_max": 0.60}
+
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_guided.json"
+
+
+def _factory():
+    def factory(lfi):
+        def session():
+            db = MiniDB(Kernel(os_name=LINUX_X86.os), LINUX_X86,
+                        controller=lfi)
+            try:
+                db.execute("create table t k v")
+                for i in range(_ROWS):
+                    db.execute(f"insert into t {i} value{i}")
+                db.checkpoint()
+                db.execute("select from t where k 1")
+            except DbError:
+                return 1
+            return 0
+        return session
+    return factory
+
+
+def _union_blocks(report):
+    blocks = set()
+    for result in report.results:
+        coverage = getattr(result, "coverage", None)
+        if coverage:
+            blocks.update(import_coverage(coverage))
+    return blocks
+
+
+def _arms():
+    image = libc(LINUX_X86).image
+    profiles = Profiler(LINUX_X86, {image.soname: image},
+                        build_kernel_image(LINUX_X86)).profile_all()
+    profile = profiles[image.soname]
+    factory = _factory()
+
+    cases = []
+    for fn in _FUNCTIONS:
+        codes = error_codes_from_profile(profile.functions[fn])
+        for code in codes[:_CODES_PER_FUNCTION]:
+            for ordinal in _ORDINALS:
+                cases.append(FaultCase(fn, code, ordinal))
+
+    # both arms are accounted against the same golden baseline: the
+    # blocks any non-firing case covers for free
+    _, _, golden_blocks = _golden_run(factory, LINUX_X86, profiles,
+                                      sorted({c.function for c in cases}))
+
+    results = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for label, guided in (("exhaustive", False), ("guided", True)):
+            store = ResultStore(Path(tmp) / label)
+            started = time.perf_counter()
+            report = run_campaign(f"bench-{label}", factory, LINUX_X86,
+                                  profiles, cases, guided=guided,
+                                  results=store,
+                                  results_key={"app": "bench-guided"})
+            seconds = time.perf_counter() - started
+            executed = len(report.results)
+            results[label] = {
+                "enumerated": len(cases),
+                "executed": executed,
+                "seconds": round(seconds, 3),
+                "cases_per_second": round(executed / seconds, 2),
+                "blocks": len(_union_blocks(report) | golden_blocks),
+                "cells": sorted(
+                    "/".join(cell)
+                    for cell in matrix_from_store(store).cell_counts()),
+            }
+
+    exhaustive, guided = results["exhaustive"], results["guided"]
+    results["coverage_ratio"] = round(
+        guided["blocks"] / exhaustive["blocks"], 4)
+    results["cases_ratio"] = round(
+        guided["executed"] / exhaustive["executed"], 4)
+    return results
+
+
+def _report(results, write_json: bool = True):
+    exhaustive, guided = results["exhaustive"], results["guided"]
+    print_table(
+        "guided campaign search — coverage kept vs cases saved "
+        f"({'fast' if FAST else 'full'} mode)",
+        "arm            cases      blocks     cells      seconds",
+        [f"exhaustive  {exhaustive['executed']:6d}   "
+         f"{exhaustive['blocks']:9d}   {len(exhaustive['cells']):5d}   "
+         f"{exhaustive['seconds']:9.2f}",
+         f"guided      {guided['executed']:6d}   "
+         f"{guided['blocks']:9d}   {len(guided['cells']):5d}   "
+         f"{guided['seconds']:9.2f}",
+         f"ratios      cases {results['cases_ratio']:.2f} "
+         f"(floor <= {FLOORS['cases_ratio_max']}), coverage "
+         f"{results['coverage_ratio']:.2f} "
+         f"(floor >= {FLOORS['coverage_ratio_min']})"])
+    if write_json:
+        out = {
+            "schema": "repro.bench/1",
+            "benchmark": "guided_search",
+            "mode": "fast" if FAST else "full",
+            "workload": f"minidb create+{_ROWS} inserts+checkpoint+"
+                        f"select, {len(_FUNCTIONS)} functions x "
+                        f"{_CODES_PER_FUNCTION} codes x "
+                        f"{len(_ORDINALS)} ordinals",
+            "floors": FLOORS,
+            "results": {
+                "exhaustive": {k: v for k, v in exhaustive.items()
+                               if k != "cells"},
+                "guided": {k: v for k, v in guided.items()
+                           if k != "cells"},
+                "coverage_ratio": results["coverage_ratio"],
+                "cases_ratio": results["cases_ratio"],
+            },
+        }
+        _OUT.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {_OUT}")
+
+
+def _assert_claims(results) -> None:
+    exhaustive, guided = results["exhaustive"], results["guided"]
+    missing = set(exhaustive["cells"]) - set(guided["cells"])
+    assert not missing, \
+        f"guided campaign lost failure-mode matrix cells: {sorted(missing)}"
+    assert results["coverage_ratio"] >= FLOORS["coverage_ratio_min"], \
+        (f"guided coverage ratio {results['coverage_ratio']:.3f} fell "
+         f"below {FLOORS['coverage_ratio_min']}")
+    assert results["cases_ratio"] <= FLOORS["cases_ratio_max"], \
+        (f"guided ran {guided['executed']}/{exhaustive['executed']} "
+         f"cases ({results['cases_ratio']:.3f}) — floor is "
+         f"{FLOORS['cases_ratio_max']}")
+
+
+def test_guided_search_efficiency(benchmark):
+    results = benchmark.pedantic(_arms, rounds=1, iterations=1)
+    _report(results, write_json=not FAST)
+    _assert_claims(results)
+
+
+if __name__ == "__main__":
+    results = _arms()
+    _report(results, write_json=not FAST)
+    _assert_claims(results)

@@ -324,7 +324,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         max_codes_per_function=args.max_codes,
         fault_classes=tuple(args.fault_class or ["return"]),
         latency_ns=args.latency_ns,
-        fail_rate=args.fail_rate)
+        fail_rate=args.fail_rate,
+        guided=args.guided,
+        budget_cases=args.budget_cases)
 
     if report.resumed is not None and report.resumed["skipped"]:
         _notice(args, f"resumed: {report.resumed['skipped']} cases from "
@@ -690,6 +692,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="skip cases already journaled in --results-dir "
                         "under the same campaign key")
+    p.add_argument("--guided", action="store_true",
+                   help="coverage-guided adaptive scheduling: run the "
+                        "highest-novelty cases first, prune subsumed "
+                        "ones, expand promising call ordinals "
+                        "(incompatible with --fail-rate)")
+    p.add_argument("--budget-cases", type=int, default=None,
+                   metavar="N",
+                   help="with --guided: stop after scheduling N cases")
     p.add_argument("--heuristics", action="store_true",
                    help="enable the unsound §3.1 profile filters")
     p.add_argument("--json", action="store_true",

@@ -1,13 +1,13 @@
 """LFI core: profiler, fault profiles, scenarios, controller, accuracy."""
 
 from . import (accuracy, campaign, controller, diff, docparse, exec,
-               profiler, robustness, scenario, store)
+               profiler, robustness, scenario, search, store)
 from .profiles import (SE_ARG, SE_GLOBAL, SE_TLS, ErrorReturn,
                        FunctionProfile, LibraryProfile, SideEffect)
 
 __all__ = [
     "profiler", "scenario", "controller", "accuracy", "docparse",
-    "campaign", "robustness", "store", "diff", "exec",
+    "campaign", "robustness", "search", "store", "diff", "exec",
     "LibraryProfile", "FunctionProfile", "ErrorReturn", "SideEffect",
     "SE_TLS", "SE_GLOBAL", "SE_ARG",
 ]

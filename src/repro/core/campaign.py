@@ -342,11 +342,23 @@ def enumerate_cases(profiles: Mapping[str, LibraryProfile],
     enumerated case probabilistic: instead of firing at an exact call
     ordinal, its plan rolls a content-derived recorded seed at that
     rate — replayable bit-identically under ``--resume``.
+
+    ``fail_rate`` and ``call_ordinals`` are mutually exclusive axes: a
+    probabilistic plan rolls its RNG on *every* call, so there is no
+    ordinal to vary and each (function, action) pair yields exactly one
+    case.  Passing explicit non-default ordinals together with
+    ``fail_rate`` raises :class:`ValueError` (historically the
+    ordinals were silently discarded).
     """
     for cls in fault_classes:
         if cls not in FAULT_CLASSES:
             raise ValueError(f"unknown fault class {cls!r} "
                              f"(choose from {', '.join(FAULT_CLASSES)})")
+    if fail_rate is not None and tuple(call_ordinals) != (1,):
+        raise ValueError(
+            "call_ordinals and fail_rate cannot be combined: a "
+            "fail-rate case rolls its RNG on every call, so it has no "
+            "call ordinal to enumerate")
     wanted = set(functions) if functions is not None else None
     probability = 0.0 if fail_rate is None else fail_rate
     ordinals = call_ordinals if fail_rate is None else (1,)
@@ -387,7 +399,9 @@ def run_campaign(app: str,
                  telemetry=None,
                  results=None,
                  results_key: Optional[Mapping[str, Any]] = None,
-                 resume: bool = False) -> CampaignReport:
+                 resume: bool = False,
+                 guided: bool = False,
+                 budget_cases: Optional[int] = None) -> CampaignReport:
     """Run every fault case as its own monitored test.
 
     With the defaults (``jobs=1``, no timeout) cases run inline exactly
@@ -410,6 +424,13 @@ def run_campaign(app: str,
     instead of re-running them.  ``results_key`` supplies extra
     campaign-identity components (images, heuristics, workload) for the
     store's content-addressed key.
+
+    ``guided=True`` replaces the fixed schedule with the
+    coverage-guided :class:`~repro.core.search.GuidedFrontier`:
+    ``cases`` becomes the search space, the scheduler runs the
+    highest-novelty cases first, prunes subsumed ones and expands
+    promising call ordinals, and ``budget_cases`` caps how many cases
+    actually execute.
     """
     from .exec.engine import execute_campaign
 
@@ -417,4 +438,5 @@ def run_campaign(app: str,
                             jobs=jobs, timeout=timeout, backend=backend,
                             snapshot=snapshot, telemetry=telemetry,
                             results=results, results_key=results_key,
-                            resume=resume)
+                            resume=resume, guided=guided,
+                            budget_cases=budget_cases)

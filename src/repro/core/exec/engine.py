@@ -257,6 +257,49 @@ def _golden_digest(factory, platform: Platform,
         return None
 
 
+def _golden_run(factory, platform: Platform,
+                profiles: Mapping[str, LibraryProfile],
+                functions: Iterable[str]):
+    """Golden run plus the per-function call counts guided search needs.
+
+    Same no-fault anchor as :func:`_golden_digest`, but the plan carries
+    one sentinel trigger per campaign function at the unreachable
+    ordinal: the dormant fast path proves each trigger dead on its first
+    call, so the only bookkeeping the run pays for is call counting —
+    and the output digest is identical to a plain golden run's.  The
+    controller also arms block coverage: the golden blocks seed the
+    guided frontier's seen-set, so its novelty accounting starts from
+    the fault-free path instead of rediscovering it case by case.
+
+    Returns ``(digest, call_counts, blocks)``; a workload that doesn't
+    complete normally yields ``(None, counts, blocks)`` (both are still
+    true of the un-injected execution, so they remain sound), and a
+    workload that raises yields ``(None, {}, set())``.
+    """
+    from ..controller.triggers import NEVER_ORDINAL
+    from ..results.matrix import output_digest
+    from ..scenario.model import (INJECT_NTH, ErrorCode, FunctionTrigger,
+                                  Plan)
+
+    plan = Plan(name="golden")
+    for name in functions:
+        plan.add(FunctionTrigger(function=name, mode=INJECT_NTH,
+                                 nth=NEVER_ORDINAL,
+                                 actions=(ErrorCode(-1, "EIO"),),
+                                 calloriginal=False))
+    try:
+        lfi = Controller(platform, dict(profiles), plan, coverage=True)
+        outcome = lfi.run_test(factory(lfi), test_id="golden")
+        counts = {name: int(count)
+                  for name, count in lfi.engine.call_counts.items()}
+        blocks = set(lfi.coverage_map())
+        if outcome.status != "normal":
+            return None, counts, blocks
+        return output_digest(lfi), counts, blocks
+    except Exception:
+        return None, {}, set()
+
+
 def _finish_case(case, task: TaskResult, pool: WorkerPool):
     """One drained pool task → its final :class:`CaseResult`."""
     from ..campaign import CaseResult
@@ -295,7 +338,9 @@ def execute_campaign(app: str,
                      telemetry=None,
                      results=None,
                      results_key: Optional[Mapping[str, Any]] = None,
-                     resume: bool = False):
+                     resume: bool = False,
+                     guided: bool = False,
+                     budget_cases: Optional[int] = None):
     """Fan the campaign's fault cases out over a worker pool.
 
     Results come back in case order regardless of worker count, so a
@@ -327,16 +372,58 @@ def execute_campaign(app: str,
     re-running them; their stored events and metrics are re-emitted in
     case order, so the final report, event stream and metrics match an
     uninterrupted run.
-    """
-    from ..campaign import CampaignReport, CaseResult
 
+    ``guided=True`` hands scheduling to the coverage-guided
+    :class:`~repro.core.search.GuidedFrontier` (see
+    :func:`_execute_guided`): ``cases`` becomes the search space rather
+    than the execution list, and ``budget_cases`` caps how many cases
+    actually run.
+    """
     tele = as_telemetry(telemetry)
-    case_list = list(cases)
+    original_metrics = None
     if pool is None:
         pool = WorkerPool(jobs=jobs, backend=backend, timeout=timeout,
                           metrics=tele.metrics)
     elif tele.enabled and not pool.metrics.enabled:
+        # borrow the campaign's registry for queue/pool metrics, but
+        # hand the pool back unchanged: a caller-supplied pool outlives
+        # this run and must not keep emitting into a stale campaign's
+        # registry
+        original_metrics = pool.metrics
         pool.metrics = tele.metrics
+    try:
+        if guided:
+            return _execute_guided(app, factory, platform, profiles,
+                                   cases, pool=pool, snapshot=snapshot,
+                                   tele=tele, results=results,
+                                   results_key=results_key,
+                                   resume=resume,
+                                   budget_cases=budget_cases)
+        return _execute_exhaustive(app, factory, platform, profiles,
+                                   cases, pool=pool, snapshot=snapshot,
+                                   tele=tele, results=results,
+                                   results_key=results_key,
+                                   resume=resume)
+    finally:
+        if original_metrics is not None:
+            pool.metrics = original_metrics
+
+
+def _execute_exhaustive(app: str,
+                        factory,
+                        platform: Platform,
+                        profiles: Mapping[str, LibraryProfile],
+                        cases: Iterable[Any],
+                        *, pool: WorkerPool,
+                        snapshot: bool,
+                        tele: Telemetry,
+                        results,
+                        results_key: Optional[Mapping[str, Any]],
+                        resume: bool):
+    """The fixed-schedule path: run every enumerated case."""
+    from ..campaign import CampaignReport, CaseResult
+
+    case_list = list(cases)
     profiles = dict(profiles)
     capture = tele.enabled
 
@@ -489,6 +576,224 @@ def execute_campaign(app: str,
     if tele.enabled:
         _record_execution_metrics(tele, results_list, cache_before)
         tele.metrics.merge(run_registry.snapshot())
+        end_fields = dict(app=app, outcome=report.outcome(),
+                          duration=round(duration, 6),
+                          cases=len(results_list))
+        if runner is not None:
+            stats = runner.cache.stats()
+            end_fields.update(
+                snapshots_built=stats["built"],
+                snapshot_replays=sum(1 for r in results_list
+                                     if getattr(r, "snapshot", None)),
+                snapshot_fallbacks=runner.fallbacks)
+        tele.events.emit("campaign.end", **end_fields)
+    return report
+
+
+def _execute_guided(app: str,
+                    factory,
+                    platform: Platform,
+                    profiles: Mapping[str, LibraryProfile],
+                    cases: Iterable[Any],
+                    *, pool: WorkerPool,
+                    snapshot: bool,
+                    tele: Telemetry,
+                    results,
+                    results_key: Optional[Mapping[str, Any]],
+                    resume: bool,
+                    budget_cases: Optional[int]):
+    """The coverage-guided path: the frontier decides what runs.
+
+    ``cases`` seeds a :class:`~repro.core.search.GuidedFrontier`; the
+    engine then alternates frontier batches with pool runs, feeding
+    every finished case's coverage back between batches.  Because batch
+    width is fixed and observations apply in batch input order, the
+    schedule is a pure function of the case list and the per-case
+    coverage — identical across the serial, thread and process backends.
+
+    Resume replays the *scheduler*, not the journal: each scheduled
+    batch is checked against the journal and already-finished cases are
+    restored (and observed) instead of re-run, so an interrupted guided
+    campaign resumes into exactly the schedule the uninterrupted run
+    would have produced, converging on the same final matrix.
+    Classification signals (coverage, output digest) are always
+    collected — the frontier runs on them — so guided mode classifies
+    outcomes even without a result store attached.
+    """
+    from ..campaign import CampaignReport
+    from ..results.matrix import classify_result
+    from ..search import GuidedFrontier
+
+    case_list = list(cases)
+    profiles = dict(profiles)
+    capture = tele.enabled
+
+    journal = None
+    finished: Dict[str, Mapping[str, Any]] = {}
+    if results is not None:
+        from ..results import case_digest, restore_result
+        identity = dict(results_key or {})
+        identity.setdefault("app", app)
+        identity.setdefault("platform", platform)
+        identity.setdefault("profiles", profiles)
+        journal = results.open_campaign(
+            results.campaign_key(**identity), app=app)
+        if resume:
+            finished = journal.finished()
+
+    # One golden run serves triple duty: the no-fault output digest
+    # anchors silent-corruption classification, the per-function call
+    # counts bound the frontier's ordinal axis, and the golden coverage
+    # seeds its seen-block set.  The guest is deterministic, so running
+    # it afresh on resume reproduces the identical search space; the
+    # digest honors a previously journaled anchor for classification
+    # continuity.
+    meta = journal.meta() if journal is not None else {}
+    golden, call_counts, golden_blocks = _golden_run(
+        factory, platform, profiles,
+        sorted({case.function for case in case_list}))
+    if "golden" in meta:
+        golden = meta.get("golden")
+    if journal is not None:
+        journal.set_meta(golden=golden, call_counts=call_counts,
+                         guided=True,
+                         cases_expected=(min(budget_cases, len(case_list))
+                                         if budget_cases is not None
+                                         else len(case_list)))
+
+    frontier = GuidedFrontier(case_list, budget_cases=budget_cases,
+                              call_counts=call_counts,
+                              baseline_blocks=golden_blocks,
+                              telemetry=tele)
+
+    runner = None
+    if snapshot:
+        from .snapshot import SnapshotRunner
+        runner = SnapshotRunner(app, factory, platform, profiles,
+                                capture=capture, telemetry=tele,
+                                observe=True)
+        if not runner.supported:
+            runner = None
+
+    def run_one(case):
+        if runner is not None:
+            return runner.run_case(case)
+        return _case_runner(factory, platform, profiles, case, capture,
+                            True)
+
+    if pool.backend == PROCESS and case_list and pool.warmup is None:
+        # the pool re-runs its warmup hook on every map() call, and
+        # guided mode maps once per batch — make warming idempotent
+        warmed: List[bool] = []
+
+        def _warm_once():
+            if warmed:
+                return
+            warmed.append(True)
+            if runner is not None:
+                # expansion only deepens ordinals of already-enumerated
+                # (function, action) pairs, so checkpoints built for
+                # the seed list cover every case the frontier can emit
+                runner.warm(case_list)
+            else:
+                _case_runner(factory, platform, profiles, case_list[0],
+                             False)
+        pool.warmup = _warm_once
+
+    if tele.enabled:
+        tele.events.emit("campaign.start", app=app, cases=len(case_list),
+                         jobs=pool.jobs, backend=pool.backend,
+                         timeout=pool.timeout,
+                         snapshot=runner is not None, guided=True)
+
+    results_list: List[Any] = []
+    all_tasks: List[TaskResult] = []
+    restored_n = 0
+    cache_before = CODE_CACHE.stats()
+    started = time.perf_counter()
+    try:
+        while True:
+            batch = frontier.next_batch()
+            if not batch:
+                break
+            entries = []        # (case, case_key, journaled record)
+            for case in batch:
+                key = case_digest(case) if journal is not None else ""
+                entries.append((case, key, finished.get(key)))
+            to_run = [(pos, case)
+                      for pos, (case, _key, record) in enumerate(entries)
+                      if record is None]
+
+            def journal_progress(task: TaskResult, entries=entries,
+                                 to_run=to_run) -> None:
+                # parent-side, in batch input order, flushed per record
+                # — what --resume picks up after a crash (see the
+                # exhaustive path's journal_progress)
+                pos, case = to_run[task.index]
+                result = _finish_case(case, task, pool)
+                result.outcome_class = classify_result(result, golden)
+                journal.record(entries[pos][1], case, result, task.status)
+
+            tasks = pool.map(run_one, [case for _, case in to_run],
+                             progress=journal_progress
+                             if journal is not None else None)
+            task_at = {to_run[j][0]: tasks[j] for j in range(len(tasks))}
+
+            for pos, (case, _key, record) in enumerate(entries):
+                if record is not None:
+                    result = restore_result(case, record)
+                    task = TaskResult(
+                        index=len(all_tasks),
+                        status=record.get("task_status", TASK_OK),
+                        seconds=record.get("seconds", 0.0), waited=0.0)
+                    restored_n += 1
+                else:
+                    task = task_at[pos]
+                    result = _finish_case(case, task, pool)
+                if result.outcome_class is None:
+                    result.outcome_class = classify_result(result, golden)
+                # feed back in batch input order — scheduling, events
+                # and the journal all share this one deterministic order
+                frontier.observe(case, result,
+                                 restored=record is not None)
+                if tele.enabled:
+                    _replay_case_telemetry(tele, case, result)
+                results_list.append(result)
+                all_tasks.append(task)
+    finally:
+        if journal is not None:
+            journal.close()
+    duration = time.perf_counter() - started
+
+    report = CampaignReport(app=app, results=results_list,
+                            duration=duration)
+    if journal is not None:
+        report.resumed = {"skipped": restored_n,
+                          "replayed": len(results_list) - restored_n}
+    run_registry = MetricsRegistry()
+    report.summary = summarize_tasks("campaign", app, report.outcome(),
+                                     duration, all_tasks, pool,
+                                     registry=run_registry)
+    if tele.enabled:
+        _record_execution_metrics(tele, results_list, cache_before)
+        tele.metrics.merge(run_registry.snapshot())
+        if journal is not None:
+            tele.events.emit("campaign.resume", app=app,
+                             campaign=journal.key, resume=resume,
+                             skipped=restored_n,
+                             replayed=len(results_list) - restored_n)
+            if restored_n:
+                tele.metrics.counter(
+                    "repro_result_store_hits_total",
+                    "Campaign cases satisfied from the durable result "
+                    "journal").inc(restored_n)
+            if len(results_list) - restored_n:
+                tele.metrics.counter(
+                    "repro_result_store_misses_total",
+                    "Campaign cases executed and journaled durably"
+                ).inc(len(results_list) - restored_n)
+        tele.events.emit("campaign.guided", app=app,
+                         enumerated=len(case_list), **frontier.summary())
         end_fields = dict(app=app, outcome=report.outcome(),
                           duration=round(duration, 6),
                           cases=len(results_list))

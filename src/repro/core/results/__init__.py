@@ -12,9 +12,10 @@ from .gates import (GATE_REPORT_SCHEMA, GATES_SCHEMA, GateReport,
                     GateResult, GateViolation, evaluate_gates,
                     load_gate_spec, validate_gate_spec)
 from .matrix import (FAILURE_CLASSES, FailureMatrix, MATRIX_SCHEMA,
-                     OUTCOME_CLASSES, classify_record, classify_result,
-                     classify_status, coverage_novelty, diff_matrices,
-                     fault_class_of, matrix_from_store, output_digest,
+                     NOVELTY_DECAY, OUTCOME_CLASSES, classify_record,
+                     classify_result, classify_status, coverage_novelty,
+                     diff_matrices, fault_class_of, matrix_from_store,
+                     novelty_score, output_digest, record_blocks,
                      record_fault_class, vfs_digest)
 from .store import (CampaignJournal, RESULT_SCHEMA, ResultStore,
                     campaign_digest, case_digest, restore_result,
@@ -33,6 +34,7 @@ __all__ = [
     "GateResult",
     "GateViolation",
     "MATRIX_SCHEMA",
+    "NOVELTY_DECAY",
     "OUTCOME_CLASSES",
     "RESULT_SCHEMA",
     "ResultStore",
@@ -49,8 +51,10 @@ __all__ = [
     "fault_class_of",
     "load_gate_spec",
     "matrix_from_store",
+    "novelty_score",
     "outcome_class",
     "output_digest",
+    "record_blocks",
     "record_class",
     "record_fault_class",
     "restore_result",

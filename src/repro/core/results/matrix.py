@@ -377,6 +377,44 @@ def diff_matrices(baseline: Mapping[str, Any],
 
 # -- coverage novelty --------------------------------------------------------
 
+#: How fast a function's expected novelty decays per completed sibling
+#: case.  Shared by the post-hoc :func:`coverage_novelty` ranking and
+#: the live ``core.search.GuidedFrontier`` scheduler so both sides of
+#: the feedback loop agree on what "still promising" means.
+NOVELTY_DECAY = 0.5
+
+
+def novelty_score(new_blocks_total: int, visits: int,
+                  *, decay: float = NOVELTY_DECAY) -> float:
+    """Expected novelty of the *next* case of a group.
+
+    ``new_blocks_total`` is how many previously-unseen blocks the
+    group's completed cases contributed in total and ``visits`` how
+    many of them have completed; the score is the per-visit discovery
+    rate decayed by repeat visits.  Zero visits means "never explored"
+    and scores infinite — unexplored groups always outrank explored
+    ones.
+    """
+    if visits <= 0:
+        return float("inf")
+    return (new_blocks_total / visits) * (decay ** visits)
+
+
+def record_blocks(record: Mapping[str, Any]) -> set:
+    """The block-address set of a journal record's coverage map.
+
+    Never raises: a missing, empty or malformed ``coverage`` field
+    (legacy journal, dead worker, torn record) degrades to the empty
+    set so rankings and schedulers stay total functions over mixed
+    journals.
+    """
+    from ...runtime.blocks import import_coverage
+
+    try:
+        return set(import_coverage(record.get("coverage")))
+    except (TypeError, ValueError, AttributeError):
+        return set()
+
 
 def coverage_novelty(records: Iterable[Mapping[str, Any]]
                      ) -> List[Dict[str, Any]]:
@@ -386,16 +424,24 @@ def coverage_novelty(records: Iterable[Mapping[str, Any]]
     cover): the first entry is the case covering the most blocks, each
     subsequent one adds the most blocks nobody before it reached.
     Cases contributing nothing new are appended by descending total
-    coverage.  Ties break on case id, so the ranking is deterministic.
+    coverage, and records with missing, empty or malformed coverage
+    maps rank last of all (``blocks == 0``) instead of being dropped
+    or raising — a mixed journal still yields one total, deterministic
+    ranking.  Ties break on case id.
     """
-    from ...runtime.blocks import import_coverage
-
     candidates = []
+    uncovered = []
     for record in records:
-        cov = import_coverage(record.get("coverage"))
-        if cov:
-            candidates.append((record.get("case", ""), set(cov),
-                               record.get("coverage", {})))
+        case_id = str(record.get("case", "") or "")
+        cov = record.get("coverage")
+        digest = ""
+        if isinstance(cov, Mapping):
+            digest = str(cov.get("digest", "") or "")
+        blocks = record_blocks(record)
+        if blocks:
+            candidates.append((case_id, blocks, digest))
+        else:
+            uncovered.append((case_id, digest))
     covered: set = set()
     ranked: List[Dict[str, Any]] = []
     remaining = sorted(candidates, key=lambda c: c[0])
@@ -407,14 +453,17 @@ def coverage_novelty(records: Iterable[Mapping[str, Any]]
         if new == 0:
             leftovers = sorted(remaining,
                                key=lambda c: (-len(c[1]), c[0]))
-            for case_id, blocks, exported in leftovers:
+            for case_id, blocks, digest in leftovers:
                 ranked.append({"case": case_id, "new_blocks": 0,
                                "blocks": len(blocks),
-                               "digest": exported.get("digest", "")})
+                               "digest": digest})
             break
         covered |= best[1]
         ranked.append({"case": best[0], "new_blocks": new,
                        "blocks": len(best[1]),
-                       "digest": best[2].get("digest", "")})
+                       "digest": best[2]})
         remaining.remove(best)
+    for case_id, digest in sorted(uncovered):
+        ranked.append({"case": case_id, "new_blocks": 0,
+                       "blocks": 0, "digest": digest})
     return ranked

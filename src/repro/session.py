@@ -259,7 +259,9 @@ class Session:
                  fail_rate: Optional[float] = None,
                  cases: Optional[Iterable[FaultCase]] = None,
                  snapshot: Optional[bool] = None,
-                 resume: Optional[bool] = None
+                 resume: Optional[bool] = None,
+                 guided: bool = False,
+                 budget_cases: Optional[int] = None
                  ) -> CampaignReport:
         """Run a systematic fault campaign over the profiled space.
 
@@ -284,11 +286,24 @@ class Session:
         campaign key digests the app, platform, profile and image
         content, heuristics and workload id, so a changed input re-runs
         rather than serving stale results.
+
+        ``guided=True`` schedules adaptively instead of exhaustively:
+        the enumerated cases seed a coverage-guided
+        :class:`~repro.core.search.GuidedFrontier` that runs the
+        highest-novelty cases first, prunes subsumed ones, and expands
+        promising call ordinals; ``budget_cases`` caps the number of
+        cases executed.  Guided scheduling needs the deterministic
+        call-ordinal axis, so it cannot be combined with ``fail_rate``.
         """
         if snapshot is None:
             snapshot = self.snapshot
         if resume is None:
             resume = self.resume
+        if guided and fail_rate is not None:
+            raise ReproError(
+                "Session.campaign: guided scheduling searches the "
+                "call-ordinal axis and cannot be combined with "
+                "fail_rate (probabilistic cases have no ordinal)")
         with self.obs.tracer.trace("session.campaign",
                                    app=app or self.app) as span:
             if cases is None:
@@ -311,7 +326,9 @@ class Session:
                                   timeout=self.timeout, backend=self.backend,
                                   snapshot=snapshot, telemetry=self.obs,
                                   results=self.results,
-                                  results_key=results_key, resume=resume)
+                                  results_key=results_key, resume=resume,
+                                  guided=guided,
+                                  budget_cases=budget_cases)
             span.set(cases=len(report.results), outcome=report.outcome())
         if self.store is not None and report.summary is not None:
             report.summary.cache_hits = self.store.hits

@@ -232,7 +232,44 @@ class TestCoverageNovelty:
         first = coverage_novelty(records)
         again = coverage_novelty(records[::-1])
         assert first == again
-        assert [r["case"] for r in first] == ["a", "b"]
+        # coverage-less records rank last instead of vanishing: a mixed
+        # journal still yields one total ranking
+        assert [r["case"] for r in first] == ["a", "b", "legacy"]
+        assert first[-1] == {"case": "legacy", "new_blocks": 0,
+                             "blocks": 0, "digest": ""}
+
+    def test_empty_coverage_ranks_last_with_stable_tie_break(self):
+        records = [
+            {"case": "z-empty", "coverage": self._cov()},
+            {"case": "covered", "coverage": self._cov(1, 2)},
+            {"case": "a-empty", "coverage": self._cov()},
+        ]
+        ranked = coverage_novelty(records)
+        assert [r["case"] for r in ranked] == ["covered", "a-empty",
+                                               "z-empty"]
+        assert all(r["blocks"] == 0 for r in ranked[1:])
+
+    def test_all_records_without_coverage(self):
+        ranked = coverage_novelty([{"case": "b"}, {"case": "a"},
+                                   {"case": "c", "coverage": None}])
+        assert [r["case"] for r in ranked] == ["a", "b", "c"]
+
+    def test_malformed_coverage_never_raises(self):
+        records = [
+            {"case": "good", "coverage": self._cov(1)},
+            {"case": "bad-map", "coverage": {"digest": "d",
+                                             "map": {"zz": 1}}},
+            {"case": "bad-type", "coverage": "not-a-mapping"},
+            {"case": "bad-map2", "coverage": {"map": "nope"}},
+        ]
+        ranked = coverage_novelty(records)
+        assert [r["case"] for r in ranked] == ["good", "bad-map",
+                                               "bad-map2", "bad-type"]
+        # the malformed record keeps its journaled digest for triage
+        assert ranked[1]["digest"] == "d"
+
+    def test_empty_input(self):
+        assert coverage_novelty([]) == []
 
 
 # -- gates --------------------------------------------------------------------
